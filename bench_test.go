@@ -1,0 +1,127 @@
+package pivot
+
+// One benchmark per table and figure of the paper's evaluation (§8).  Each
+// bench runs the corresponding experiment driver at the bench preset (a
+// scaled-down workload that preserves the protocol shapes; see
+// EXPERIMENTS.md) and reports the headline series as custom metrics, so
+// `go test -bench=. -benchmem` regenerates every result in one command.
+// For full-scale sweeps use `go run ./cmd/pivot-bench -preset paper`.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchPreset returns the workload used by the benchmark suite.
+func benchPreset() experiments.Preset {
+	p := experiments.Quick()
+	p.N = 24
+	p.DBar = 1
+	p.B = 2
+	p.H = 2
+	p.W = 1
+	p.Ms = []int{2, 3}
+	p.Ns = []int{16, 48}
+	p.DBars = []int{1, 2}
+	p.Bs = []int{2, 4}
+	p.Hs = []int{1, 2}
+	p.Ws = []int{1, 2}
+	p.Trials = 1
+	p.AccuracyN = 150
+	return p
+}
+
+// runExperiment executes one driver per iteration and reports the last
+// row's series as metrics (seconds, or accuracy for Table 3).
+func runExperiment(b *testing.B, fn func(experiments.Preset) (*experiments.Result, error)) {
+	b.Helper()
+	p := benchPreset()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = fn(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil && len(res.Rows) > 0 {
+		last := res.Rows[len(res.Rows)-1]
+		for name, v := range last.Series {
+			b.ReportMetric(v, metricUnit(name, res.Unit))
+		}
+		b.Logf("\n%s", res.Format())
+	}
+}
+
+// BenchmarkTable2CostModel regenerates Table 2 (predicted vs measured cost).
+func BenchmarkTable2CostModel(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkTable3Accuracy regenerates Table 3 (Pivot vs non-private accuracy).
+func BenchmarkTable3Accuracy(b *testing.B) { runExperiment(b, experiments.Table3) }
+
+// BenchmarkFig4a regenerates Figure 4a (training time vs m).
+func BenchmarkFig4a(b *testing.B) { runExperiment(b, experiments.Fig4a) }
+
+// BenchmarkFig4b regenerates Figure 4b (training time vs n).
+func BenchmarkFig4b(b *testing.B) { runExperiment(b, experiments.Fig4b) }
+
+// BenchmarkFig4c regenerates Figure 4c (training time vs d̄).
+func BenchmarkFig4c(b *testing.B) { runExperiment(b, experiments.Fig4c) }
+
+// BenchmarkFig4d regenerates Figure 4d (training time vs b).
+func BenchmarkFig4d(b *testing.B) { runExperiment(b, experiments.Fig4d) }
+
+// BenchmarkFig4e regenerates Figure 4e (training time vs h).
+func BenchmarkFig4e(b *testing.B) { runExperiment(b, experiments.Fig4e) }
+
+// BenchmarkFig4f regenerates Figure 4f (ensemble training time vs W).
+func BenchmarkFig4f(b *testing.B) { runExperiment(b, experiments.Fig4f) }
+
+// BenchmarkFig4g regenerates Figure 4g (prediction time vs m).
+func BenchmarkFig4g(b *testing.B) { runExperiment(b, experiments.Fig4g) }
+
+// BenchmarkFig4h regenerates Figure 4h (prediction time vs h).
+func BenchmarkFig4h(b *testing.B) { runExperiment(b, experiments.Fig4h) }
+
+// BenchmarkFig5a regenerates Figure 5a (Pivot vs SPDZ-DT vs NPD-DT, vary m).
+func BenchmarkFig5a(b *testing.B) { runExperiment(b, experiments.Fig5a) }
+
+// BenchmarkFig5b regenerates Figure 5b (Pivot vs SPDZ-DT vs NPD-DT, vary n).
+func BenchmarkFig5b(b *testing.B) { runExperiment(b, experiments.Fig5b) }
+
+// BenchmarkAblationArgmax compares the paper's linear oblivious argmax with
+// the tournament variant (design-choice ablation; not a paper figure).
+func BenchmarkAblationArgmax(b *testing.B) { runExperiment(b, experiments.AblationArgmax) }
+
+// BenchmarkAblationParallelDecrypt isolates the "-PP" parallel threshold
+// decryption speedup (§8.3: up to 2.7x on 6 cores).
+func BenchmarkAblationParallelDecrypt(b *testing.B) {
+	runExperiment(b, experiments.AblationParallelDecrypt)
+}
+
+// BenchmarkAblationHideLevels quantifies the §5.2 privacy/efficiency
+// trade-off: enhanced-protocol training and prediction time per hide level.
+func BenchmarkAblationHideLevels(b *testing.B) { runExperiment(b, experiments.AblationHideLevels) }
+
+// BenchmarkAblationCriterion compares secure Gini with the secure entropy
+// (ID3/C4.5) criterion built on the MPC logarithm.
+func BenchmarkAblationCriterion(b *testing.B) { runExperiment(b, experiments.AblationCriterion) }
+
+// BenchmarkPSIAlignment measures the initialization stage's private set
+// intersection (§3.1) as per-party set size grows.
+func BenchmarkPSIAlignment(b *testing.B) { runExperiment(b, experiments.PSIAlignment) }
+
+// BenchmarkPhaseBreakdown reports per-phase training time (Table 2 columns).
+func BenchmarkPhaseBreakdown(b *testing.B) { runExperiment(b, experiments.PhaseBreakdown) }
+
+// metricUnit builds a whitespace-free unit label (ReportMetric requirement).
+func metricUnit(name, unit string) string {
+	u := name + "/" + unit
+	u = strings.ReplaceAll(u, " ", "_")
+	if i := strings.IndexByte(u, '('); i > 0 {
+		u = u[:i]
+	}
+	return strings.TrimSuffix(u, "_")
+}

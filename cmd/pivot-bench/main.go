@@ -1,0 +1,77 @@
+// pivot-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pivot-bench -exp fig4a                 # one experiment, quick preset
+//	pivot-bench -exp all                   # everything, quick preset
+//	pivot-bench -exp fig5b -preset paper   # the paper's parameters (slow!)
+//	pivot-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	preset := flag.String("preset", "quick", "quick | paper")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments.Drivers))
+		for id := range experiments.Drivers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var p experiments.Preset
+	switch *preset {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "pivot-bench: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	if *exp == "all" {
+		start := time.Now()
+		results, err := experiments.All(p)
+		for _, r := range results {
+			fmt.Println(r.Format())
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("all experiments done in %s\n", experiments.Elapsed(start))
+		return
+	}
+
+	fn, ok := experiments.Drivers[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pivot-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := fn(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Format())
+	fmt.Printf("done in %s\n", experiments.Elapsed(start))
+}

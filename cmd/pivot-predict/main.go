@@ -1,0 +1,88 @@
+// pivot-predict loads a model trained by pivot-train and runs the
+// privacy-preserving prediction protocol over a CSV of samples, reporting
+// accuracy (classification) or MSE (regression) against the labels.
+//
+// Usage:
+//
+//	pivot-predict -model model.json -data test.csv -classes 2 -m 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pivot "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "model JSON from pivot-train")
+	dataPath := flag.String("data", "", "CSV with samples to predict")
+	classes := flag.Int("classes", 0, "number of classes (0 = regression)")
+	m := flag.Int("m", 3, "number of clients (must match training)")
+	limit := flag.Int("limit", 0, "predict only the first N samples (0 = all)")
+	keyBits := flag.Int("keybits", 512, "threshold Paillier key size")
+	flag.Parse()
+
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "pivot-predict: -data is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	model, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	if model.Protocol == core.Enhanced {
+		fmt.Fprintln(os.Stderr, "pivot-predict: enhanced models are bound to their training session's keys; predict inside pivot-train or the library API")
+		os.Exit(2)
+	}
+	ds, err := pivot.LoadCSVFile(*dataPath, *classes)
+	if err != nil {
+		fail(err)
+	}
+	if *limit > 0 && ds.N() > *limit {
+		ds.X = ds.X[:*limit]
+		ds.Y = ds.Y[:*limit]
+	}
+
+	cfg := pivot.DefaultConfig()
+	cfg.KeyBits = *keyBits
+	fed, err := pivot.NewFederation(ds, *m, cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer fed.Close()
+
+	var correct int
+	var sqErr float64
+	for i := 0; i < ds.N(); i++ {
+		pred, err := fed.Predict(model, i)
+		if err != nil {
+			fail(err)
+		}
+		if *classes > 0 {
+			if pred == ds.Y[i] {
+				correct++
+			}
+		} else {
+			d := pred - ds.Y[i]
+			sqErr += d * d
+		}
+	}
+	if *classes > 0 {
+		fmt.Printf("accuracy: %.4f (%d/%d)\n", float64(correct)/float64(ds.N()), correct, ds.N())
+	} else {
+		fmt.Printf("mse: %.6f over %d samples\n", sqErr/float64(ds.N()), ds.N())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pivot-predict:", err)
+	os.Exit(1)
+}

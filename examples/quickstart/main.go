@@ -1,0 +1,52 @@
+// Quickstart: three organizations jointly train a decision tree on
+// vertically partitioned data without revealing features or labels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pivot "repro"
+)
+
+func main() {
+	// A dataset that will be split column-wise across 3 clients; only
+	// client 0 (the "super client") holds the labels.
+	ds := pivot.SyntheticClassification(90, 6, 2, 2.5, 42)
+
+	cfg := pivot.DefaultConfig()
+	cfg.KeyBits = 256 // demo-sized keys; use 1024 in production
+	cfg.Tree = pivot.TreeHyper{MaxDepth: 3, MaxSplits: 4, MinSamplesSplit: 2, LeafOnZeroGain: true}
+
+	fed, err := pivot.NewFederation(ds, 3, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fed.Close()
+
+	model, err := fed.TrainDecisionTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained a tree with %d internal nodes and %d leaves\n",
+		model.InternalNodes(), model.Leaves)
+
+	// Privacy-preserving prediction: the clients jointly evaluate without
+	// any of them seeing the others' feature values.
+	correct := 0
+	const nEval = 20
+	for i := 0; i < nEval; i++ {
+		pred, err := fed.Predict(model, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	fmt.Printf("training-sample accuracy: %d/%d\n", correct, nEval)
+
+	st := fed.Stats()
+	fmt.Printf("protocol cost: %d encryptions, %d threshold decryption shares, %d secure multiplications\n",
+		st.Encryptions, st.DecShares, st.MPC.Mults)
+}

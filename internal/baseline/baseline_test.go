@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/tree"
+)
+
+func TestNPDDTMatchesCentralizedCART(t *testing.T) {
+	ds := dataset.SyntheticClassification(100, 6, 2, 3.0, 11)
+	parts, err := dataset.VerticalPartition(ds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Tree.MaxDepth = 3
+	cfg.Tree.MaxSplits = 4
+	model, st, err := TrainNPDDT(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesSent == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	ref, err := tree.Fit(ds, tree.Hyper{MaxDepth: 3, MaxSplits: 4, MinSamplesSplit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := 0; i < ds.N(); i++ {
+		feat := make([][]float64, 3)
+		for c := 0; c < 3; c++ {
+			feat[c] = parts[c].X[i]
+		}
+		pp, err := model.PredictPlain(feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp == ref.Predict(ds.X[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.N()); frac < 0.95 {
+		t.Fatalf("NPD-DT agrees with centralized CART on only %.0f%%", frac*100)
+	}
+}
+
+func TestNPDDTRegression(t *testing.T) {
+	ds := dataset.SyntheticRegression(80, 4, 0.2, 13)
+	parts, _ := dataset.VerticalPartition(ds, 2, 0)
+	cfg := DefaultConfig()
+	cfg.Tree.MaxDepth = 3
+	model, _, err := TrainNPDDT(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, mseTree, mseMean float64
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(ds.N())
+	for i := 0; i < ds.N(); i++ {
+		feat := [][]float64{parts[0].X[i], parts[1].X[i]}
+		pp, _ := model.PredictPlain(feat)
+		mseTree += (pp - ds.Y[i]) * (pp - ds.Y[i])
+		mseMean += (mean - ds.Y[i]) * (mean - ds.Y[i])
+	}
+	if mseTree >= mseMean {
+		t.Fatalf("NPD-DT regression no better than mean: %v vs %v", mseTree, mseMean)
+	}
+}
+
+func TestSPDZDTClassification(t *testing.T) {
+	ds := dataset.SyntheticClassification(24, 4, 2, 3.0, 17)
+	parts, _ := dataset.VerticalPartition(ds, 2, 0)
+	cfg := DefaultConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.Tree.MaxSplits = 2
+	model, st, err := TrainSPDZDT(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MPC.Mults == 0 {
+		t.Fatal("SPDZ-DT recorded no secure multiplications")
+	}
+	correct := 0
+	for i := 0; i < ds.N(); i++ {
+		feat := [][]float64{parts[0].X[i], parts[1].X[i]}
+		pp, err := model.PredictPlain(feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.N()); acc < 0.8 {
+		t.Fatalf("SPDZ-DT training accuracy %.2f", acc)
+	}
+}
+
+func TestSPDZDTRegression(t *testing.T) {
+	ds := dataset.SyntheticRegression(20, 4, 0.1, 19)
+	parts, _ := dataset.VerticalPartition(ds, 2, 0)
+	cfg := DefaultConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.Tree.MaxSplits = 2
+	model, _, err := TrainSPDZDT(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, mseTree, mseMean float64
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(ds.N())
+	for i := 0; i < ds.N(); i++ {
+		feat := [][]float64{parts[0].X[i], parts[1].X[i]}
+		pp, _ := model.PredictPlain(feat)
+		mseTree += (pp - ds.Y[i]) * (pp - ds.Y[i])
+		mseMean += (mean - ds.Y[i]) * (mean - ds.Y[i])
+	}
+	if mseTree >= mseMean {
+		t.Fatalf("SPDZ-DT regression no better than mean: %v vs %v", mseTree, mseMean)
+	}
+}
+
+func TestSPDZDTUsesManyMoreSharedValuesThanSamples(t *testing.T) {
+	// The defining property vs Pivot: O(nd) shared inputs and O(n·db)
+	// multiplications per node.
+	ds := dataset.SyntheticClassification(20, 4, 2, 2.0, 23)
+	parts, _ := dataset.VerticalPartition(ds, 2, 0)
+	cfg := DefaultConfig()
+	cfg.Tree.MaxDepth = 1
+	cfg.Tree.MaxSplits = 2
+	_, st, err := TrainSPDZDT(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MPC.Mults < int64(ds.N()) {
+		t.Fatalf("expected at least n=%d multiplications, got %d", ds.N(), st.MPC.Mults)
+	}
+}

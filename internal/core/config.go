@@ -1,0 +1,278 @@
+// Package core implements Pivot, the paper's primary contribution: privacy
+// preserving vertical federated training and prediction of tree-based
+// models, using the hybrid TPHE + MPC framework of §3–§5.
+//
+// Every protocol function in this package is single-program-multiple-data:
+// all m clients run the same function on their own Party context, exchanging
+// messages through the transport layer.  Client 0 is the super client (it
+// holds the labels).
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/mpc"
+)
+
+// Protocol selects between the paper's two releases of the trained model.
+type Protocol int
+
+const (
+	// Basic releases the whole tree in plaintext (§4).
+	Basic Protocol = iota
+	// Enhanced conceals split thresholds and leaf labels (§5).
+	Enhanced
+)
+
+func (p Protocol) String() string {
+	if p == Enhanced {
+		return "enhanced"
+	}
+	return "basic"
+}
+
+// SplitCriterion selects the classification impurity measure computed under
+// MPC.  Gini is the paper's CART metric (Eqn 4); Entropy is the ID3/C4.5
+// information-gain variant the paper notes "can be easily generalized"
+// (§2.3), built on the engine's secure logarithm.  Regression always uses
+// label variance (Eqn 6).
+type SplitCriterion int
+
+const (
+	// Gini impurity (the paper's default).
+	Gini SplitCriterion = iota
+	// Entropy / information gain (ID3).
+	Entropy
+	// GainRatio: information gain normalized by the split information
+	// −(w_l·ln w_l + w_r·ln w_r), the C4.5 variant, computed with a secure
+	// logarithm and a secure division per candidate split.
+	GainRatio
+)
+
+func (c SplitCriterion) String() string {
+	switch c {
+	case Entropy:
+		return "entropy"
+	case GainRatio:
+		return "gain-ratio"
+	default:
+		return "gini"
+	}
+}
+
+// TreeHyper are the CART hyper-parameters (Table 4 of the paper).
+type TreeHyper struct {
+	MaxDepth        int // h
+	MaxSplits       int // b
+	MinSamplesSplit int
+	// Criterion selects gini (default) or entropy gains for classification.
+	Criterion SplitCriterion
+	// LeafOnZeroGain stops splitting when the best gain is non-positive
+	// (the open of this one condition bit is public, like the pruning
+	// conditions in Algorithm 3).
+	LeafOnZeroGain bool
+}
+
+// DefaultTreeHyper matches the evaluation defaults (h=4, b=8).
+func DefaultTreeHyper() TreeHyper {
+	return TreeHyper{MaxDepth: 4, MaxSplits: 8, MinSamplesSplit: 2, LeafOnZeroGain: true}
+}
+
+// HideLevel selects how much of the released model the enhanced protocol
+// conceals (§5.2 "Discussion": a privacy / efficiency+interpretability
+// trade-off).  Each level strictly extends the previous one.
+type HideLevel int
+
+const (
+	// HideThreshold is the paper's enhanced protocol: the split threshold of
+	// every internal node and every leaf label are concealed; the owner i*
+	// and feature j* of each internal node stay public.
+	HideThreshold HideLevel = iota
+	// HideFeature additionally conceals the split feature j*: the PIR
+	// selection runs over all of the owner's splits, so colluders learn only
+	// which client owns each internal node.
+	HideFeature
+	// HideClient additionally conceals the owning client i*: the PIR
+	// selection runs over all db splits of all clients, so the released
+	// model reveals nothing but the tree shape.
+	HideClient
+)
+
+func (h HideLevel) String() string {
+	switch h {
+	case HideFeature:
+		return "hide-feature"
+	case HideClient:
+		return "hide-client"
+	default:
+		return "hide-threshold"
+	}
+}
+
+// DPConfig enables differentially private training (§9.2).
+type DPConfig struct {
+	// Epsilon is the per-query budget ε; the whole run satisfies
+	// 2ε(h+1)-DP (Friedman & Schuster composition, as cited in §9.2).
+	Epsilon float64
+}
+
+// Config collects all protocol knobs.
+type Config struct {
+	Protocol Protocol
+	Tree     TreeHyper
+
+	// KeyBits is the threshold Paillier modulus size (paper: 1024 for the
+	// efficiency study, 512 for the accuracy study).
+	KeyBits int
+	// F is the number of fixed-point fractional bits.
+	F uint
+	// Kappa is the statistical masking parameter.
+	Kappa uint
+	// LabelBits bounds |label| < 2^LabelBits (public hyper-parameter needed
+	// to size the statistical masks for regression label sums).
+	LabelBits uint
+
+	// Workers > 1 parallelizes threshold decryption and encryption — the
+	// paper's "-PP" variants (6 cores in §8.3).
+	Workers int
+
+	// Hide selects what the enhanced protocol conceals (ignored under the
+	// basic protocol): the paper's default conceals thresholds and leaf
+	// labels; HideFeature / HideClient implement the §5.2 discussion's
+	// stronger levels at higher cost.
+	Hide HideLevel
+
+	// Malicious enables the §9.1 extension: authenticated MPC shares plus
+	// zero-knowledge proofs on the HE-side messages.
+	Malicious bool
+
+	// DP, if non-nil, enables the §9.2 differential privacy extension.
+	DP *DPConfig
+
+	// ArgmaxTournament replaces the paper's linear oblivious-max scan with
+	// a log-depth tournament (ablation; not part of the paper's protocol).
+	ArgmaxTournament bool
+
+	// Ensemble parameters (§7).
+	NumTrees     int     // W
+	LearningRate float64 // GBDT shrinkage
+	Subsample    float64 // RF bootstrap fraction
+
+	// Seed drives all deterministic randomness (dealer, data order).
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's
+// protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:     Basic,
+		Tree:         DefaultTreeHyper(),
+		KeyBits:      512,
+		F:            16,
+		Kappa:        40,
+		LabelBits:    8,
+		Workers:      1,
+		NumTrees:     4,
+		LearningRate: 0.1,
+		Subsample:    1.0,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyBits == 0 {
+		c.KeyBits = 512
+	}
+	if c.F == 0 {
+		c.F = 16
+	}
+	if c.Kappa == 0 {
+		c.Kappa = 40
+	}
+	if c.LabelBits == 0 {
+		c.LabelBits = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Tree.MaxDepth == 0 {
+		c.Tree = DefaultTreeHyper()
+	}
+	if c.NumTrees == 0 {
+		c.NumTrees = 4
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 1.0
+	}
+	return c
+}
+
+// mpcConfig derives the engine configuration.
+func (c Config) mpcConfig() mpc.Config {
+	return mpc.Config{
+		F:             c.F,
+		Kappa:         c.Kappa,
+		Authenticated: c.Malicious,
+		Seed:          c.Seed,
+		BatchSize:     512,
+	}
+}
+
+// widths derives the bit-width parameters from the sample count.
+type widths struct {
+	count uint // bound on sample counts (log2 n + slack)
+	stat  uint // bound on any converted statistic
+	gain  uint // bound on f-scaled gain values
+	value uint // bound on f-scaled feature/label values
+}
+
+func (c Config) widths(n int) widths {
+	logn := uint(math.Ceil(math.Log2(float64(n+2)))) + 2
+	w := widths{
+		count: logn,
+		stat:  logn + 2*(c.LabelBits+c.F) + 2,
+		gain:  2*c.LabelBits + c.F + 4,
+		value: c.LabelBits + c.F + 4,
+	}
+	return w
+}
+
+// PhaseStats records wall time per protocol phase, mirroring the cost
+// decomposition of Table 2.
+type PhaseStats struct {
+	LocalComputation time.Duration // encrypted statistics via TPHE
+	Conversion       time.Duration // Algorithm 2 (threshold decryptions, C_d)
+	MPCComputation   time.Duration // secure gain + argmax (C_s, C_c)
+	ModelUpdate      time.Duration // mask vector updates
+}
+
+// Add accumulates other into s.
+func (s *PhaseStats) Add(other PhaseStats) {
+	s.LocalComputation += other.LocalComputation
+	s.Conversion += other.Conversion
+	s.MPCComputation += other.MPCComputation
+	s.ModelUpdate += other.ModelUpdate
+}
+
+// Total returns the summed phase time.
+func (s *PhaseStats) Total() time.Duration {
+	return s.LocalComputation + s.Conversion + s.MPCComputation + s.ModelUpdate
+}
+
+// RunStats aggregates everything a training/prediction run produced.
+type RunStats struct {
+	Phases       PhaseStats
+	Wall         time.Duration
+	Encryptions  int64
+	DecShares    int64 // partial decryptions performed (C_d events)
+	HEOps        int64 // homomorphic mults/adds on ciphertexts
+	MPC          mpc.OpStats
+	BytesSent    int64
+	MessagesSent int64
+	TreesTrained int
+	NodesTrained int
+}

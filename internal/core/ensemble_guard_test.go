@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// §7 releases ensemble trees in plaintext; an enhanced-protocol config must
+// be rejected up front rather than silently mispredicting on concealed
+// thresholds.
+func TestEnsembleRejectsEnhancedProtocol(t *testing.T) {
+	ds := smallClassification(20)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+
+	newSession := func() *Session {
+		parts, err := dataset.VerticalPartition(ds, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(parts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+
+	if err := newSession().Each(func(p *Party) error {
+		_, err := p.TrainRF()
+		return err
+	}); err == nil {
+		t.Fatal("TrainRF accepted the enhanced protocol")
+	}
+	if err := newSession().Each(func(p *Party) error {
+		_, err := p.TrainGBDT()
+		return err
+	}); err == nil {
+		t.Fatal("TrainGBDT accepted the enhanced protocol")
+	}
+}

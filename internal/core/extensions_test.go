@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestDPTrainingProducesValidModel(t *testing.T) {
+	ds := smallClassification(40)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.DP = &DPConfig{Epsilon: 4.0} // generous budget: model should be sane
+	_, parts, model := trainSession(t, ds, 2, cfg)
+
+	if len(model.Nodes) == 0 {
+		t.Fatal("empty DP model")
+	}
+	// With a large ε the DP model should still classify well above chance.
+	correct := 0
+	for i := 0; i < ds.N(); i++ {
+		feat := [][]float64{parts[0].X[i], parts[1].X[i]}
+		pp, err := model.PredictPlain(feat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.N()); acc < 0.6 {
+		t.Fatalf("DP (ε=4) accuracy %.2f below 0.6", acc)
+	}
+}
+
+func TestDPLeafLabelsAreValidClasses(t *testing.T) {
+	ds := smallClassification(30)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.DP = &DPConfig{Epsilon: 1.0}
+	_, _, model := trainSession(t, ds, 2, cfg)
+	for _, n := range model.Nodes {
+		if n.Leaf && (n.Label < 0 || n.Label > 1) {
+			t.Fatalf("DP leaf label %v outside class range", n.Label)
+		}
+	}
+}
+
+func TestMaliciousHonestRunSucceeds(t *testing.T) {
+	ds := dataset.SyntheticClassification(16, 4, 2, 3.0, 3)
+	cfg := testConfig()
+	cfg.Malicious = true
+	cfg.Tree.MaxDepth = 2
+	cfg.Tree.MaxSplits = 2
+	_, parts, model := trainSession(t, ds, 2, cfg)
+	if model.InternalNodes() == 0 {
+		t.Fatal("malicious-mode model did not split")
+	}
+	// Model must still be usable.
+	feat := [][]float64{parts[0].X[0], parts[1].X[0]}
+	if _, err := model.PredictPlain(feat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaliciousMatchesSemiHonestShape(t *testing.T) {
+	ds := dataset.SyntheticClassification(16, 4, 2, 3.0, 5)
+	base := testConfig()
+	base.Tree.MaxDepth = 2
+	base.Tree.MaxSplits = 2
+
+	_, _, semiModel := trainSession(t, ds, 2, base)
+
+	mal := base
+	mal.Malicious = true
+	_, _, malModel := trainSession(t, ds, 2, mal)
+
+	// Identical data, hyper-parameters and deterministic split candidates:
+	// the trees should pick the same split structure.
+	if semiModel.InternalNodes() != malModel.InternalNodes() {
+		t.Fatalf("internal node count differs: %d vs %d",
+			semiModel.InternalNodes(), malModel.InternalNodes())
+	}
+	for i := range semiModel.Nodes {
+		a, b := semiModel.Nodes[i], malModel.Nodes[i]
+		if a.Leaf != b.Leaf || (!a.Leaf && (a.Owner != b.Owner || a.Feature != b.Feature)) {
+			t.Fatalf("node %d structure differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ds := smallClassification(30)
+	_, _, model := trainSession(t, ds, 2, testConfig())
+	var sb strings.Builder
+	if err := model.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nodes) != len(model.Nodes) || back.Leaves != model.Leaves {
+		t.Fatal("model round trip changed shape")
+	}
+	for i := range model.Nodes {
+		if model.Nodes[i].Threshold != back.Nodes[i].Threshold ||
+			model.Nodes[i].Label != back.Nodes[i].Label {
+			t.Fatalf("node %d changed in round trip", i)
+		}
+	}
+}
+
+func TestModelDepthAndLeafLabels(t *testing.T) {
+	ds := smallClassification(40)
+	cfg := testConfig()
+	_, _, model := trainSession(t, ds, 2, cfg)
+	if d := model.Depth(); d > cfg.Tree.MaxDepth {
+		t.Fatalf("depth %d exceeds configured max %d", d, cfg.Tree.MaxDepth)
+	}
+	z := model.LeafLabels()
+	if len(z) != model.Leaves {
+		t.Fatalf("leaf vector length %d != %d", len(z), model.Leaves)
+	}
+}

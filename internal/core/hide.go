@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+)
+
+// The §5.2 "Discussion" hide levels.  HideFeature conceals the split feature
+// j* by running the private split selection over all of the owner's splits;
+// HideClient additionally conceals the owner i* by running it over all db
+// splits of all clients.  Both reuse the enhanced protocol's machinery: an
+// oblivious equality ladder turns the shared flat index into the encrypted
+// PIR vector [λ], owners select split indicators and thresholds under
+// encryption, and the encrypted mask vector is updated by Eqn (10).
+//
+// Because the per-feature split counts are public (they are exchanged during
+// session bring-up), every client can also derive the encrypted *feature
+// selector* [φ] from [λ] by homomorphic summation: φ_j = Σ_{s ∈ feature j}
+// λ_s is the one-hot (under encryption) of the winning feature.  [φ] is
+// stored in the model node and lets prediction obliviously select the
+// feature value to compare, without ever revealing j* (or i*).
+
+// flatSplit enumerates this client's splits in owner-local flat order.
+type flatSplit struct {
+	j, s int
+}
+
+func (p *Party) localFlatSplits() []flatSplit {
+	var out []flatSplit
+	for j := range p.indic {
+		for s := range p.indic[j] {
+			out = append(out, flatSplit{j, s})
+		}
+	}
+	return out
+}
+
+// updateEnhancedHidden is the model update step for HideFeature (iStar >= 0)
+// and HideClient (iStar < 0).  flat is the shared PIR index: owner-local for
+// HideFeature, global for HideClient.
+func (p *Party) updateEnhancedHidden(model *Model, nd nodeData, iStar int, flat mpc.Share, depth int) (int, error) {
+	node := Node{Owner: iStar, Feature: -1}
+	n := len(nd.alpha)
+	nPrime := p.totalSplits()
+	if iStar >= 0 {
+		nPrime = p.clientSplits(iStar)
+	}
+
+	var left, right nodeData
+	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		// ⟨λ_t⟩ = ⟨1{flat == t}⟩ for t in [0, n').
+		diffs := make([]mpc.Share, nPrime)
+		for t := 0; t < nPrime; t++ {
+			diffs[t] = p.eng.AddConst(flat, big.NewInt(-int64(t)))
+		}
+		kEq := uint(bitsFor(nPrime)) + 3
+		lamShares := p.eng.EQZVec(diffs, kEq)
+
+		// [λ] must reach every contributing client: the owner under
+		// HideFeature, all clients under HideClient.  shareToEnc already
+		// broadcasts the combined ciphertexts to everyone.
+		combiner := iStar
+		if combiner < 0 {
+			combiner = p.Super
+		}
+		encLam, err := p.shareToEnc(lamShares, 4, combiner)
+		if err != nil {
+			return err
+		}
+
+		// Split-indicator and threshold selection.  Each contributing
+		// client computes the partial dot products over its own segment of
+		// [λ]; partials are broadcast and summed homomorphically, so the
+		// final [v] and [τ] are identical at every client.
+		encV, encTau, err := p.selectHidden(iStar, encLam, n)
+		if err != nil {
+			return err
+		}
+		node.EncThreshold = encTau
+
+		// Feature selectors are public functions of [λ] (split counts are
+		// public), so every client derives them locally, no messages.
+		node.EncFeatSel = p.featureSelectors(iStar, encLam)
+
+		// Encrypted mask vector update, Eqn (10).
+		left.alpha, err = p.encMaskedProduct(nd.alpha, encV, combiner)
+		if err != nil {
+			return err
+		}
+		right.alpha = make([]*paillier.Ciphertext, n)
+		for t := 0; t < n; t++ {
+			right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
+		}
+		p.Stats.HEOps += int64(n)
+		return nil
+	})
+	if err != nil {
+		return 0, p.errf("hidden model update (%s): %v", p.cfg.Hide, err)
+	}
+
+	idx := len(model.Nodes)
+	model.Nodes = append(model.Nodes, node)
+	l, err := p.buildNode(model, left, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := p.buildNode(model, right, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	model.Nodes[idx].Left = l
+	model.Nodes[idx].Right = r
+	return idx, nil
+}
+
+// selectHidden computes [v] = V ⊗ [λ] and [τ] under the hidden regimes.
+// For HideFeature (iStar >= 0) only the owner holds V rows; for HideClient
+// every client contributes the segment of the dot product covered by its own
+// splits, and the partials are summed homomorphically.
+func (p *Party) selectHidden(iStar int, encLam []*paillier.Ciphertext, n int) ([]*paillier.Ciphertext, *paillier.Ciphertext, error) {
+	mine := iStar < 0 || iStar == p.ID
+	var partV []*paillier.Ciphertext
+	var partTau *paillier.Ciphertext
+	if mine {
+		// My segment of [λ]: all of it under HideFeature (I am the owner);
+		// my own global slice under HideClient.
+		seg := encLam
+		if iStar < 0 {
+			base := p.clientBase(p.ID)
+			seg = encLam[base : base+p.clientSplits(p.ID)]
+		}
+		splits := p.localFlatSplits()
+		if len(splits) != len(seg) {
+			return nil, nil, p.errf("hidden selection: %d local splits vs %d lambda entries", len(splits), len(seg))
+		}
+		partV = make([]*paillier.Ciphertext, n)
+		for t := 0; t < n; t++ {
+			row := make([]*big.Int, len(splits))
+			for fs, sp := range splits {
+				row[fs] = p.indic[sp.j][sp.s][t]
+			}
+			ct, err := p.dotRerand(row, seg)
+			if err != nil {
+				return nil, nil, err
+			}
+			partV[t] = ct
+		}
+		taus := make([]*big.Int, len(splits))
+		for fs, sp := range splits {
+			taus[fs] = p.cod.Encode(p.cands[sp.j][sp.s])
+		}
+		var err error
+		partTau, err = p.dotRerand(taus, seg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if iStar >= 0 {
+		// HideFeature: the owner's partials are the final values.
+		if mine {
+			if err := p.broadcastCts(append(append([]*paillier.Ciphertext{}, partV...), partTau)); err != nil {
+				return nil, nil, err
+			}
+			return partV, partTau, nil
+		}
+		cts, err := p.recvCts(iStar)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cts[:n], cts[n], nil
+	}
+
+	// HideClient: broadcast partials, sum all clients' contributions.
+	if err := p.broadcastCts(append(append([]*paillier.Ciphertext{}, partV...), partTau)); err != nil {
+		return nil, nil, err
+	}
+	encV := partV
+	encTau := partTau
+	for c := 0; c < p.M; c++ {
+		if c == p.ID {
+			continue
+		}
+		cts, err := p.recvCts(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		for t := 0; t < n; t++ {
+			encV[t] = p.pk.Add(encV[t], cts[t])
+		}
+		encTau = p.pk.Add(encTau, cts[n])
+	}
+	p.Stats.HEOps += int64((n + 1) * (p.M - 1))
+	return encV, encTau, nil
+}
+
+// featureSelectors derives, for every contributing client, the encrypted
+// one-hot feature selector [φ^c] from [λ]: φ^c_j sums the λ entries of
+// feature j's candidate splits.  The summation structure is public (split
+// counts), so this is a local deterministic computation at every client and
+// the resulting ciphertexts are bit-identical everywhere.
+func (p *Party) featureSelectors(iStar int, encLam []*paillier.Ciphertext) [][]*paillier.Ciphertext {
+	sels := make([][]*paillier.Ciphertext, p.M)
+	for c := 0; c < p.M; c++ {
+		if iStar >= 0 && c != iStar {
+			continue
+		}
+		base := 0
+		if iStar < 0 {
+			base = p.clientBase(c)
+		}
+		phi := make([]*paillier.Ciphertext, len(p.splitCounts[c]))
+		pos := base
+		for j, cnt := range p.splitCounts[c] {
+			if cnt == 0 {
+				// A feature with no candidate splits can never win; its
+				// selector entry is a deterministic zero.
+				phi[j] = p.pk.ZeroDeterministic()
+				continue
+			}
+			phi[j] = p.foldAdd(encLam[pos : pos+cnt])
+			pos += cnt
+		}
+		sels[c] = phi
+	}
+	return sels
+}

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+// Party is one client's context for a protocol session.  Client 0 is the
+// super client.  A Party is bound to one network endpoint and one MPC
+// engine; protocol functions on it run SPMD across all clients.
+type Party struct {
+	ID    int
+	M     int
+	Super int
+
+	ep  transport.Endpoint
+	eng *mpc.Engine
+	pk  *paillier.PublicKey
+	key *paillier.PartialKey
+
+	part *dataset.Partition
+	cfg  Config
+	cod  *fixed.Codec
+	w    widths
+
+	// Local split structures (private to this client):
+	cands [][]float64 // candidate thresholds per local feature
+	indic [][][]*big.Int
+	// indic[j][s][t] = 1 iff sample t goes left under split s of feature j
+
+	// Public split bookkeeping replicated at every client:
+	splitCounts [][]int // [client][feature] -> number of candidate splits
+	splitIDs    [][]int64
+	// splitIDs is the canonical flat order of all db splits; each entry is
+	// (i, j, s, g) where g is the global flat index — the hide-level
+	// extension keeps g shared when i/j/s must stay concealed
+
+	Stats RunStats
+
+	// Malicious-model state (nil when cfg.Malicious is false).
+	audit *auditor
+
+	// shared caches the converted enhanced model for prediction.
+	shared *SharedModel
+
+	// captureLeaves makes training record each leaf's encrypted mask
+	// vector; the GBDT extension uses them to form encrypted estimations.
+	captureLeaves bool
+	leafAlphas    [][]*paillier.Ciphertext
+}
+
+// NewParty binds a client to the session.  parts is this client's vertical
+// partition; keys come from the initialization stage (§3.4).
+func NewParty(ep transport.Endpoint, part *dataset.Partition, pk *paillier.PublicKey,
+	key *paillier.PartialKey, m int, cfg Config) (*Party, error) {
+	cfg = cfg.withDefaults()
+	eng, err := mpc.NewEngine(ep, cfg.mpcConfig())
+	if err != nil {
+		return nil, err
+	}
+	p := &Party{
+		ID: part.Client, M: m, Super: 0,
+		ep: ep, eng: eng, pk: pk, key: key,
+		part: part, cfg: cfg,
+		cod: fixed.New(cfg.F),
+		w:   cfg.widths(part.N),
+	}
+	if cfg.Malicious {
+		p.audit = newAuditor(p)
+	}
+	p.prepareSplits()
+	if err := p.exchangeSplitCounts(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Close shuts down the dealer (party 0 only; idempotent).
+func (p *Party) Close() { p.eng.Shutdown() }
+
+// Engine exposes the MPC engine (used by the baselines and tests).
+func (p *Party) Engine() *mpc.Engine { return p.eng }
+
+// prepareSplits computes the local candidate thresholds and the left-branch
+// indicator vector v_l for every (feature, split) pair (§4.1).
+func (p *Party) prepareSplits() {
+	d := len(p.part.Features)
+	p.cands = make([][]float64, d)
+	p.indic = make([][][]*big.Int, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, p.part.N)
+		for t := range col {
+			col[t] = p.part.X[t][j]
+		}
+		p.cands[j] = dataset.SplitCandidates(col, p.cfg.Tree.MaxSplits)
+		p.indic[j] = make([][]*big.Int, len(p.cands[j]))
+		for s, tau := range p.cands[j] {
+			v := make([]*big.Int, p.part.N)
+			for t := range v {
+				if col[t] <= tau {
+					v[t] = big.NewInt(1)
+				} else {
+					v[t] = big.NewInt(0)
+				}
+			}
+			p.indic[j][s] = v
+		}
+	}
+}
+
+// exchangeSplitCounts publishes per-feature candidate-split counts so every
+// client can enumerate the db total splits (their values stay private).
+func (p *Party) exchangeSplitCounts() error {
+	mine := make([]*big.Int, len(p.cands))
+	for j := range p.cands {
+		mine[j] = big.NewInt(int64(len(p.cands[j])))
+	}
+	if err := p.broadcastInts(mine); err != nil {
+		return err
+	}
+	p.splitCounts = make([][]int, p.M)
+	for c := 0; c < p.M; c++ {
+		var counts []*big.Int
+		if c == p.ID {
+			counts = mine
+		} else {
+			var err error
+			counts, err = transport.RecvInts(p.ep, c)
+			if err != nil {
+				return err
+			}
+		}
+		p.splitCounts[c] = make([]int, len(counts))
+		for j, v := range counts {
+			p.splitCounts[c][j] = int(v.Int64())
+		}
+	}
+	p.splitIDs = nil
+	g := int64(0)
+	for c := 0; c < p.M; c++ {
+		for j, cnt := range p.splitCounts[c] {
+			for s := 0; s < cnt; s++ {
+				p.splitIDs = append(p.splitIDs, []int64{int64(c), int64(j), int64(s), g})
+				g++
+			}
+		}
+	}
+	return nil
+}
+
+// totalSplits returns the paper's db (total candidate splits).
+func (p *Party) totalSplits() int { return len(p.splitIDs) }
+
+// clientSplits returns the number of candidate splits client c holds.
+func (p *Party) clientSplits(c int) int {
+	total := 0
+	for _, cnt := range p.splitCounts[c] {
+		total += cnt
+	}
+	return total
+}
+
+// clientBase returns the global flat index of client c's first split.
+func (p *Party) clientBase(c int) int {
+	base := 0
+	for cc := 0; cc < c; cc++ {
+		base += p.clientSplits(cc)
+	}
+	return base
+}
+
+// ---------------------------------------------------------------------------
+// HE-layer messaging helpers (compute parties only; never the dealer)
+
+func (p *Party) broadcastInts(xs []*big.Int) error {
+	b := transport.MarshalInts(xs)
+	for c := 0; c < p.M; c++ {
+		if c == p.ID {
+			continue
+		}
+		if err := p.ep.Send(c, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Party) broadcastCts(cts []*paillier.Ciphertext) error {
+	return p.broadcastInts(paillier.MarshalCiphertexts(cts))
+}
+
+func (p *Party) sendCts(to int, cts []*paillier.Ciphertext) error {
+	return transport.SendInts(p.ep, to, paillier.MarshalCiphertexts(cts))
+}
+
+func (p *Party) recvCts(from int) ([]*paillier.Ciphertext, error) {
+	xs, err := transport.RecvInts(p.ep, from)
+	if err != nil {
+		return nil, err
+	}
+	return paillier.UnmarshalCiphertexts(xs), nil
+}
+
+// encryptVec encrypts with stats accounting and the configured parallelism.
+func (p *Party) encryptVec(xs []*big.Int) ([]*paillier.Ciphertext, error) {
+	p.Stats.Encryptions += int64(len(xs))
+	return p.pk.EncryptVec(rand.Reader, xs, p.cfg.Workers)
+}
+
+func (p *Party) encryptInt64(v int64) (*paillier.Ciphertext, error) {
+	p.Stats.Encryptions++
+	return p.pk.EncryptInt64(rand.Reader, v)
+}
+
+// jointDecryptTo decrypts a ciphertext batch so that only `to` learns the
+// plaintexts (everyone partial-decrypts; shares flow to `to`).
+func (p *Party) jointDecryptTo(to int, cts []*paillier.Ciphertext) ([]*big.Int, error) {
+	shares := p.key.PartialDecryptVec(p.pk, cts, p.cfg.Workers)
+	p.Stats.DecShares += int64(len(cts))
+	if p.ID != to {
+		return nil, transport.SendInts(p.ep, to, paillier.MarshalShares(shares))
+	}
+	byParty := make([][]*paillier.DecryptionShare, p.M)
+	byParty[p.ID] = shares
+	for c := 0; c < p.M; c++ {
+		if c == p.ID {
+			continue
+		}
+		xs, err := transport.RecvInts(p.ep, c)
+		if err != nil {
+			return nil, err
+		}
+		byParty[c] = paillier.UnmarshalShares(c, xs)
+	}
+	return p.pk.CombineSharesVec(byParty, p.cfg.Workers)
+}
+
+// jointDecryptAll decrypts a batch so every client learns the plaintexts
+// (all-to-all share exchange).
+func (p *Party) jointDecryptAll(cts []*paillier.Ciphertext) ([]*big.Int, error) {
+	shares := p.key.PartialDecryptVec(p.pk, cts, p.cfg.Workers)
+	p.Stats.DecShares += int64(len(cts))
+	if err := p.broadcastInts(paillier.MarshalShares(shares)); err != nil {
+		return nil, err
+	}
+	byParty := make([][]*paillier.DecryptionShare, p.M)
+	byParty[p.ID] = shares
+	for c := 0; c < p.M; c++ {
+		if c == p.ID {
+			continue
+		}
+		xs, err := transport.RecvInts(p.ep, c)
+		if err != nil {
+			return nil, err
+		}
+		byParty[c] = paillier.UnmarshalShares(c, xs)
+	}
+	return p.pk.CombineSharesVec(byParty, p.cfg.Workers)
+}
+
+// ---------------------------------------------------------------------------
+// TPHE <-> MPC bridges
+
+// encToShares is Algorithm 2, batched and made sign-safe: each ciphertext
+// [x] with |x| < 2^(kStat-1) becomes a secretly shared ⟨x⟩.  Every client
+// adds an encrypted statistical mask, the masked sum is threshold-decrypted
+// to the super client, and shares are the masks' negations.  The ciphertexts
+// must be known to the super client (callers ship them there first).
+func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) ([]mpc.Share, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	maskW := kStat + p.cfg.Kappa
+	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
+
+	// Every client samples and encrypts its mask vector.
+	masks := make([]*big.Int, count)
+	bound := new(big.Int).Lsh(big.NewInt(1), maskW)
+	for j := range masks {
+		r, err := rand.Int(rand.Reader, bound)
+		if err != nil {
+			return nil, err
+		}
+		masks[j] = r
+	}
+	encMasks, err := p.encryptVec(masks)
+	if err != nil {
+		return nil, err
+	}
+	var maskProofs []*big.Int
+	if p.audit != nil && p.ID != p.Super {
+		maskProofs, err = p.audit.proveMasks(encMasks, masks)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Super aggregates [e] = [x + offset + Σ r_i] and broadcasts it for
+	// threshold decryption.
+	var encE []*paillier.Ciphertext
+	if p.ID == p.Super {
+		encE = make([]*paillier.Ciphertext, count)
+		for j := range encE {
+			acc := p.pk.AddPlain(cts[j], offset)
+			acc = p.pk.Add(acc, encMasks[j])
+			encE[j] = acc
+		}
+		for c := 0; c < p.M; c++ {
+			if c == p.Super {
+				continue
+			}
+			theirs, err := p.recvCts(c)
+			if err != nil {
+				return nil, err
+			}
+			if p.audit != nil {
+				if err := p.audit.verifyMasks(c, theirs); err != nil {
+					return nil, err
+				}
+			}
+			for j := range encE {
+				encE[j] = p.pk.Add(encE[j], theirs[j])
+			}
+		}
+		p.Stats.HEOps += int64(count * p.M)
+		if err := p.broadcastCts(encE); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.sendCts(p.Super, encMasks); err != nil {
+			return nil, err
+		}
+		if p.audit != nil {
+			if err := transport.SendInts(p.ep, p.Super, maskProofs); err != nil {
+				return nil, err
+			}
+		}
+		encE, err = p.recvCts(p.Super)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	es, err := p.jointDecryptTo(p.Super, encE)
+	if err != nil {
+		return nil, err
+	}
+
+	shares := make([]mpc.Share, count)
+	for j := range shares {
+		var v *big.Int
+		if p.ID == p.Super {
+			v = new(big.Int).Sub(es[j], masks[j])
+		} else {
+			v = new(big.Int).Neg(masks[j])
+		}
+		shares[j] = mpc.Share{V: mpc.ToField(v)}
+	}
+	// Remove the sign offset inside the field.
+	negOff := new(big.Int).Neg(offset)
+	for j := range shares {
+		shares[j] = p.eng.AddConst(p.rawShare(shares[j]), negOff)
+	}
+	if p.cfg.Malicious {
+		return p.authenticateShares(shares)
+	}
+	return shares, nil
+}
+
+// rawShare attaches a zero MAC placeholder in semi-honest mode (no-op) —
+// in malicious mode raw conversion shares are re-authenticated below.
+func (p *Party) rawShare(s mpc.Share) mpc.Share {
+	if !p.cfg.Malicious {
+		return s
+	}
+	// Temporary unauthenticated share; M is filled by authenticateShares.
+	if s.M == nil {
+		s.M = new(big.Int)
+	}
+	return s
+}
+
+// authenticateShares re-inputs raw conversion shares through the
+// authenticated input protocol so the SPDZ MACs cover them (§9.1.1,
+// "modified MPC conversion": the shares are committed before use).
+func (p *Party) authenticateShares(raw []mpc.Share) ([]mpc.Share, error) {
+	count := len(raw)
+	sum := make([]mpc.Share, count)
+	for c := 0; c < p.M; c++ {
+		vals := make([]*big.Int, count)
+		if p.ID == c {
+			for j := range vals {
+				vals[j] = raw[j].V
+			}
+		}
+		in := p.eng.InputVec(c, vals)
+		for j := range in {
+			if sum[j].V == nil {
+				sum[j] = in[j]
+			} else {
+				sum[j] = p.eng.Add(sum[j], in[j])
+			}
+		}
+	}
+	return sum, nil
+}
+
+// encToIntShares runs the conversion but returns plain *integer* additive
+// shares of x + 2^(kStat-1) (exact over ℤ, not mod Q).  These integers can
+// be used as exponents on ciphertexts — the trick behind the enhanced
+// protocol's encrypted mask update, Eqn (10).
+func (p *Party) encToIntShares(cts []*paillier.Ciphertext, kStat uint) ([]*big.Int, *big.Int, error) {
+	count := len(cts)
+	maskW := kStat + p.cfg.Kappa
+	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
+	masks := make([]*big.Int, count)
+	bound := new(big.Int).Lsh(big.NewInt(1), maskW)
+	for j := range masks {
+		r, err := rand.Int(rand.Reader, bound)
+		if err != nil {
+			return nil, nil, err
+		}
+		masks[j] = r
+	}
+	encMasks, err := p.encryptVec(masks)
+	if err != nil {
+		return nil, nil, err
+	}
+	var encE []*paillier.Ciphertext
+	if p.ID == p.Super {
+		encE = make([]*paillier.Ciphertext, count)
+		for j := range encE {
+			acc := p.pk.AddPlain(cts[j], offset)
+			acc = p.pk.Add(acc, encMasks[j])
+			encE[j] = acc
+		}
+		for c := 0; c < p.M; c++ {
+			if c == p.Super {
+				continue
+			}
+			theirs, err := p.recvCts(c)
+			if err != nil {
+				return nil, nil, err
+			}
+			for j := range encE {
+				encE[j] = p.pk.Add(encE[j], theirs[j])
+			}
+		}
+		if err := p.broadcastCts(encE); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if err := p.sendCts(p.Super, encMasks); err != nil {
+			return nil, nil, err
+		}
+		encE, err = p.recvCts(p.Super)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	es, err := p.jointDecryptTo(p.Super, encE)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*big.Int, count)
+	for j := range out {
+		if p.ID == p.Super {
+			out[j] = new(big.Int).Sub(es[j], masks[j])
+		} else {
+			out[j] = new(big.Int).Neg(masks[j])
+		}
+	}
+	return out, offset, nil
+}
+
+// shareToEnc converts secretly shared values (|x| < 2^(kStat-1)) into
+// threshold-Paillier ciphertexts held by every client: the shares are masked
+// by dealer integers, opened, and the combiner strips the encrypted masks
+// (§5.2 "each client encrypts her own share ... summing up these encrypted
+// shares", with integer masking so no modular wrap occurs).
+func (p *Party) shareToEnc(shares []mpc.Share, kStat uint, combiner int) ([]*paillier.Ciphertext, error) {
+	count := len(shares)
+	if count == 0 {
+		return nil, nil
+	}
+	maskW := kStat + p.cfg.Kappa
+	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
+	masks := p.eng.EncMasks(count, maskW)
+	masked := make([]mpc.Share, count)
+	for j := range masked {
+		masked[j] = p.eng.Add(p.eng.AddConst(shares[j], offset), masks[j].Share)
+	}
+	ws := p.eng.OpenVec(masked) // exact integers: x + offset + Σ R_i < Q
+
+	plains := make([]*big.Int, count)
+	for j := range plains {
+		plains[j] = masks[j].Plain
+	}
+	encMine, err := p.encryptVec(plains)
+	if err != nil {
+		return nil, err
+	}
+	var out []*paillier.Ciphertext
+	if p.ID == combiner {
+		out = make([]*paillier.Ciphertext, count)
+		for j := range out {
+			w := new(big.Int).Sub(ws[j], offset)
+			w.Sub(w, masks[j].Plain)
+			ct, err := p.pk.Encrypt(rand.Reader, w)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = ct
+		}
+		p.Stats.Encryptions += int64(count)
+		for c := 0; c < p.M; c++ {
+			if c == combiner {
+				continue
+			}
+			theirs, err := p.recvCts(c)
+			if err != nil {
+				return nil, err
+			}
+			for j := range out {
+				out[j] = p.pk.Sub(out[j], theirs[j])
+			}
+		}
+		p.Stats.HEOps += int64(count * p.M)
+		if err := p.broadcastCts(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := p.sendCts(combiner, encMine); err != nil {
+		return nil, err
+	}
+	return p.recvCts(combiner)
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+
+// timed runs fn and adds its duration to the given phase bucket.
+func timed(bucket *time.Duration, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	*bucket += time.Since(start)
+	return err
+}
+
+// gatherStats folds the transport and engine counters into p.Stats.
+func (p *Party) gatherStats() {
+	p.Stats.MPC = p.eng.Stats
+	p.Stats.BytesSent = p.ep.Stats().BytesSent.Load()
+	p.Stats.MessagesSent = p.ep.Stats().MsgsSent.Load()
+}
+
+func (p *Party) errf(format string, args ...any) error {
+	return fmt.Errorf("client %d: %s", p.ID, fmt.Sprintf(format, args...))
+}

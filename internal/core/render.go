@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Model rendering for interpretability — the property the paper's
+// introduction motivates tree models with.  What a rendering may show
+// depends on the protocol: basic models print thresholds and labels, the
+// enhanced protocol's concealed fields render as placeholders, and the §5.2
+// hide levels blank out the feature and owner too.
+
+// nodeLabel renders one node the way an adversary holding the released
+// model would see it.
+func (m *Model) nodeLabel(i int) string {
+	n := m.Nodes[i]
+	if n.Leaf {
+		if n.EncLabel != nil {
+			return "label=⟨encrypted⟩"
+		}
+		return fmt.Sprintf("label=%g", n.Label)
+	}
+	owner := fmt.Sprintf("client %d", n.Owner)
+	if n.Owner < 0 {
+		owner = "client ?"
+	}
+	feature := fmt.Sprintf("feature %d", n.Feature)
+	if n.Feature < 0 {
+		feature = "feature ?"
+	}
+	thr := fmt.Sprintf("<= %g", n.Threshold)
+	if n.EncThreshold != nil {
+		thr = "<= ⟨encrypted⟩"
+	}
+	return fmt.Sprintf("%s / %s %s", owner, feature, thr)
+}
+
+// String renders the tree as an indented outline.
+func (m *Model) String() string {
+	if len(m.Nodes) == 0 {
+		return "(empty model)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pivot %s model (%d internal, %d leaves", m.Protocol, m.InternalNodes(), m.Leaves)
+	if m.Protocol == Enhanced {
+		fmt.Fprintf(&sb, ", %s", m.Hide)
+	}
+	sb.WriteString(")\n")
+	var walk func(i, depth int, edge string)
+	walk = func(i, depth int, edge string) {
+		fmt.Fprintf(&sb, "%s%s%s\n", strings.Repeat("  ", depth), edge, m.nodeLabel(i))
+		if n := m.Nodes[i]; !n.Leaf {
+			walk(n.Left, depth+1, "├─yes: ")
+			walk(n.Right, depth+1, "└─no:  ")
+		}
+	}
+	walk(0, 0, "")
+	return sb.String()
+}
+
+// Dot renders the tree in Graphviz dot format (concealed fields appear as
+// placeholders, exactly as in String).
+func (m *Model) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph pivot {\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for i, n := range m.Nodes {
+		shape := ""
+		if n.Leaf {
+			shape = ", style=rounded"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q%s];\n", i, m.nodeLabel(i), shape)
+	}
+	for i, n := range m.Nodes {
+		if n.Leaf {
+			continue
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"yes\"];\n", i, n.Left)
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"no\"];\n", i, n.Right)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// SplitCounts returns, per public (owner, feature) pair, how many internal
+// nodes split on it — the feature-usage summary available from a released
+// model.  Gain-based importances are deliberately unavailable: the protocol
+// never opens per-split gains, so a released Pivot model discloses split
+// structure only.  Nodes whose owner or feature is concealed (§5.2 hide
+// levels) are counted under {-1, -1}.
+func (m *Model) SplitCounts() map[[2]int]int {
+	out := make(map[[2]int]int)
+	for _, n := range m.Nodes {
+		if n.Leaf {
+			continue
+		}
+		key := [2]int{n.Owner, n.Feature}
+		if n.Feature < 0 {
+			key = [2]int{-1, -1}
+			if n.Owner >= 0 {
+				key[0] = n.Owner
+			}
+		}
+		out[key]++
+	}
+	return out
+}

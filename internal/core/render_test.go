@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendersBasicModelPlaintext(t *testing.T) {
+	ds := smallClassification(30)
+	_, _, model := trainSession(t, ds, 2, testConfig())
+	out := model.String()
+	if !strings.Contains(out, "basic") {
+		t.Errorf("rendering missing protocol name:\n%s", out)
+	}
+	if !strings.Contains(out, "client 0") && !strings.Contains(out, "client 1") {
+		t.Errorf("rendering missing owners:\n%s", out)
+	}
+	if strings.Contains(out, "encrypted") || strings.Contains(out, "?") {
+		t.Errorf("basic model rendering should have no placeholders:\n%s", out)
+	}
+}
+
+func TestStringRendersConcealment(t *testing.T) {
+	ds := smallClassification(30)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Hide = HideClient
+	cfg.Tree.MaxDepth = 2
+	_, _, model := trainSession(t, ds, 2, cfg)
+	out := model.String()
+	if !strings.Contains(out, "client ?") || !strings.Contains(out, "feature ?") {
+		t.Errorf("hide-client rendering leaks identity:\n%s", out)
+	}
+	if !strings.Contains(out, "⟨encrypted⟩") {
+		t.Errorf("hidden thresholds/labels should render as encrypted:\n%s", out)
+	}
+	for _, forbidden := range []string{"label=0", "label=1"} {
+		if strings.Contains(out, forbidden) {
+			t.Errorf("concealed rendering shows %q:\n%s", forbidden, out)
+		}
+	}
+}
+
+func TestDotIsWellFormed(t *testing.T) {
+	ds := smallClassification(30)
+	_, _, model := trainSession(t, ds, 2, testConfig())
+	dot := model.Dot()
+	if !strings.HasPrefix(dot, "digraph pivot {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a dot digraph:\n%s", dot)
+	}
+	// Two labelled edges per internal node; one labelled statement per node
+	// or edge.
+	edges := strings.Count(dot, "->")
+	if want := 2 * model.InternalNodes(); edges != want {
+		t.Errorf("%d edges, want %d", edges, want)
+	}
+	if got, want := strings.Count(dot, "[label="), len(model.Nodes)+edges; got != want {
+		t.Errorf("%d labelled statements, want %d", got, want)
+	}
+}
+
+func TestSplitCounts(t *testing.T) {
+	ds := smallClassification(40)
+	_, _, model := trainSession(t, ds, 2, testConfig())
+	counts := model.SplitCounts()
+	total := 0
+	for key, c := range counts {
+		if key[0] < 0 || key[1] < 0 {
+			t.Errorf("basic model has concealed split key %v", key)
+		}
+		total += c
+	}
+	if total != model.InternalNodes() {
+		t.Errorf("split counts sum to %d, want %d", total, model.InternalNodes())
+	}
+
+	// Hidden models collapse concealed features into the owner bucket.
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Hide = HideFeature
+	cfg.Tree.MaxDepth = 2
+	_, _, hidden := trainSession(t, ds, 2, cfg)
+	for key := range hidden.SplitCounts() {
+		if key[1] != -1 {
+			t.Errorf("hide-feature split counts expose feature index %v", key)
+		}
+	}
+}
+
+func TestEmptyModelString(t *testing.T) {
+	m := &Model{}
+	if got := m.String(); got != "(empty model)" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+// Session hosts an m-client federation in one process: an in-memory network
+// with a dealer endpoint, the threshold key material, and one long-lived
+// goroutine per client.  Protocol phases are submitted with Each, which runs
+// the same function SPMD on every client — exactly how the paper's clients
+// execute on their LAN machines, minus the physical network (DESIGN.md,
+// "Substitutions").
+type Session struct {
+	M       int
+	Cfg     Config
+	PK      *paillier.PublicKey
+	parties []*Party
+	eps     []transport.Endpoint
+	cmds    []chan func(*Party)
+	wg      sync.WaitGroup
+	closed  bool
+	abort   sync.Once
+}
+
+// NewSession builds the federation over vertical partitions (one per
+// client; partition i must have Client == i, labels only at client 0).
+func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	m := len(parts)
+	if m < 1 {
+		return nil, fmt.Errorf("core: need at least one client")
+	}
+	s := &Session{M: m, Cfg: cfg}
+	s.eps = transport.NewMemoryNetwork(m+1, 8192)
+
+	// Offline dealer (its traffic is excluded from measured phases).
+	go func() {
+		_ = mpc.RunDealer(s.eps[m], mpc.DealerConfig{Seed: cfg.Seed, Authenticated: cfg.Malicious})
+	}()
+
+	// Initialization stage (§3.4): threshold key generation.  The paper
+	// assumes a DKG ceremony; the dealer split happens here, outside all
+	// measured phases.
+	pk, _, pkeys, err := paillier.KeyGen(rand.Reader, cfg.KeyBits, m)
+	if err != nil {
+		return nil, err
+	}
+	s.PK = pk
+
+	// Bring up the clients concurrently (their constructors handshake).
+	s.parties = make([]*Party, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := NewParty(s.eps[i], parts[i], pk, pkeys[i], m, cfg)
+			s.parties[i] = p
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.shutdown()
+			return nil, err
+		}
+	}
+
+	// Client goroutines consuming submitted phases.
+	s.cmds = make([]chan func(*Party), m)
+	for i := 0; i < m; i++ {
+		s.cmds[i] = make(chan func(*Party))
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			for fn := range s.cmds[i] {
+				fn(s.parties[i])
+			}
+		}(i)
+	}
+	return s, nil
+}
+
+// Each runs fn concurrently as every client and waits; it returns the first
+// error.  fn must follow the SPMD discipline (same call sequence at every
+// client).
+//
+// Fault containment: if any client errors or panics mid-phase, the session
+// network is torn down so the other clients — possibly blocked on a Recv
+// from the failed one — fail fast instead of hanging.  A session that has
+// aborted this way cannot run further phases.
+func (s *Session) Each(fn func(*Party) error) error {
+	errs := make([]error, s.M)
+	var wg sync.WaitGroup
+	for i := 0; i < s.M; i++ {
+		wg.Add(1)
+		i := i
+		s.cmds[i] <- func(p *Party) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("client %d panicked: %v", i, r)
+				}
+				if errs[i] != nil {
+					s.abortNetwork()
+				}
+			}()
+			errs[i] = fn(p)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortNetwork closes every endpoint exactly once, releasing clients blocked
+// on a peer that has failed.
+func (s *Session) abortNetwork() {
+	s.abort.Do(func() {
+		for _, ep := range s.eps {
+			_ = ep.Close()
+		}
+	})
+}
+
+// Party returns client i's context (for inspecting stats).
+func (s *Session) Party(i int) *Party { return s.parties[i] }
+
+// Stats aggregates all clients' run statistics.
+func (s *Session) Stats() RunStats {
+	var total RunStats
+	for _, p := range s.parties {
+		if p == nil {
+			continue
+		}
+		total.Encryptions += p.Stats.Encryptions
+		total.DecShares += p.Stats.DecShares
+		total.HEOps += p.Stats.HEOps
+		total.BytesSent += p.Stats.BytesSent
+		total.MessagesSent += p.Stats.MessagesSent
+		total.MPC.Mults += p.Stats.MPC.Mults
+		total.MPC.Opens += p.Stats.MPC.Opens
+		total.MPC.OpenValues += p.Stats.MPC.OpenValues
+		total.MPC.Comparisons += p.Stats.MPC.Comparisons
+		total.MPC.Divisions += p.Stats.MPC.Divisions
+	}
+	if s.parties[0] != nil {
+		total.Phases = s.parties[0].Stats.Phases
+		total.Wall = s.parties[0].Stats.Wall
+		total.MPC.Rounds = s.parties[0].Stats.MPC.Rounds
+		total.TreesTrained = s.parties[0].Stats.TreesTrained
+		total.NodesTrained = s.parties[0].Stats.NodesTrained
+	}
+	return total
+}
+
+// Close stops the client goroutines, the dealer and the network.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i := range s.cmds {
+		close(s.cmds[i])
+	}
+	s.wg.Wait()
+	s.shutdown()
+}
+
+func (s *Session) shutdown() {
+	if s.parties != nil && s.parties[0] != nil {
+		s.parties[0].Close()
+	}
+	for _, ep := range s.eps {
+		_ = ep.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Convenience one-shot drivers (used by the facade, examples and benches)
+
+// TrainDecisionTree partitions ds across m clients, trains one Pivot tree
+// and returns the model plus aggregate statistics.
+func TrainDecisionTree(ds *dataset.Dataset, m int, cfg Config) (*Model, RunStats, error) {
+	parts, err := dataset.VerticalPartition(ds, m, 0)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	s, err := NewSession(parts, cfg)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	defer s.Close()
+	models := make([]*Model, m)
+	err = s.Each(func(p *Party) error {
+		mod, err := p.TrainDT()
+		if err == nil {
+			models[p.ID] = mod
+		}
+		return err
+	})
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	return models[0], s.Stats(), nil
+}
+
+// PredictDataset evaluates a trained model on every sample of the vertical
+// test partitions (parts[i].X holds client i's columns).
+func PredictDataset(s *Session, model *Model, parts []*dataset.Partition) ([]float64, error) {
+	n := parts[0].N
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		t := t
+		err := s.Each(func(p *Party) error {
+			pred, err := p.Predict(model, parts[p.ID].X[t])
+			if p.ID == 0 && err == nil {
+				out[t] = pred
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

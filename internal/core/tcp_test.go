@@ -1,0 +1,102 @@
+package core
+
+import (
+	"crypto/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+// TestTrainingOverTCP runs the whole basic protocol over real TCP sockets
+// (the deployment shape of cmd/pivot-party), exercising framing, partial
+// reads and concurrent connection setup.
+func TestTrainingOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test")
+	}
+	const m = 2
+	ds := dataset.SyntheticClassification(20, 4, 2, 3.0, 61)
+	parts, err := dataset.VerticalPartition(ds, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.Tree.MaxSplits = 2
+
+	addrs := []string{"127.0.0.1:39251", "127.0.0.1:39252", "127.0.0.1:39253"}
+	eps := make([]transport.Endpoint, m+1)
+	var setup sync.WaitGroup
+	setupErrs := make([]error, m+1)
+	for i := 0; i <= m; i++ {
+		setup.Add(1)
+		go func(i int) {
+			defer setup.Done()
+			eps[i], setupErrs[i] = transport.NewTCPEndpoint(transport.TCPConfig{Addrs: addrs}, i)
+		}(i)
+	}
+	setup.Wait()
+	for _, err := range setupErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	}()
+
+	go func() {
+		_ = mpc.RunDealer(eps[m], mpc.DealerConfig{Seed: cfg.Seed})
+	}()
+
+	pk, _, keys, err := paillier.KeyGen(rand.Reader, cfg.KeyBits, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := make([]*Model, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := NewParty(eps[i], parts[i], pk, keys[i], m, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			models[i], errs[i] = p.TrainDT()
+			if i == 0 {
+				p.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+	}
+	if models[0].InternalNodes() == 0 {
+		t.Fatal("TCP-trained model did not split")
+	}
+	// Both clients must hold the identical public model.
+	if len(models[0].Nodes) != len(models[1].Nodes) {
+		t.Fatal("clients disagree on the model")
+	}
+	for i := range models[0].Nodes {
+		a, b := models[0].Nodes[i], models[1].Nodes[i]
+		if a.Leaf != b.Leaf || a.Feature != b.Feature || a.Threshold != b.Threshold || a.Label != b.Label {
+			t.Fatalf("node %d differs between clients", i)
+		}
+	}
+}

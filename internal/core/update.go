@@ -1,0 +1,317 @@
+package core
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+func cryptoRand() io.Reader { return rand.Reader }
+
+// updateBasic is the basic protocol's model update step (§4.1): the best
+// split identifier is public, the owner announces the plaintext threshold,
+// computes the children's encrypted mask vectors [α_l], [α_r] (and, in
+// encrypted-label mode, the masked label channels) and broadcasts them.
+func (p *Party) updateBasic(model *Model, nd nodeData, gch [][]*paillier.Ciphertext,
+	iStar, jStar, sStar, depth int) (int, error) {
+
+	node := Node{Owner: iStar, Feature: jStar, SplitIndex: sStar}
+	me := iStar == p.ID
+
+	var left, right nodeData
+	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		// Threshold announcement (part of the public model).
+		if me {
+			tau := p.cands[jStar][sStar]
+			encoded := p.cod.Encode(tau)
+			// Store the fixed-point-rounded value so every client holds a
+			// bit-identical model.
+			node.Threshold = p.cod.Decode(encoded)
+			if err := p.broadcastInts([]*big.Int{mpc.ToField(encoded)}); err != nil {
+				return err
+			}
+		} else {
+			xs, err := transport.RecvInts(p.ep, iStar)
+			if err != nil {
+				return err
+			}
+			node.Threshold = p.cod.Decode(mpc.Signed(xs[0]))
+		}
+
+		// Child mask vectors (and label channels in encrypted-label mode).
+		vectors := append([][]*paillier.Ciphertext{nd.alpha}, nd.gch...)
+		var lefts, rights [][]*paillier.Ciphertext
+		if me {
+			vl := p.indic[jStar][sStar]
+			flat := p.flatIndex(jStar, sStar)
+			for _, vec := range vectors {
+				l, err := p.maskVector(vec, vl, flat)
+				if err != nil {
+					return err
+				}
+				r := make([]*paillier.Ciphertext, len(vec))
+				for t := range vec {
+					r[t] = p.pk.Sub(vec[t], l[t])
+				}
+				p.Stats.HEOps += int64(len(vec))
+				lefts = append(lefts, l)
+				rights = append(rights, r)
+				if p.audit == nil {
+					if err := p.broadcastCts(l); err != nil {
+						return err
+					}
+				}
+				if err := p.broadcastCts(r); err != nil {
+					return err
+				}
+			}
+		} else {
+			flat := p.flatIndexFor(iStar, jStar, sStar)
+			for _, vec := range vectors {
+				l, err := p.recvMasked(iStar, flat, vec)
+				if err != nil {
+					return err
+				}
+				r, err := p.recvCts(iStar)
+				if err != nil {
+					return err
+				}
+				lefts = append(lefts, l)
+				rights = append(rights, r)
+			}
+		}
+		left = nodeData{alpha: lefts[0]}
+		right = nodeData{alpha: rights[0]}
+		if nd.gch != nil {
+			left.gch = lefts[1:]
+			right.gch = rights[1:]
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, p.errf("model update: %v", err)
+	}
+
+	idx := len(model.Nodes)
+	model.Nodes = append(model.Nodes, node)
+	l, err := p.buildNode(model, left, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := p.buildNode(model, right, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	model.Nodes[idx].Left = l
+	model.Nodes[idx].Right = r
+	return idx, nil
+}
+
+// flatIndex maps a local (feature, split) pair to the flat split index.
+func (p *Party) flatIndex(j, s int) int {
+	flat := 0
+	for jj := 0; jj < j; jj++ {
+		flat += len(p.indic[jj])
+	}
+	return flat + s
+}
+
+// maskVector computes the elementwise v ⊗ [x] with rerandomization: entries
+// with v=1 are rerandomized copies, entries with v=0 fresh zeros.  In
+// malicious mode the products carry POPCM proofs against the committed
+// indicator vector and are broadcast inside the proof protocol.
+func (p *Party) maskVector(vec []*paillier.Ciphertext, v []*big.Int, flatIdx int) ([]*paillier.Ciphertext, error) {
+	if p.audit != nil {
+		return p.audit.provenScalarMulVec(p.ID, flatIdx, vec, v)
+	}
+	out := make([]*paillier.Ciphertext, len(vec))
+	for t := range vec {
+		ct, err := p.scalarMulRerand(vec[t], v[t])
+		if err != nil {
+			return nil, err
+		}
+		out[t] = ct
+	}
+	return out, nil
+}
+
+// recvMasked receives a masked vector; in malicious mode it runs the
+// verification side of the proof protocol against the sender's committed
+// indicator vector.
+func (p *Party) recvMasked(from, flatIdx int, base []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if p.audit != nil {
+		return p.audit.recvProvenScalarMulVec(from, flatIdx, base)
+	}
+	return p.recvCts(from)
+}
+
+// flatIndexFor maps another client's (feature, split) pair to its flat split
+// index using the public split counts.
+func (p *Party) flatIndexFor(client, j, s int) int {
+	flat := 0
+	for jj := 0; jj < j; jj++ {
+		flat += p.splitCounts[client][jj]
+	}
+	return flat + s
+}
+
+// updateEnhanced is the enhanced protocol's model update step (§5.2): s*
+// stays secret.  The clients convert ⟨s*⟩ into the encrypted PIR vector [λ]
+// via an oblivious equality ladder, the owner privately selects the split
+// indicator [v] = V ⊗ [λ] and the encrypted threshold, and the encrypted
+// mask vector is updated by Eqn (10) using integer conversion shares.
+func (p *Party) updateEnhanced(model *Model, nd nodeData, iStar, jStar int, sStar mpc.Share, depth int) (int, error) {
+	node := Node{Owner: iStar, Feature: jStar}
+	me := iStar == p.ID
+	n := len(nd.alpha)
+	nPrime := p.splitCounts[iStar][jStar]
+
+	var left, right nodeData
+	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		// ⟨λ_t⟩ = ⟨1{s* == t}⟩ for t in [0, n').
+		diffs := make([]mpc.Share, nPrime)
+		for t := 0; t < nPrime; t++ {
+			diffs[t] = p.eng.AddConst(sStar, big.NewInt(-int64(t)))
+		}
+		kEq := uint(bitsFor(nPrime)) + 3
+		lamShares := p.eng.EQZVec(diffs, kEq)
+
+		// Private split selection: [λ] goes to the owner (Theorem 2).
+		encLam, err := p.shareToEnc(lamShares, 4, iStar)
+		if err != nil {
+			return err
+		}
+
+		// Owner selects [v] = V ⊗ [λ] and the encrypted threshold, then
+		// broadcasts both ([v] stays encrypted; nothing about s* leaks).
+		var encV []*paillier.Ciphertext
+		var encTau *paillier.Ciphertext
+		if me {
+			encV = make([]*paillier.Ciphertext, n)
+			for t := 0; t < n; t++ {
+				row := make([]*big.Int, nPrime)
+				for s := 0; s < nPrime; s++ {
+					row[s] = p.indic[jStar][s][t]
+				}
+				ct, err := p.dotRerand(row, encLam)
+				if err != nil {
+					return err
+				}
+				encV[t] = ct
+			}
+			taus := make([]*big.Int, nPrime)
+			for s := 0; s < nPrime; s++ {
+				taus[s] = p.cod.Encode(p.cands[jStar][s])
+			}
+			encTau, err = p.dotRerand(taus, encLam)
+			if err != nil {
+				return err
+			}
+			if err := p.broadcastCts(append(append([]*paillier.Ciphertext{}, encV...), encTau)); err != nil {
+				return err
+			}
+		} else {
+			cts, err := p.recvCts(iStar)
+			if err != nil {
+				return err
+			}
+			encV = cts[:n]
+			encTau = cts[n]
+		}
+		node.EncThreshold = encTau
+
+		// Encrypted mask vector update, Eqn (10): convert [α] to integer
+		// shares, exponentiate [v] by each share, recombine at the owner.
+		left.alpha, err = p.encMaskedProduct(nd.alpha, encV, iStar)
+		if err != nil {
+			return err
+		}
+		right.alpha = make([]*paillier.Ciphertext, n)
+		for t := 0; t < n; t++ {
+			right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
+		}
+		p.Stats.HEOps += int64(n)
+		return nil
+	})
+	if err != nil {
+		return 0, p.errf("enhanced model update: %v", err)
+	}
+
+	idx := len(model.Nodes)
+	model.Nodes = append(model.Nodes, node)
+	l, err := p.buildNode(model, left, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	r, err := p.buildNode(model, right, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	model.Nodes[idx].Left = l
+	model.Nodes[idx].Right = r
+	return idx, nil
+}
+
+// encMaskedProduct computes [α_t · v_t] for all t (Eqn 10): each client
+// exponentiates [v_t] by its integer conversion share of α_t and the owner
+// homomorphically recombines, strips the conversion offset, rerandomizes and
+// broadcasts.
+func (p *Party) encMaskedProduct(alpha, encV []*paillier.Ciphertext, owner int) ([]*paillier.Ciphertext, error) {
+	n := len(alpha)
+	ints, off, err := p.encToIntShares(alpha, p.w.count+2)
+	if err != nil {
+		return nil, err
+	}
+	contrib := make([]*paillier.Ciphertext, n)
+	for t := 0; t < n; t++ {
+		contrib[t] = p.pk.MulConst(encV[t], ints[t])
+	}
+	p.Stats.HEOps += int64(n)
+	if p.ID != owner {
+		if err := p.sendCts(owner, contrib); err != nil {
+			return nil, err
+		}
+		return p.recvCts(owner)
+	}
+	out := contrib
+	for c := 0; c < p.M; c++ {
+		if c == owner {
+			continue
+		}
+		theirs, err := p.recvCts(c)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < n; t++ {
+			out[t] = p.pk.Add(out[t], theirs[t])
+		}
+	}
+	negOff := new(big.Int).Neg(off)
+	for t := 0; t < n; t++ {
+		// Σ_i shares = α_t + off, so subtract off·v_t homomorphically.
+		out[t] = p.pk.Add(out[t], p.pk.MulConst(encV[t], negOff))
+		ct, err := p.pk.Rerandomize(cryptoRand(), out[t])
+		if err != nil {
+			return nil, err
+		}
+		out[t] = ct
+	}
+	p.Stats.HEOps += int64(2 * n)
+	p.Stats.Encryptions += int64(n)
+	if err := p.broadcastCts(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for 1<<b <= n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+var testK = Constants{Ce: time.Millisecond, Cd: 3 * time.Millisecond, Cs: time.Microsecond, Cc: 80 * time.Microsecond}
+
+func base() Params {
+	return Params{M: 3, N: 50000, DBar: 15, D: 45, B: 8, C: 4, T: FullTree(4)}
+}
+
+func TestEnhancedAlwaysCostsMoreInTraining(t *testing.T) {
+	for _, n := range []int{5000, 50000, 200000} {
+		p := base()
+		p.N = n
+		if TrainEnhanced(p, testK) <= TrainBasic(p, testK) {
+			t.Fatalf("n=%d: enhanced should cost more than basic", n)
+		}
+	}
+}
+
+func TestEnhancedGrowsLinearlyInN(t *testing.T) {
+	// Fig 4b: basic grows slowly with n; enhanced is dominated by O(nt)·Cd.
+	p1, p2 := base(), base()
+	p1.N, p2.N = 5000, 200000
+	eGrowth := float64(TrainEnhanced(p2, testK)) / float64(TrainEnhanced(p1, testK))
+	bGrowth := float64(TrainBasic(p2, testK)) / float64(TrainBasic(p1, testK))
+	if eGrowth <= bGrowth {
+		t.Fatalf("enhanced growth %.1fx should exceed basic growth %.1fx", eGrowth, bGrowth)
+	}
+	if eGrowth < 5 {
+		t.Fatalf("enhanced should grow near-linearly in n (got %.1fx over 40x n)", eGrowth)
+	}
+}
+
+func TestTrainingDoublesWithDepth(t *testing.T) {
+	// Fig 4e: t ≈ 2^h − 1, so +1 depth ≈ 2x time.
+	p1, p2 := base(), base()
+	p1.T, p2.T = FullTree(4), FullTree(5)
+	ratio := float64(TrainBasic(p2, testK)) / float64(TrainBasic(p1, testK))
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Fatalf("depth+1 ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestTrainingLinearInDAndB(t *testing.T) {
+	// Fig 4c/4d.
+	p1, p2 := base(), base()
+	p2.DBar *= 2
+	p2.D *= 2
+	if r := float64(TrainBasic(p2, testK)) / float64(TrainBasic(p1, testK)); r < 1.8 || r > 2.2 {
+		t.Fatalf("2x features ratio %.2f, want ≈ 2", r)
+	}
+	p3 := base()
+	p3.B *= 2
+	if r := float64(TrainBasic(p3, testK)) / float64(TrainBasic(p1, testK)); r < 1.8 || r > 2.2 {
+		t.Fatalf("2x splits ratio %.2f, want ≈ 2", r)
+	}
+}
+
+func TestPredictionCrossover(t *testing.T) {
+	// Fig 4h: basic prediction beats enhanced for deep trees (h >= 3), but
+	// enhanced wins for very shallow trees.
+	p := base()
+	p.T = FullTree(2)
+	if PredictBasic(p, testK) < PredictEnhanced(p, testK) {
+		t.Fatal("at h=2 enhanced prediction should be competitive or better")
+	}
+	p.T = FullTree(6)
+	pb := PredictBasic(p, testK)
+	pe := PredictEnhanced(p, testK)
+	// Basic grows in m·t Ce; enhanced in t·(Cs+Cc).  With the calibrated
+	// ratios enhanced eventually loses; verify the relative trend at least
+	// moves in basic's favor as h grows.
+	p2 := base()
+	p2.T = FullTree(2)
+	trendBasic := float64(pb) / float64(PredictBasic(p2, testK))
+	trendEnh := float64(pe) / float64(PredictEnhanced(p2, testK))
+	if trendEnh < trendBasic*0.9 {
+		t.Fatalf("enhanced prediction should grow at least as fast in t (basic %.1fx, enhanced %.1fx)", trendBasic, trendEnh)
+	}
+}
+
+func TestPredictBasicGrowsWithM(t *testing.T) {
+	// Fig 4g.
+	p1, p2 := base(), base()
+	p1.M, p2.M = 2, 10
+	if PredictBasic(p2, testK) <= PredictBasic(p1, testK) {
+		t.Fatal("basic prediction must grow with m")
+	}
+	if PredictEnhanced(p2, testK) != PredictEnhanced(p1, testK) {
+		t.Fatal("enhanced prediction is independent of m in the model")
+	}
+}
+
+func TestCalibrateProducesPositiveConstants(t *testing.T) {
+	k, err := Calibrate(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Ce <= 0 || k.Cd <= 0 || k.Cs <= 0 || k.Cc <= 0 {
+		t.Fatalf("non-positive constants: %+v", k)
+	}
+	if k.Cd < k.Ce {
+		t.Fatalf("threshold decryption (%v) should cost more than encryption (%v)", k.Cd, k.Ce)
+	}
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSV round-tripping.  Layout: a header row, feature columns first, the
+// label in the last column.  LoadCSV infers a classification task when
+// classes > 0 is passed.
+
+// SaveCSV writes the dataset with a header row.
+func SaveCSV(ds *Dataset, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, ds.Names...), "label")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, ds.D()+1)
+	for i := range ds.X {
+		for j, v := range ds.X[i] {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[ds.D()] = strconv.FormatFloat(ds.Y[i], 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSVFile writes the dataset to path.
+func SaveCSVFile(ds *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveCSV(ds, f)
+}
+
+// LoadCSV reads a dataset written by SaveCSV (or any numeric CSV with a
+// header and the label last).  classes == 0 means regression.
+func LoadCSV(r io.Reader, classes int) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: CSV needs a header and at least one row")
+	}
+	header := records[0]
+	d := len(header) - 1
+	if d < 1 {
+		return nil, fmt.Errorf("dataset: CSV needs at least one feature column")
+	}
+	ds := &Dataset{Classes: classes, Names: append([]string(nil), header[:d]...)}
+	for lineNo, rec := range records[1:] {
+		if len(rec) != d+1 {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want %d", lineNo+2, len(rec), d+1)
+		}
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", lineNo+2, j, err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[d], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d label: %w", lineNo+2, err)
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, y)
+	}
+	return ds, nil
+}
+
+// LoadCSVFile reads a dataset from path.
+func LoadCSVFile(path string, classes int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSV(f, classes)
+}

@@ -1,0 +1,152 @@
+// Package dp implements the differential-privacy mechanisms of §9.2 as
+// secure computations on shared values: secret-shared Laplace noise sampling
+// (Algorithm 5) and the exponential mechanism's random index selection
+// (Algorithm 6).  No client ever learns the noise or the sampled index in
+// plaintext; both remain secret shares.
+package dp
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/mpc"
+)
+
+// Laplace draws one secret-shared sample from Laplace(0, b) following
+// Algorithm 5: U ~ Uniform(-1/2, 1/2), X = -b·sgn(U)·ln(1 - 2|U|).
+func Laplace(e *mpc.Engine, b float64) mpc.Share {
+	return LaplaceVec(e, b, 1)[0]
+}
+
+// LaplaceVec draws count independent Laplace(0, b) shares in one batch.
+func LaplaceVec(e *mpc.Engine, b float64, count int) []mpc.Share {
+	f := e.F()
+	half := new(big.Int).Lsh(big.NewInt(1), f-1)
+
+	// U = Uniform[0,1) - 1/2  ∈ [-1/2, 1/2)
+	us := e.RandUniformFP(count)
+	for i := range us {
+		us[i] = e.AddConst(us[i], new(big.Int).Neg(half))
+	}
+	// Us = sign(U) ∈ {-1, +1}; Ua = |U|   (Algorithm 5 lines 2-8; the
+	// measure-zero U == 0 branch folds into the positive case).
+	neg := e.LTZVec(us, f+2)
+	negUs := make([]mpc.Share, count)
+	for i := range us {
+		negUs[i] = e.Neg(us[i])
+	}
+	uas := e.SelectPairs(neg, negUs, us) // |U|
+	signs := make([]mpc.Share, count)    // 1 - 2·neg ∈ {1, -1}
+	for i := range signs {
+		signs[i] = e.AddConst(e.MulPub(neg[i], big.NewInt(-2)), big.NewInt(1))
+	}
+
+	// arg = 1 - 2|U| ∈ (0, 1]
+	args := make([]mpc.Share, count)
+	one := new(big.Int).Lsh(big.NewInt(1), f)
+	for i := range args {
+		args[i] = e.AddConst(e.MulPub(uas[i], big.NewInt(-2)), one)
+	}
+	// Guard against the fixed-point corner arg == 0 (|U| = 1/2 - ulp can
+	// round to 1/2): substitute one ulp.  P(hit) ≈ 2^-F.
+	isZero := e.EQZVec(args, f+2)
+	ulps := make([]mpc.Share, count)
+	for i := range ulps {
+		ulps[i] = e.ConstInt64(1)
+	}
+	args = e.SelectPairs(isZero, ulps, args)
+
+	lns := e.LnVec(args) // ln(1 - 2|U|) <= 0
+
+	// X = µ - b·Us·ln(...)  with µ = 0 (line 9).
+	bEnc := e.EncodeConst(b)
+	out := make([]mpc.Share, count)
+	prods := e.MulVec(signs, lns) // sign · ln, still f-scaled
+	for i := range out {
+		scaled := e.MulPub(prods[i], bEnc) // 2f-scaled
+		out[i] = e.Neg(scaled)
+	}
+	// Rescale 2f -> f.  |b·ln| is bounded by b·(F·ln2 + 1).
+	kw := uint(math.Ceil(math.Log2(math.Abs(b)+2))) + 2*f + 8
+	return e.TruncVec(out, kw, f)
+}
+
+// ExponentialSelect implements Algorithm 6: given secret-shared scores, it
+// samples index r with probability ∝ exp(ε·score_r / (2Δ)) and returns the
+// selected identifier columns as secret shares (ids[r] are the public
+// identifier tuples, e.g. the (i, j, s) split identifiers).
+//
+// kIn bounds the f-scaled scores.  All steps — exponentials, normalization,
+// cumulative probabilities, uniform draw and interval location — run inside
+// the MPC engine, so no client learns the probabilities or the choice.
+func ExponentialSelect(e *mpc.Engine, scores []mpc.Share, ids [][]int64, eps, sens float64, kIn uint) []mpc.Share {
+	count := len(scores)
+	f := e.F()
+	// prob_r = exp(ε·score/(2Δ))  (lines 1-2)
+	cEnc := e.EncodeConst(eps / (2 * sens))
+	scaled := make([]mpc.Share, count)
+	for i := range scaled {
+		scaled[i] = e.MulPub(scores[i], cEnc)
+	}
+	scaled = e.TruncVec(scaled, kIn+f+6, f)
+	probs := e.ExpVec(scaled, kIn+4)
+
+	// Normalize and accumulate F_r (lines 3-7).
+	total := e.Sum(probs)
+	totals := make([]mpc.Share, count)
+	for i := range totals {
+		totals[i] = total
+	}
+	norm := e.FPDivVec(probs, totals, 52)
+	cums := make([]mpc.Share, count)
+	acc := e.ConstInt64(0)
+	for i := range norm {
+		acc = e.Add(acc, norm[i])
+		cums[i] = acc
+	}
+
+	// U ~ Uniform(0,1); index = #{r < count-1 : F_r <= U} (lines 8-14).
+	u := e.RandUniformFP(1)[0]
+	xs := make([]mpc.Share, 0, count-1)
+	ys := make([]mpc.Share, 0, count-1)
+	for i := 0; i+1 < len(cums); i++ {
+		xs = append(xs, cums[i])
+		ys = append(ys, u)
+	}
+	var hits []mpc.Share
+	if len(xs) > 0 {
+		hits = e.LTVec(xs, ys, f+3) // F_r < U
+	}
+
+	// onehot_r = hit_{r-1} - hit_r (with hit_{-1} = 1, hit_{count-1} = 0):
+	// exactly one position is 1.
+	cols := len(ids[0])
+	out := make([]mpc.Share, cols)
+	for c := range out {
+		out[c] = e.ConstInt64(0)
+	}
+	for r := 0; r < count; r++ {
+		var onehot mpc.Share
+		switch {
+		case count == 1:
+			onehot = e.ConstInt64(1)
+		case r == 0:
+			onehot = e.Sub(e.ConstInt64(1), hits[0])
+		case r == count-1:
+			onehot = hits[r-1]
+		default:
+			onehot = e.Sub(hits[r-1], hits[r])
+		}
+		for c := 0; c < cols; c++ {
+			out[c] = e.Add(out[c], e.MulPub(onehot, big.NewInt(ids[r][c])))
+		}
+	}
+	return out
+}
+
+// TotalBudget returns the end-to-end ε consumed by a depth-h tree per the
+// composition argument of §9.2: every root-to-leaf path issues h+1 queries
+// at 2ε each (pruning check plus non-leaf/leaf query).
+func TotalBudget(eps float64, maxDepth int) float64 {
+	return 2 * eps * float64(maxDepth+1)
+}

@@ -1,0 +1,137 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mpc"
+	"repro/internal/transport"
+)
+
+func runParties(t *testing.T, n int, body func(e *mpc.Engine) error) {
+	t.Helper()
+	eps := transport.NewMemoryNetwork(n+1, 4096)
+	var wg sync.WaitGroup
+	errs := make(chan error, n+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := mpc.RunDealer(eps[n], mpc.DealerConfig{Seed: 11}); err != nil {
+			errs <- err
+		}
+	}()
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("party %d panic: %v", p, r)
+				}
+			}()
+			e, err := mpc.NewEngine(eps[p], mpc.DefaultConfig())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := body(e); err != nil {
+				errs <- fmt.Errorf("party %d: %w", p, err)
+				return
+			}
+			e.Shutdown()
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplaceSampleDistribution(t *testing.T) {
+	const samples = 60
+	const b = 2.0
+	runParties(t, 2, func(e *mpc.Engine) error {
+		xs := LaplaceVec(e, b, samples)
+		var sum, sumAbs float64
+		for _, x := range xs {
+			v := e.DecodeSigned(e.Open(x))
+			sum += v
+			sumAbs += math.Abs(v)
+		}
+		meanAbs := sumAbs / samples
+		// E|X| = b for Laplace(0, b); allow wide tolerance at 60 samples.
+		if meanAbs < b*0.5 || meanAbs > b*1.8 {
+			return fmt.Errorf("mean |X| = %v, want near %v", meanAbs, b)
+		}
+		if mean := sum / samples; math.Abs(mean) > b*1.2 {
+			return fmt.Errorf("mean %v too far from 0", mean)
+		}
+		return nil
+	})
+}
+
+func TestLaplaceScalesWithB(t *testing.T) {
+	const samples = 40
+	runParties(t, 2, func(e *mpc.Engine) error {
+		small := LaplaceVec(e, 0.1, samples)
+		large := LaplaceVec(e, 5.0, samples)
+		var absSmall, absLarge float64
+		for i := 0; i < samples; i++ {
+			absSmall += math.Abs(e.DecodeSigned(e.Open(small[i])))
+			absLarge += math.Abs(e.DecodeSigned(e.Open(large[i])))
+		}
+		if absLarge <= absSmall {
+			return fmt.Errorf("larger scale should produce larger noise: %v vs %v", absLarge, absSmall)
+		}
+		return nil
+	})
+}
+
+func TestExponentialSelectPrefersHighScores(t *testing.T) {
+	// With a strongly separated score vector and a large ε, the mechanism
+	// should pick the top index nearly always.
+	runParties(t, 2, func(e *mpc.Engine) error {
+		scores := []mpc.Share{
+			e.Const(e.EncodeConst(0.0)),
+			e.Const(e.EncodeConst(8.0)), // dominant
+			e.Const(e.EncodeConst(0.5)),
+		}
+		ids := [][]int64{{0, 10}, {1, 20}, {2, 30}}
+		hits := 0
+		const trials = 5
+		for trial := 0; trial < trials; trial++ {
+			sel := ExponentialSelect(e, scores, ids, 8.0, 2.0, 24)
+			idx := e.OpenSigned(sel[0]).Int64()
+			col := e.OpenSigned(sel[1]).Int64()
+			if col != idx*10+10 {
+				return fmt.Errorf("identifier columns inconsistent: %d vs %d", idx, col)
+			}
+			if idx == 1 {
+				hits++
+			}
+		}
+		if hits < 4 {
+			return fmt.Errorf("dominant score selected only %d/%d times", hits, trials)
+		}
+		return nil
+	})
+}
+
+func TestExponentialSelectSingleCandidate(t *testing.T) {
+	runParties(t, 2, func(e *mpc.Engine) error {
+		sel := ExponentialSelect(e, []mpc.Share{e.ConstInt64(0)}, [][]int64{{7}}, 1.0, 2.0, 24)
+		if got := e.OpenSigned(sel[0]).Int64(); got != 7 {
+			return fmt.Errorf("single candidate select = %d", got)
+		}
+		return nil
+	})
+}
+
+func TestTotalBudget(t *testing.T) {
+	if got := TotalBudget(0.5, 4); got != 5.0 {
+		t.Fatalf("budget = %v, want 5", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package fixed implements the signed fixed-point integer encoding shared by
+// the homomorphic-encryption and secret-sharing layers.
+//
+// A real value x is represented by the integer round(x * 2^F).  The paper
+// ("we convert the floating point datasets into fixed-point integer
+// representation", §8) uses the same convention; F defaults to 16 fractional
+// bits throughout this repository.
+package fixed
+
+import (
+	"math"
+	"math/big"
+)
+
+// DefaultF is the default number of fractional bits.
+const DefaultF = 16
+
+// Codec converts between float64 and fixed-point big integers with F
+// fractional bits.  The zero value is unusable; use New.
+type Codec struct {
+	F     uint
+	scale float64
+}
+
+// New returns a codec with f fractional bits.
+func New(f uint) *Codec {
+	return &Codec{F: f, scale: math.Ldexp(1, int(f))}
+}
+
+// Encode returns round(x * 2^F) as a signed big integer.
+func (c *Codec) Encode(x float64) *big.Int {
+	return big.NewInt(int64(math.Round(x * c.scale)))
+}
+
+// Decode returns v / 2^F as a float64.  v may be negative.
+func (c *Codec) Decode(v *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f / c.scale
+}
+
+// DecodeScaled decodes a value that carries `times` stacked scale factors
+// (e.g. the product of two encoded values has times == 2).
+func (c *Codec) DecodeScaled(v *big.Int, times int) float64 {
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f / math.Pow(c.scale, float64(times))
+}
+
+// One returns the encoding of 1.0, i.e. 2^F.
+func (c *Codec) One() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), c.F)
+}
+
+// ToRing maps a signed integer into Z_m, wrapping negatives to m - |v|.
+func ToRing(v, m *big.Int) *big.Int {
+	r := new(big.Int).Mod(v, m)
+	if r.Sign() < 0 {
+		r.Add(r, m)
+	}
+	return r
+}
+
+// FromRing maps an element of Z_m back to a signed integer, interpreting
+// values above m/2 as negative.
+func FromRing(v, m *big.Int) *big.Int {
+	half := new(big.Int).Rsh(m, 1)
+	out := new(big.Int).Set(v)
+	if out.Cmp(half) > 0 {
+		out.Sub(out, m)
+	}
+	return out
+}

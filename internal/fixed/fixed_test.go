@@ -1,0 +1,74 @@
+package fixed
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := New(DefaultF)
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.25, -1234.0625, 1e5, -1e5}
+	for _, x := range cases {
+		got := c.Decode(c.Encode(x))
+		if math.Abs(got-x) > 1.0/65536 {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	c := New(DefaultF)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e12 {
+			return true
+		}
+		got := c.Decode(c.Encode(x))
+		return math.Abs(got-x) <= 1.0/(1<<15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeScaled(t *testing.T) {
+	c := New(8)
+	a, b := 3.5, -2.25
+	prod := new(big.Int).Mul(c.Encode(a), c.Encode(b))
+	if got := c.DecodeScaled(prod, 2); math.Abs(got-a*b) > 1e-3 {
+		t.Errorf("DecodeScaled = %v, want %v", got, a*b)
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	m := big.NewInt(1 << 20)
+	for _, v := range []int64{0, 1, -1, 12345, -12345, 524287, -524287} {
+		x := big.NewInt(v)
+		got := FromRing(ToRing(x, m), m)
+		if got.Cmp(x) != 0 {
+			t.Errorf("ring round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestRingQuick(t *testing.T) {
+	m := new(big.Int).Lsh(big.NewInt(1), 64)
+	f := func(v int64) bool {
+		x := big.NewInt(v)
+		return FromRing(ToRing(x, m), m).Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOne(t *testing.T) {
+	c := New(16)
+	if c.One().Int64() != 65536 {
+		t.Fatalf("One = %v", c.One())
+	}
+	if c.Decode(c.One()) != 1.0 {
+		t.Fatalf("Decode(One) = %v", c.Decode(c.One()))
+	}
+}

@@ -1,0 +1,105 @@
+package mpc
+
+import "math/big"
+
+// Oblivious argmax, the "secure maximum computation" of §4.1: the clients
+// scan all candidates, obliviously keeping the running maximum and its
+// identifier via secure comparison and selection, so that neither the gains
+// nor the winning index are revealed.
+
+// ArgmaxResult carries the shared maximum and the shared identifier fields.
+type ArgmaxResult struct {
+	Max Share
+	IDs []Share // one share per identifier column (e.g. i*, j*, s*)
+}
+
+// ArgmaxLinear performs the paper's sequential oblivious-update loop:
+// O(len) secure comparisons, one after another.  ids[t] are the public
+// identifier columns of candidate t.  k bounds |vals| (signed).
+func (e *Engine) ArgmaxLinear(vals []Share, ids [][]int64, k uint) ArgmaxResult {
+	if len(vals) == 0 {
+		panic("mpc: argmax of empty set")
+	}
+	cols := len(ids[0])
+	cur := ArgmaxResult{Max: vals[0], IDs: make([]Share, cols)}
+	for c := 0; c < cols; c++ {
+		cur.IDs[c] = e.Const(big.NewInt(ids[0][c]))
+	}
+	for t := 1; t < len(vals); t++ {
+		sign := e.LT(cur.Max, vals[t], k)
+		// One batched round for all selects: max plus each id column.
+		as := make([]Share, 0, cols+1)
+		bs := make([]Share, 0, cols+1)
+		as = append(as, vals[t])
+		bs = append(bs, cur.Max)
+		for c := 0; c < cols; c++ {
+			as = append(as, e.Const(big.NewInt(ids[t][c])))
+			bs = append(bs, cur.IDs[c])
+		}
+		sel := e.SelectVec(sign, as, bs)
+		cur.Max = sel[0]
+		cur.IDs = sel[1:]
+	}
+	return cur
+}
+
+// ArgmaxTournament is a latency-optimized variant (log₂(len) comparison
+// rounds, each batched).  It is not part of the paper's protocol; the
+// ablation benchmark compares the two (see EXPERIMENTS.md).
+func (e *Engine) ArgmaxTournament(vals []Share, ids [][]int64, k uint) ArgmaxResult {
+	if len(vals) == 0 {
+		panic("mpc: argmax of empty set")
+	}
+	cols := len(ids[0])
+	cand := make([]ArgmaxResult, len(vals))
+	for t := range vals {
+		cand[t] = ArgmaxResult{Max: vals[t], IDs: make([]Share, cols)}
+		for c := 0; c < cols; c++ {
+			cand[t].IDs[c] = e.Const(big.NewInt(ids[t][c]))
+		}
+	}
+	for len(cand) > 1 {
+		half := len(cand) / 2
+		// Batch all comparisons at this level.
+		xs := make([]Share, half)
+		ys := make([]Share, half)
+		for i := 0; i < half; i++ {
+			xs[i] = cand[2*i].Max
+			ys[i] = cand[2*i+1].Max
+		}
+		signs := e.LTVec(xs, ys, k)
+		// Batch all selects at this level.
+		var sa, sb, ss []Share
+		for i := 0; i < half; i++ {
+			sa = append(sa, cand[2*i+1].Max)
+			sb = append(sb, cand[2*i].Max)
+			ss = append(ss, signs[i])
+			for c := 0; c < cols; c++ {
+				sa = append(sa, cand[2*i+1].IDs[c])
+				sb = append(sb, cand[2*i].IDs[c])
+				ss = append(ss, signs[i])
+			}
+		}
+		sel := e.selectPairwise(ss, sa, sb)
+		next := make([]ArgmaxResult, 0, (len(cand)+1)/2)
+		stride := cols + 1
+		for i := 0; i < half; i++ {
+			r := ArgmaxResult{Max: sel[i*stride], IDs: sel[i*stride+1 : (i+1)*stride]}
+			next = append(next, r)
+		}
+		if len(cand)%2 == 1 {
+			next = append(next, cand[len(cand)-1])
+		}
+		cand = next
+	}
+	return cand[0]
+}
+
+// Argmax dispatches on the engine's configured strategy (linear is the
+// paper's; tournament is the ablation).
+func (e *Engine) Argmax(vals []Share, ids [][]int64, k uint, tournament bool) ArgmaxResult {
+	if tournament {
+		return e.ArgmaxTournament(vals, ids, k)
+	}
+	return e.ArgmaxLinear(vals, ids, k)
+}

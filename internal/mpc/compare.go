@@ -1,0 +1,338 @@
+package mpc
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Comparison and truncation protocols in the style of Catrina–de Hoogh
+// ("Improved primitives for secure multiparty integer computation", SCN'10),
+// which is what SPDZ/MP-SPDZ — and hence the paper — uses for the secure
+// comparison primitive of §2.2.  All inputs are signed values bounded by
+// 2^(k-1) in magnitude, embedded in Z_Q.
+
+// checkWidth panics if a masked opening of width k would not be
+// statistically hidden inside the field.
+func (e *Engine) checkWidth(k uint) {
+	if k+e.cfg.Kappa+8 >= 250 {
+		panic(fmt.Sprintf("mpc: width %d too large for field (κ=%d)", k, e.cfg.Kappa))
+	}
+}
+
+// randBitwise returns, for each of count instances, `width` shared random
+// bits plus the assembled shared value Σ 2^i·b_i.
+func (e *Engine) randBitwise(count int, width uint) ([][]Share, []Share) {
+	flat := e.takeBits(count * int(width))
+	bits := make([][]Share, count)
+	vals := make([]Share, count)
+	for t := 0; t < count; t++ {
+		bits[t] = flat[t*int(width) : (t+1)*int(width)]
+		acc := e.zeroShare()
+		for i := uint(0); i < width; i++ {
+			acc = e.Add(acc, e.MulPub(bits[t][i], new(big.Int).Lsh(big.NewInt(1), i)))
+		}
+		vals[t] = acc
+	}
+	return bits, vals
+}
+
+// randMask returns count shared random values of the given bit width
+// (assembled from dealer bits).
+func (e *Engine) randMask(count int, width uint) []Share {
+	_, vals := e.randBitwise(count, width)
+	return vals
+}
+
+// bitLTPub computes, per instance, a sharing of 1{c_t < r_t} where c_t is a
+// public integer and r_t is given by `width` shared bits (LSB first).
+// Linear round count in width; each level is one batched multiplication
+// round across all instances.
+func (e *Engine) bitLTPub(cs []*big.Int, rbits [][]Share, width uint) []Share {
+	count := len(cs)
+	// p[t] = prefix product (from MSB) of XNOR(c_i, r_i); u accumulates
+	// r_i·(1-c_i)·p_{i+1}.
+	prefix := make([]Share, count)
+	acc := make([]Share, count)
+	for t := range prefix {
+		prefix[t] = e.Const(big.NewInt(1))
+		acc[t] = e.zeroShare()
+	}
+	for i := int(width) - 1; i >= 0; i-- {
+		xs := make([]Share, 0, 2*count)
+		ys := make([]Share, 0, 2*count)
+		for t := 0; t < count; t++ {
+			rb := rbits[t][i]
+			var xnor Share
+			if cs[t].Bit(i) == 1 {
+				xnor = rb
+			} else {
+				xnor = e.Sub(e.ConstInt64(1), rb)
+			}
+			xs = append(xs, prefix[t], prefix[t])
+			ys = append(ys, xnor, rb)
+		}
+		prods := e.MulVec(xs, ys)
+		for t := 0; t < count; t++ {
+			newPrefix := prods[2*t]
+			tTerm := prods[2*t+1] // p_{i+1}·r_i
+			if cs[t].Bit(i) == 0 {
+				acc[t] = e.Add(acc[t], tTerm)
+			}
+			prefix[t] = newPrefix
+		}
+	}
+	return acc
+}
+
+// Mod2mVec computes ⟨a mod 2^m⟩ for signed a with |a| < 2^(k-1), m < k.
+func (e *Engine) Mod2mVec(as []Share, k, m uint) []Share {
+	if m >= k {
+		panic("mpc: Mod2m requires m < k")
+	}
+	e.checkWidth(k)
+	count := len(as)
+	rbits, rlow := e.randBitwise(count, m)
+	rhigh := e.randMask(count, k-m+e.cfg.Kappa)
+	offset := new(big.Int).Lsh(big.NewInt(1), k-1)
+	masked := make([]Share, count)
+	for t := range as {
+		v := e.AddConst(as[t], offset)
+		v = e.Add(v, rlow[t])
+		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), m)))
+		masked[t] = v
+	}
+	cs := e.OpenVec(masked)
+	mod := new(big.Int).Lsh(big.NewInt(1), m)
+	cmods := make([]*big.Int, count)
+	for t := range cs {
+		cmods[t] = new(big.Int).Mod(cs[t], mod)
+	}
+	us := e.bitLTPub(cmods, rbits, m)
+	out := make([]Share, count)
+	for t := range out {
+		v := e.AddConst(e.Neg(rlow[t]), cmods[t])
+		v = e.Add(v, e.MulPub(us[t], mod))
+		out[t] = v
+	}
+	return out
+}
+
+// TruncVec computes ⟨floor(a / 2^m)⟩ (floor semantics for negative a).
+func (e *Engine) TruncVec(as []Share, k, m uint) []Share {
+	mods := e.Mod2mVec(as, k, m)
+	inv := new(big.Int).ModInverse(new(big.Int).Lsh(big.NewInt(1), m), Q)
+	out := make([]Share, len(as))
+	for t := range as {
+		out[t] = e.MulPub(e.Sub(as[t], mods[t]), inv)
+	}
+	return out
+}
+
+// Trunc truncates one value.
+func (e *Engine) Trunc(a Share, k, m uint) Share {
+	return e.TruncVec([]Share{a}, k, m)[0]
+}
+
+// LTZVec computes ⟨1{a < 0}⟩ for signed a with |a| < 2^(k-1).
+func (e *Engine) LTZVec(as []Share, k uint) []Share {
+	e.Stats.Comparisons += int64(len(as))
+	ts := e.TruncVec(as, k, k-1)
+	out := make([]Share, len(as))
+	for i := range ts {
+		out[i] = e.Neg(ts[i])
+	}
+	return out
+}
+
+// LTVec computes ⟨1{x < y}⟩ elementwise.  Values must satisfy |x|,|y| <
+// 2^(k-1); the internal difference uses width k+1.
+func (e *Engine) LTVec(xs, ys []Share, k uint) []Share {
+	ds := make([]Share, len(xs))
+	for i := range xs {
+		ds[i] = e.Sub(xs[i], ys[i])
+	}
+	return e.LTZVec(ds, k+1)
+}
+
+// LT compares two shared values.
+func (e *Engine) LT(x, y Share, k uint) Share {
+	return e.LTVec([]Share{x}, []Share{y}, k)[0]
+}
+
+// LE computes ⟨1{x <= y}⟩ = 1 - 1{y < x}.
+func (e *Engine) LE(x, y Share, k uint) Share {
+	gt := e.LT(y, x, k)
+	return e.Sub(e.ConstInt64(1), gt)
+}
+
+// EQZVec computes ⟨1{a == 0}⟩ for signed a with |a| < 2^(k-1).
+func (e *Engine) EQZVec(as []Share, k uint) []Share {
+	e.checkWidth(k)
+	count := len(as)
+	rbits, rlow := e.randBitwise(count, k)
+	rhigh := e.randMask(count, e.cfg.Kappa)
+	offset := new(big.Int).Lsh(big.NewInt(1), k-1)
+	masked := make([]Share, count)
+	for t := range as {
+		v := e.AddConst(as[t], offset)
+		v = e.Add(v, rlow[t])
+		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), k)))
+		masked[t] = v
+	}
+	cs := e.OpenVec(masked)
+	mod := new(big.Int).Lsh(big.NewInt(1), k)
+	// a == 0  iff  (c - 2^(k-1)) mod 2^k equals r mod 2^k bitwise.
+	xnors := make([][]Share, count)
+	for t := range cs {
+		c2 := new(big.Int).Sub(cs[t], offset)
+		c2.Mod(c2, mod)
+		row := make([]Share, k)
+		for i := uint(0); i < k; i++ {
+			if c2.Bit(int(i)) == 1 {
+				row[i] = rbits[t][i]
+			} else {
+				row[i] = e.Sub(e.ConstInt64(1), rbits[t][i])
+			}
+		}
+		xnors[t] = row
+	}
+	// AND-reduce each row with a log-depth product tree, batched across rows.
+	for {
+		maxLen := 0
+		for _, row := range xnors {
+			if len(row) > maxLen {
+				maxLen = len(row)
+			}
+		}
+		if maxLen <= 1 {
+			break
+		}
+		var xs, ys []Share
+		var idx [][2]int
+		for t, row := range xnors {
+			for i := 0; i+1 < len(row); i += 2 {
+				xs = append(xs, row[i])
+				ys = append(ys, row[i+1])
+				idx = append(idx, [2]int{t, i / 2})
+			}
+		}
+		prods := e.MulVec(xs, ys)
+		next := make([][]Share, count)
+		for t, row := range xnors {
+			n := (len(row) + 1) / 2
+			next[t] = make([]Share, n)
+			if len(row)%2 == 1 {
+				next[t][n-1] = row[len(row)-1]
+			}
+		}
+		for j, p := range prods {
+			next[idx[j][0]][idx[j][1]] = p
+		}
+		xnors = next
+	}
+	out := make([]Share, count)
+	for t := range out {
+		out[t] = xnors[t][0]
+	}
+	return out
+}
+
+// EQZ tests one value for zero.
+func (e *Engine) EQZ(a Share, k uint) Share {
+	return e.EQZVec([]Share{a}, k)[0]
+}
+
+// EQPub computes ⟨1{a == c}⟩ for public c.
+func (e *Engine) EQPub(a Share, c *big.Int, k uint) Share {
+	return e.EQZ(e.AddConst(a, new(big.Int).Neg(c)), k)
+}
+
+// BitDecVec decomposes non-negative a < 2^k into k shared bits (LSB first).
+func (e *Engine) BitDecVec(as []Share, k uint) [][]Share {
+	e.checkWidth(k)
+	count := len(as)
+	rbits, rlow := e.randBitwise(count, k)
+	rhigh := e.randMask(count, e.cfg.Kappa)
+	masked := make([]Share, count)
+	for t := range as {
+		v := e.Add(as[t], rlow[t])
+		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), k)))
+		masked[t] = v
+	}
+	cs := e.OpenVec(masked)
+	// bits(a) = bits((c - r) mod 2^k): binary subtraction with shared borrow.
+	out := make([][]Share, count)
+	borrow := make([]Share, count)
+	for t := range out {
+		out[t] = make([]Share, k)
+		borrow[t] = e.zeroShare()
+	}
+	for i := uint(0); i < k; i++ {
+		// One batched multiplication per level: r_i·borrow.
+		xs := make([]Share, count)
+		ys := make([]Share, count)
+		for t := 0; t < count; t++ {
+			xs[t] = rbits[t][i]
+			ys[t] = borrow[t]
+		}
+		rb := e.MulVec(xs, ys)
+		for t := 0; t < count; t++ {
+			ci := int64(cs[t].Bit(int(i)))
+			ri := rbits[t][i]
+			// xor = r_i ⊕ borrow (shared), then ⊕ public c_i
+			xor := e.Sub(e.Add(ri, borrow[t]), e.MulPub(rb[t], big.NewInt(2)))
+			var bit Share
+			if ci == 1 {
+				bit = e.Sub(e.ConstInt64(1), xor)
+			} else {
+				bit = xor
+			}
+			out[t][i] = bit
+			// borrow' = (1-c_i)·(r_i OR borrow) + c_i·(r_i AND borrow)
+			or := e.Sub(e.Add(ri, borrow[t]), rb[t])
+			if ci == 1 {
+				borrow[t] = rb[t]
+			} else {
+				borrow[t] = or
+			}
+		}
+	}
+	return out
+}
+
+// msbNormalizeVec returns, for positive a < 2^k given by shared bits, the
+// sharing of v = 2^(k-1-p) where p is the index of a's most significant set
+// bit.  a·v then lies in [2^(k-1), 2^k).  It also returns ⟨p⟩.
+func (e *Engine) msbNormalizeVec(bits [][]Share, k uint) ([]Share, []Share) {
+	count := len(bits)
+	// Suffix products of (1 - z_i) from the MSB: prefix[t] after step i is
+	// Π_{j>=i}(1-z_j); s_i = 1 - prefix marks "some bit >= i is set".
+	suffix := make([]Share, count)
+	sPrev := make([]Share, count) // s_{i+1}
+	vs := make([]Share, count)
+	ps := make([]Share, count)
+	for t := range suffix {
+		suffix[t] = e.Const(big.NewInt(1))
+		sPrev[t] = e.zeroShare()
+		vs[t] = e.zeroShare()
+		ps[t] = e.zeroShare()
+	}
+	for i := int(k) - 1; i >= 0; i-- {
+		xs := make([]Share, count)
+		ys := make([]Share, count)
+		for t := 0; t < count; t++ {
+			xs[t] = suffix[t]
+			ys[t] = e.Sub(e.ConstInt64(1), bits[t][i])
+		}
+		prods := e.MulVec(xs, ys)
+		for t := 0; t < count; t++ {
+			sCur := e.Sub(e.ConstInt64(1), prods[t])
+			m := e.Sub(sCur, sPrev[t]) // 1 exactly at the MSB position
+			vs[t] = e.Add(vs[t], e.MulPub(m, new(big.Int).Lsh(big.NewInt(1), k-1-uint(i))))
+			ps[t] = e.Add(ps[t], e.MulPub(m, big.NewInt(int64(i))))
+			sPrev[t] = sCur
+			suffix[t] = prods[t]
+		}
+	}
+	return vs, ps
+}

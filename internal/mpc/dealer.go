@@ -1,0 +1,208 @@
+package mpc
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/transport"
+)
+
+// The dealer is an extra party (index n on an n+1 party network) that plays
+// the role of SPDZ's offline phase: it deals Beaver triples, shared random
+// bits, input masks and encryption masks.  Its traffic is excluded from the
+// protocol timings, mirroring the paper's online-phase-only benchmarks.
+//
+// Request flow: compute party 0 sends a request on behalf of everyone (the
+// protocols are SPMD, so all parties reach the request point together), and
+// the dealer answers every compute party with its slice of the material.
+
+// Request kinds.
+const (
+	reqTriples = iota
+	reqBits
+	reqInputMasks
+	reqEncMasks
+	reqHello
+	reqShutdown
+)
+
+type triple struct {
+	a, b, c Share
+}
+
+type inputMask struct {
+	share Share
+	plain *big.Int // only set at the owner
+}
+
+type encMask struct {
+	share Share    // this party's share of R = Σ R_i (value = plain mod Q)
+	plain *big.Int // this party's additive piece R_i, a plain integer
+}
+
+// DealerConfig configures the offline-phase dealer.
+type DealerConfig struct {
+	// Seed makes dealt material deterministic for reproducible runs.
+	Seed int64
+	// Authenticated enables SPDZ MACs on all dealt material.
+	Authenticated bool
+}
+
+// RunDealer serves offline material on ep (which must be the endpoint with
+// the highest index) until every compute party has disconnected logically,
+// i.e. until it receives a shutdown request.  Run it in its own goroutine.
+func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
+	n := ep.N() - 1 // compute parties
+	g := newPRG([]byte(fmt.Sprintf("pivot-dealer-%d", cfg.Seed)))
+	alpha := big.NewInt(0)
+	if cfg.Authenticated {
+		alpha = g.fieldElem()
+	}
+	// Hello: send each party its MAC key share.
+	alphaShares := shareValue(g, alpha, n)
+	for p := 0; p < n; p++ {
+		if err := transport.SendInts(ep, p, []*big.Int{alphaShares[p]}); err != nil {
+			return err
+		}
+	}
+
+	for {
+		req, err := transport.RecvInts(ep, 0)
+		if err != nil {
+			return err
+		}
+		if len(req) < 1 {
+			return fmt.Errorf("mpc: dealer received empty request")
+		}
+		kind := int(req[0].Int64())
+		switch kind {
+		case reqShutdown:
+			return nil
+		case reqTriples:
+			count := int(req[1].Int64())
+			if err := dealTriples(ep, g, alpha, n, count, cfg.Authenticated); err != nil {
+				return err
+			}
+		case reqBits:
+			count := int(req[1].Int64())
+			if err := dealBits(ep, g, alpha, n, count, cfg.Authenticated); err != nil {
+				return err
+			}
+		case reqInputMasks:
+			count := int(req[1].Int64())
+			owner := int(req[2].Int64())
+			if err := dealInputMasks(ep, g, alpha, n, count, owner, cfg.Authenticated); err != nil {
+				return err
+			}
+		case reqEncMasks:
+			count := int(req[1].Int64())
+			width := uint(req[2].Int64())
+			if err := dealEncMasks(ep, g, alpha, n, count, width, cfg.Authenticated); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mpc: dealer received unknown request kind %d", kind)
+		}
+	}
+}
+
+// shareValue splits v (mod Q) into n additive shares.
+func shareValue(g *prg, v *big.Int, n int) []*big.Int {
+	shares := make([]*big.Int, n)
+	sum := new(big.Int)
+	for i := 0; i < n-1; i++ {
+		shares[i] = g.fieldElem()
+		sum.Add(sum, shares[i])
+	}
+	last := new(big.Int).Sub(v, sum)
+	shares[n-1] = modQ(last)
+	return shares
+}
+
+// dealValues shares each value in vs and appends per-party share vectors to
+// out[p].  With MACs, the MAC share vector is appended immediately after.
+func dealValues(g *prg, alpha *big.Int, n int, vs []*big.Int, auth bool, out [][]*big.Int) {
+	for _, v := range vs {
+		sh := shareValue(g, v, n)
+		for p := 0; p < n; p++ {
+			out[p] = append(out[p], sh[p])
+		}
+		if auth {
+			mac := new(big.Int).Mul(alpha, v)
+			msh := shareValue(g, modQ(mac), n)
+			for p := 0; p < n; p++ {
+				out[p] = append(out[p], msh[p])
+			}
+		}
+	}
+}
+
+func sendAll(ep transport.Endpoint, n int, out [][]*big.Int) error {
+	for p := 0; p < n; p++ {
+		if err := transport.SendInts(ep, p, out[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dealTriples(ep transport.Endpoint, g *prg, alpha *big.Int, n, count int, auth bool) error {
+	out := make([][]*big.Int, n)
+	vs := make([]*big.Int, 0, 3*count)
+	for i := 0; i < count; i++ {
+		a := g.fieldElem()
+		b := g.fieldElem()
+		c := modQ(new(big.Int).Mul(a, b))
+		vs = append(vs, a, b, c)
+	}
+	dealValues(g, alpha, n, vs, auth, out)
+	return sendAll(ep, n, out)
+}
+
+func dealBits(ep transport.Endpoint, g *prg, alpha *big.Int, n, count int, auth bool) error {
+	out := make([][]*big.Int, n)
+	vs := make([]*big.Int, count)
+	for i := range vs {
+		vs[i] = big.NewInt(int64(g.bit()))
+	}
+	dealValues(g, alpha, n, vs, auth, out)
+	return sendAll(ep, n, out)
+}
+
+func dealInputMasks(ep transport.Endpoint, g *prg, alpha *big.Int, n, count, owner int, auth bool) error {
+	out := make([][]*big.Int, n)
+	vs := make([]*big.Int, count)
+	for i := range vs {
+		vs[i] = g.fieldElem()
+	}
+	dealValues(g, alpha, n, vs, auth, out)
+	// The owner additionally learns the plain mask values.
+	out[owner] = append(out[owner], vs...)
+	return sendAll(ep, n, out)
+}
+
+// dealEncMasks deals, per mask, a plain integer piece R_p in [0, 2^width) to
+// every party; the party's field share of R = Σ_p R_p is R_p itself.  Only
+// the MAC shares (if any) need explicit dealing.
+func dealEncMasks(ep transport.Endpoint, g *prg, alpha *big.Int, n, count int, width uint, auth bool) error {
+	out := make([][]*big.Int, n)
+	for i := 0; i < count; i++ {
+		total := new(big.Int)
+		pieces := make([]*big.Int, n)
+		for p := 0; p < n; p++ {
+			pieces[p] = g.intn(width)
+			total.Add(total, pieces[p])
+		}
+		for p := 0; p < n; p++ {
+			out[p] = append(out[p], pieces[p])
+		}
+		if auth {
+			mac := modQ(new(big.Int).Mul(alpha, modQ(total)))
+			msh := shareValue(g, mac, n)
+			for p := 0; p < n; p++ {
+				out[p] = append(out[p], msh[p])
+			}
+		}
+	}
+	return sendAll(ep, n, out)
+}

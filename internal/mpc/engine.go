@@ -1,0 +1,673 @@
+package mpc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+
+	"repro/internal/transport"
+)
+
+// Config configures a party's MPC engine.
+type Config struct {
+	// F is the number of fractional bits for fixed-point values.
+	F uint
+	// Kappa is the statistical security parameter for masked openings.
+	Kappa uint
+	// Authenticated enables SPDZ MAC checking (malicious model, §9.1).
+	Authenticated bool
+	// Seed feeds this party's local randomness (commit-reveal nonces etc.).
+	Seed int64
+	// BatchSize is the minimum dealer request size (amortizes round trips).
+	BatchSize int
+}
+
+// DefaultConfig returns the parameters used throughout the evaluation:
+// f = 16 fractional bits, κ = 40, semi-honest.
+func DefaultConfig() Config {
+	return Config{F: 16, Kappa: 40, BatchSize: 512}
+}
+
+// OpStats counts the MPC operations a party performed.  Rounds counts
+// synchronous open rounds, the right proxy for latency-bound cost.
+type OpStats struct {
+	Mults       int64
+	Opens       int64
+	OpenValues  int64
+	Rounds      int64
+	Comparisons int64
+	Divisions   int64
+	DealerReqs  int64
+}
+
+// Engine is one compute party's handle on the MPC protocol.  It is not safe
+// for concurrent use; each party goroutine owns one engine.
+type Engine struct {
+	ep     transport.Endpoint
+	id, n  int // this party, number of compute parties
+	dealer int // dealer party index
+
+	cfg        Config
+	alphaShare *big.Int
+	local      *prg
+
+	triples    []triple
+	bits       []Share
+	inputMasks map[int][]inputMask
+	encMasks   map[uint][]encMask
+
+	pendingA []*big.Int // opened values awaiting MAC check
+	pendingM []*big.Int // this party's MAC shares for them
+
+	Stats OpStats
+}
+
+// NewEngine attaches a party to the network.  ep must have n+1 endpoints,
+// with the dealer at index n already running RunDealer.  It performs the
+// hello handshake (receiving the MAC key share).
+func NewEngine(ep transport.Endpoint, cfg Config) (*Engine, error) {
+	if cfg.F == 0 {
+		cfg.F = 16
+	}
+	if cfg.Kappa == 0 {
+		cfg.Kappa = 40
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 512
+	}
+	e := &Engine{
+		ep:         ep,
+		id:         ep.ID(),
+		n:          ep.N() - 1,
+		dealer:     ep.N() - 1,
+		cfg:        cfg,
+		local:      newPRG([]byte(fmt.Sprintf("pivot-party-%d-%d", ep.ID(), cfg.Seed))),
+		inputMasks: make(map[int][]inputMask),
+		encMasks:   make(map[uint][]encMask),
+	}
+	hello, err := transport.RecvInts(ep, e.dealer)
+	if err != nil {
+		return nil, fmt.Errorf("mpc: dealer hello: %w", err)
+	}
+	if len(hello) != 1 {
+		return nil, fmt.Errorf("mpc: malformed dealer hello")
+	}
+	e.alphaShare = hello[0]
+	return e, nil
+}
+
+// Shutdown tells the dealer to exit.  Only party 0's call sends the message;
+// all parties may call it.
+func (e *Engine) Shutdown() {
+	if e.id == 0 {
+		_ = transport.SendInts(e.ep, e.dealer, []*big.Int{big.NewInt(reqShutdown)})
+	}
+}
+
+// PartyID returns this party's index.
+func (e *Engine) PartyID() int { return e.id }
+
+// Parties returns the number of compute parties.
+func (e *Engine) Parties() int { return e.n }
+
+// broadcast sends b to every compute party except this one (never to the
+// dealer).
+func (e *Engine) broadcast(b []byte) error {
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			continue
+		}
+		if err := e.ep.Send(p, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) broadcastInts(xs []*big.Int) error {
+	return e.broadcast(transport.MarshalInts(xs))
+}
+
+// F returns the fixed-point fractional bit count.
+func (e *Engine) F() uint { return e.cfg.F }
+
+// Authenticated reports whether MACs are in use.
+func (e *Engine) Authenticated() bool { return e.cfg.Authenticated }
+
+// ---------------------------------------------------------------------------
+// Dealer material
+
+func (e *Engine) request(kind int, args ...int64) {
+	if e.id == 0 {
+		req := make([]*big.Int, 1+len(args))
+		req[0] = big.NewInt(int64(kind))
+		for i, a := range args {
+			req[i+1] = big.NewInt(a)
+		}
+		if err := transport.SendInts(e.ep, e.dealer, req); err != nil {
+			panic(fmt.Sprintf("mpc: dealer request: %v", err))
+		}
+	}
+	e.Stats.DealerReqs++
+}
+
+func (e *Engine) recvDealer() []*big.Int {
+	xs, err := transport.RecvInts(e.ep, e.dealer)
+	if err != nil {
+		panic(fmt.Sprintf("mpc: dealer response: %v", err))
+	}
+	return xs
+}
+
+// parseShares splits a dealer payload of count values (with optional MACs)
+// into shares, returning the leftover payload.
+func (e *Engine) parseShares(payload []*big.Int, count int) ([]Share, []*big.Int) {
+	stride := 1
+	if e.cfg.Authenticated {
+		stride = 2
+	}
+	out := make([]Share, count)
+	for i := 0; i < count; i++ {
+		out[i] = Share{V: payload[i*stride]}
+		if e.cfg.Authenticated {
+			out[i].M = payload[i*stride+1]
+		}
+	}
+	return out, payload[count*stride:]
+}
+
+func (e *Engine) takeTriples(count int) []triple {
+	for len(e.triples) < count {
+		batch := count - len(e.triples)
+		if batch < e.cfg.BatchSize {
+			batch = e.cfg.BatchSize
+		}
+		e.request(reqTriples, int64(batch))
+		payload := e.recvDealer()
+		shares, _ := e.parseShares(payload, 3*batch)
+		for i := 0; i < batch; i++ {
+			e.triples = append(e.triples, triple{a: shares[3*i], b: shares[3*i+1], c: shares[3*i+2]})
+		}
+	}
+	out := e.triples[:count]
+	e.triples = e.triples[count:]
+	return out
+}
+
+func (e *Engine) takeBits(count int) []Share {
+	for len(e.bits) < count {
+		batch := count - len(e.bits)
+		if batch < e.cfg.BatchSize {
+			batch = e.cfg.BatchSize
+		}
+		e.request(reqBits, int64(batch))
+		payload := e.recvDealer()
+		shares, _ := e.parseShares(payload, batch)
+		e.bits = append(e.bits, shares...)
+	}
+	out := e.bits[:count]
+	e.bits = e.bits[count:]
+	return out
+}
+
+func (e *Engine) takeInputMasks(owner, count int) []inputMask {
+	q := e.inputMasks[owner]
+	for len(q) < count {
+		batch := count - len(q)
+		if batch < 64 {
+			batch = 64
+		}
+		e.request(reqInputMasks, int64(batch), int64(owner))
+		payload := e.recvDealer()
+		shares, rest := e.parseShares(payload, batch)
+		masks := make([]inputMask, batch)
+		for i := range masks {
+			masks[i] = inputMask{share: shares[i]}
+			if e.id == owner {
+				masks[i].plain = rest[i]
+			}
+		}
+		q = append(q, masks...)
+	}
+	e.inputMasks[owner] = q[count:]
+	return q[:count]
+}
+
+func (e *Engine) takeEncMasks(count int, width uint) []encMask {
+	q := e.encMasks[width]
+	for len(q) < count {
+		batch := count - len(q)
+		if batch < 64 {
+			batch = 64
+		}
+		e.request(reqEncMasks, int64(batch), int64(width))
+		payload := e.recvDealer()
+		masks := make([]encMask, batch)
+		if e.cfg.Authenticated {
+			for i := range masks {
+				plain := payload[2*i]
+				masks[i] = encMask{
+					plain: plain,
+					share: Share{V: modQ(new(big.Int).Set(plain)), M: payload[2*i+1]},
+				}
+			}
+		} else {
+			for i := range masks {
+				plain := payload[i]
+				masks[i] = encMask{plain: plain, share: Share{V: modQ(new(big.Int).Set(plain))}}
+			}
+		}
+		q = append(q, masks...)
+	}
+	e.encMasks[width] = q[count:]
+	return q[:count]
+}
+
+// ---------------------------------------------------------------------------
+// Linear (local) share algebra
+
+// zeroShare returns a share of 0 with a valid (zero) MAC share.
+func (e *Engine) zeroShare() Share {
+	s := Share{V: new(big.Int)}
+	if e.cfg.Authenticated {
+		s.M = new(big.Int)
+	}
+	return s
+}
+
+// Const returns a sharing of the public constant c: party 0 holds c, the
+// rest hold 0, and every party holds α_i·c as MAC share.
+func (e *Engine) Const(c *big.Int) Share {
+	s := e.zeroShare()
+	if e.id == 0 {
+		s.V = ToField(c)
+	}
+	if e.cfg.Authenticated {
+		s.M = modQ(new(big.Int).Mul(e.alphaShare, ToField(c)))
+	}
+	return s
+}
+
+// ConstInt64 is Const for small constants.
+func (e *Engine) ConstInt64(c int64) Share { return e.Const(big.NewInt(c)) }
+
+// Add returns x + y.
+func (e *Engine) Add(x, y Share) Share {
+	s := Share{V: modQ(new(big.Int).Add(x.V, y.V))}
+	if e.cfg.Authenticated {
+		s.M = modQ(new(big.Int).Add(x.M, y.M))
+	}
+	return s
+}
+
+// Sub returns x - y.
+func (e *Engine) Sub(x, y Share) Share {
+	s := Share{V: modQ(new(big.Int).Sub(x.V, y.V))}
+	if e.cfg.Authenticated {
+		s.M = modQ(new(big.Int).Sub(x.M, y.M))
+	}
+	return s
+}
+
+// Neg returns -x.
+func (e *Engine) Neg(x Share) Share {
+	s := Share{V: modQ(new(big.Int).Neg(x.V))}
+	if e.cfg.Authenticated {
+		s.M = modQ(new(big.Int).Neg(x.M))
+	}
+	return s
+}
+
+// AddConst returns x + c for public c.
+func (e *Engine) AddConst(x Share, c *big.Int) Share {
+	s := Share{V: new(big.Int).Set(x.V)}
+	if e.id == 0 {
+		s.V = modQ(s.V.Add(s.V, c))
+	}
+	if e.cfg.Authenticated {
+		m := new(big.Int).Mul(e.alphaShare, ToField(c))
+		s.M = modQ(m.Add(m, x.M))
+	}
+	return s
+}
+
+// MulPub returns c·x for public c.
+func (e *Engine) MulPub(x Share, c *big.Int) Share {
+	s := Share{V: modQ(new(big.Int).Mul(x.V, c))}
+	if e.cfg.Authenticated {
+		s.M = modQ(new(big.Int).Mul(x.M, c))
+	}
+	return s
+}
+
+// Sum returns the sum of shares.
+func (e *Engine) Sum(xs []Share) Share {
+	acc := e.zeroShare()
+	for _, x := range xs {
+		acc = e.Add(acc, x)
+	}
+	return acc
+}
+
+// Select returns b + s·(a-b), i.e. a if s==1 else b (one multiplication).
+// s must be a sharing of 0 or 1.
+func (e *Engine) Select(s, a, b Share) Share {
+	d := e.MulVec([]Share{s}, []Share{e.Sub(a, b)})[0]
+	return e.Add(b, d)
+}
+
+// SelectVec applies the same selector bit to each (a, b) pair in one round.
+func (e *Engine) SelectVec(s Share, as, bs []Share) []Share {
+	sel := make([]Share, len(as))
+	diff := make([]Share, len(as))
+	for i := range as {
+		sel[i] = s
+		diff[i] = e.Sub(as[i], bs[i])
+	}
+	prods := e.MulVec(sel, diff)
+	out := make([]Share, len(as))
+	for i := range as {
+		out[i] = e.Add(bs[i], prods[i])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Interactive primitives
+
+// OpenVec reconstructs values: every party broadcasts its shares and sums
+// the contributions.  One synchronous round for the whole batch.  With MACs
+// the opened values are queued for CheckMACs.
+func (e *Engine) OpenVec(xs []Share) []*big.Int {
+	e.Stats.Opens++
+	e.Stats.OpenValues += int64(len(xs))
+	e.Stats.Rounds++
+	mine := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		mine[i] = x.V
+	}
+	if err := e.broadcastInts(mine[:len(xs)]); err != nil {
+		panic(fmt.Sprintf("mpc: open broadcast: %v", err))
+	}
+	totals := make([]*big.Int, len(xs))
+	for i := range totals {
+		totals[i] = new(big.Int).Set(xs[i].V)
+	}
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			continue
+		}
+		theirs, err := transport.RecvInts(e.ep, p)
+		if err != nil {
+			panic(fmt.Sprintf("mpc: open recv: %v", err))
+		}
+		if len(theirs) != len(xs) {
+			panic(fmt.Sprintf("mpc: open length mismatch: got %d want %d", len(theirs), len(xs)))
+		}
+		for i := range totals {
+			totals[i].Add(totals[i], theirs[i])
+		}
+	}
+	for i := range totals {
+		modQ(totals[i])
+		if e.cfg.Authenticated {
+			e.pendingA = append(e.pendingA, totals[i])
+			e.pendingM = append(e.pendingM, xs[i].M)
+		}
+	}
+	return totals
+}
+
+// Open reconstructs a single value.
+func (e *Engine) Open(x Share) *big.Int {
+	return e.OpenVec([]Share{x})[0]
+}
+
+// OpenSigned reconstructs a value and decodes it as signed.
+func (e *Engine) OpenSigned(x Share) *big.Int {
+	return Signed(e.Open(x))
+}
+
+// InputVec secret-shares values held by owner: the dealer supplies random
+// masks ⟨r⟩ with r revealed to the owner, the owner broadcasts δ = x - r,
+// and everyone computes ⟨x⟩ = ⟨r⟩ + δ.
+func (e *Engine) InputVec(owner int, xs []*big.Int) []Share {
+	count := e.inputCount(owner, len(xs))
+	masks := e.takeInputMasks(owner, count)
+	var deltas []*big.Int
+	if e.id == owner {
+		deltas = make([]*big.Int, count)
+		for i := range deltas {
+			d := new(big.Int).Sub(ToField(xs[i]), masks[i].plain)
+			deltas[i] = modQ(d)
+		}
+		if err := e.broadcastInts(deltas); err != nil {
+			panic(fmt.Sprintf("mpc: input broadcast: %v", err))
+		}
+	} else {
+		var err error
+		deltas, err = transport.RecvInts(e.ep, owner)
+		if err != nil {
+			panic(fmt.Sprintf("mpc: input recv: %v", err))
+		}
+		if len(deltas) != count {
+			panic("mpc: input length mismatch")
+		}
+	}
+	e.Stats.Rounds++
+	out := make([]Share, count)
+	for i := range out {
+		out[i] = e.AddConst(masks[i].share, deltas[i])
+	}
+	return out
+}
+
+// inputCount agrees on the batch size: the owner knows len(xs); other
+// parties pass len == expected count (they must know it from protocol
+// context).  Both sides simply use the passed length.
+func (e *Engine) inputCount(owner, n int) int { return n }
+
+// Input secret-shares one value held by owner.  Non-owners pass nil.
+func (e *Engine) Input(owner int, x *big.Int) Share {
+	var xs []*big.Int
+	if e.id == owner {
+		xs = []*big.Int{x}
+	} else {
+		xs = []*big.Int{nil}
+	}
+	return e.InputVec(owner, xs)[0]
+}
+
+// MulVec multiplies pairwise with Beaver triples: one open round per batch.
+func (e *Engine) MulVec(xs, ys []Share) []Share {
+	if len(xs) != len(ys) {
+		panic("mpc: MulVec length mismatch")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	e.Stats.Mults += int64(len(xs))
+	ts := e.takeTriples(len(xs))
+	opens := make([]Share, 0, 2*len(xs))
+	for i := range xs {
+		opens = append(opens, e.Sub(xs[i], ts[i].a), e.Sub(ys[i], ts[i].b))
+	}
+	ef := e.OpenVec(opens)
+	out := make([]Share, len(xs))
+	for i := range xs {
+		ev, fv := ef[2*i], ef[2*i+1]
+		z := ts[i].c
+		z = e.Add(z, e.MulPub(ts[i].b, ev))
+		z = e.Add(z, e.MulPub(ts[i].a, fv))
+		z = e.AddConst(z, new(big.Int).Mul(ev, fv))
+		out[i] = z
+	}
+	return out
+}
+
+// Mul multiplies two shared values.
+func (e *Engine) Mul(x, y Share) Share {
+	return e.MulVec([]Share{x}, []Share{y})[0]
+}
+
+// ---------------------------------------------------------------------------
+// MAC checking (malicious model)
+
+// CheckMACs runs the SPDZ batched MAC check over every value opened since
+// the last check.  It returns an error if the MAC relation fails, meaning
+// some party tampered with a share.
+func (e *Engine) CheckMACs() error {
+	if !e.cfg.Authenticated {
+		return nil
+	}
+	if len(e.pendingA) == 0 {
+		return nil
+	}
+	// Jointly derive public coefficients by commit-reveal of per-party seeds.
+	seed := e.local.read(32)
+	combined, err := e.commitReveal(seed)
+	if err != nil {
+		return err
+	}
+	coeffs := coinCoeffs(combined, len(e.pendingA))
+	// σ_i = Σ ρ_j·m_ij − α_i·(Σ ρ_j·a_j)
+	aCombo := new(big.Int)
+	mCombo := new(big.Int)
+	for j := range e.pendingA {
+		aCombo.Add(aCombo, new(big.Int).Mul(coeffs[j], e.pendingA[j]))
+		mCombo.Add(mCombo, new(big.Int).Mul(coeffs[j], e.pendingM[j]))
+	}
+	modQ(aCombo)
+	modQ(mCombo)
+	sigma := modQ(new(big.Int).Sub(mCombo, new(big.Int).Mul(e.alphaShare, aCombo)))
+	e.pendingA = e.pendingA[:0]
+	e.pendingM = e.pendingM[:0]
+
+	// Commit-reveal σ shares, then check they sum to zero.
+	sigmas, err := e.commitRevealValues([]*big.Int{sigma})
+	if err != nil {
+		return err
+	}
+	total := new(big.Int)
+	for _, s := range sigmas {
+		total.Add(total, s)
+	}
+	if modQ(total).Sign() != 0 {
+		return fmt.Errorf("mpc: MAC check failed (party %d)", e.id)
+	}
+	return nil
+}
+
+// commitReveal broadcasts H(seed), then seed, verifying peers' commitments,
+// and returns the XOR of all seeds.
+func (e *Engine) commitReveal(seed []byte) ([]byte, error) {
+	h := sha256.Sum256(seed)
+	if err := e.broadcast(h[:]); err != nil {
+		return nil, err
+	}
+	commits := make([][]byte, e.n)
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			commits[p] = h[:]
+			continue
+		}
+		c, err := e.ep.Recv(p)
+		if err != nil {
+			return nil, err
+		}
+		commits[p] = c
+	}
+	if err := e.broadcast(seed); err != nil {
+		return nil, err
+	}
+	combined := make([]byte, 32)
+	copy(combined, seed)
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			continue
+		}
+		s, err := e.ep.Recv(p)
+		if err != nil {
+			return nil, err
+		}
+		hh := sha256.Sum256(s)
+		if !bytes.Equal(hh[:], commits[p]) {
+			return nil, fmt.Errorf("mpc: party %d broke its coin commitment", p)
+		}
+		for i := range combined {
+			combined[i] ^= s[i%len(s)]
+		}
+	}
+	e.Stats.Rounds += 2
+	return combined, nil
+}
+
+// commitRevealValues commit-reveals one field element per party and returns
+// all parties' values (own value included).
+func (e *Engine) commitRevealValues(vals []*big.Int) ([]*big.Int, error) {
+	payload := transport.MarshalInts(vals)
+	nonce := e.local.read(16)
+	blob := append(append([]byte{}, payload...), nonce...)
+	h := sha256.Sum256(blob)
+	if err := e.broadcast(h[:]); err != nil {
+		return nil, err
+	}
+	commits := make([][]byte, e.n)
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			continue
+		}
+		c, err := e.ep.Recv(p)
+		if err != nil {
+			return nil, err
+		}
+		commits[p] = c
+	}
+	if err := e.broadcast(blob); err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, 0, e.n*len(vals))
+	for p := 0; p < e.n; p++ {
+		if p == e.id {
+			out = append(out, vals...)
+			continue
+		}
+		b, err := e.ep.Recv(p)
+		if err != nil {
+			return nil, err
+		}
+		hh := sha256.Sum256(b)
+		if !bytes.Equal(hh[:], commits[p]) {
+			return nil, fmt.Errorf("mpc: party %d broke its value commitment", p)
+		}
+		theirs, _, err := transport.UnmarshalInts(b[:len(b)-16])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, theirs...)
+	}
+	e.Stats.Rounds += 2
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Offline material exposed to the protocol layer
+
+// EncMask pairs this party's plain integer piece R_i with its field share of
+// R = Σ R_i.  The HE↔MPC bridges (core package) use these to convert shared
+// values into threshold-Paillier ciphertexts without leaving the integers.
+type EncMask struct {
+	Plain *big.Int
+	Share Share
+}
+
+// EncMasks returns count encryption masks of the given bit width per piece.
+func (e *Engine) EncMasks(count int, width uint) []EncMask {
+	ms := e.takeEncMasks(count, width)
+	out := make([]EncMask, count)
+	for i, m := range ms {
+		out[i] = EncMask{Plain: m.plain, Share: m.share}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package mpc implements the secret-sharing side of Pivot's hybrid
+// framework: SPDZ-style additive secret sharing over a prime field with a
+// trusted-dealer offline phase (the paper benchmarks the online phase of
+// MP-SPDZ; see DESIGN.md "Substitutions").
+//
+// The package provides the secure computation primitives of §2.2 — addition,
+// Beaver multiplication, comparison, division — plus the derived primitives
+// the protocols need: truncation (Catrina–de Hoogh), bit decomposition,
+// equality, argmax, fixed-point reciprocal/division (Goldschmidt/Newton),
+// exponentiation, logarithm and softmax.  All primitives are vectorized;
+// every element of a batch shares the same communication round.
+//
+// Parties are single-program-multiple-data: each compute party runs the same
+// call sequence on its Engine, and the dealer party runs RunDealer.
+package mpc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// Q is the field modulus 2^255 - 19 (prime).  It leaves ample headroom for
+// the k + κ bit masked openings used by the comparison protocols.
+var Q = func() *big.Int {
+	q := new(big.Int).Lsh(big.NewInt(1), 255)
+	return q.Sub(q, big.NewInt(19))
+}()
+
+// qHalf is Q/2, used for signed decoding.
+var qHalf = new(big.Int).Rsh(Q, 1)
+
+// Share is one party's additive share of a secret value in Z_Q.  In
+// authenticated (malicious-secure) mode M holds the share of the SPDZ MAC
+// α·value; in semi-honest mode M is nil.
+type Share struct {
+	V *big.Int
+	M *big.Int
+}
+
+func modQ(x *big.Int) *big.Int {
+	x.Mod(x, Q)
+	if x.Sign() < 0 {
+		x.Add(x, Q)
+	}
+	return x
+}
+
+// Signed interprets a field element as a signed integer in (-Q/2, Q/2].
+func Signed(x *big.Int) *big.Int {
+	out := new(big.Int).Set(x)
+	if out.Cmp(qHalf) > 0 {
+		out.Sub(out, Q)
+	}
+	return out
+}
+
+// ToField maps a signed integer into Z_Q.
+func ToField(x *big.Int) *big.Int {
+	return modQ(new(big.Int).Set(x))
+}
+
+// prg is a deterministic expandable randomness source used by the dealer and
+// by public coin derivation.  SHA-256 in counter mode; plenty for a protocol
+// simulation (see DESIGN.md).
+type prg struct {
+	key [32]byte
+	ctr uint64
+	buf []byte
+}
+
+func newPRG(seed []byte) *prg {
+	p := &prg{}
+	p.key = sha256.Sum256(seed)
+	return p
+}
+
+func (p *prg) read(n int) []byte {
+	for len(p.buf) < n {
+		var blk [40]byte
+		copy(blk[:32], p.key[:])
+		binary.BigEndian.PutUint64(blk[32:], p.ctr)
+		p.ctr++
+		h := sha256.Sum256(blk[:])
+		p.buf = append(p.buf, h[:]...)
+	}
+	out := p.buf[:n]
+	p.buf = p.buf[n:]
+	return out
+}
+
+// fieldElem samples a uniform element of Z_Q.  The modulo bias from reducing
+// 512 random bits is below 2^-250.
+func (p *prg) fieldElem() *big.Int {
+	x := new(big.Int).SetBytes(p.read(64))
+	return x.Mod(x, Q)
+}
+
+// intn samples a uniform integer in [0, 2^bits).
+func (p *prg) intn(bits uint) *big.Int {
+	nbytes := int(bits+7) / 8
+	x := new(big.Int).SetBytes(p.read(nbytes))
+	if rem := uint(nbytes*8) - bits; rem > 0 {
+		x.Rsh(x, rem)
+	}
+	return x
+}
+
+func (p *prg) bit() uint {
+	return uint(p.read(1)[0] & 1)
+}
+
+// coinCoeffs expands a public seed into count field coefficients (used by
+// the MAC check's random linear combination).
+func coinCoeffs(seed []byte, count int) []*big.Int {
+	g := newPRG(seed)
+	out := make([]*big.Int, count)
+	for i := range out {
+		out[i] = g.fieldElem()
+	}
+	return out
+}

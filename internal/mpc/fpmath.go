@@ -1,0 +1,291 @@
+package mpc
+
+import (
+	"math"
+	"math/big"
+)
+
+// Fixed-point arithmetic on shared values.  A share is "f-scaled" when it
+// represents x·2^F for a real x.  Division uses bit-decomposition
+// normalization followed by Newton–Raphson reciprocal iterations
+// (Catrina–Saxena, FC'10), matching the secure division SPDZ provides and
+// the paper invokes for Eqn (8).
+
+// EncodeConst encodes a float constant at the engine's fixed-point scale.
+func (e *Engine) EncodeConst(x float64) *big.Int {
+	return big.NewInt(int64(math.Round(x * math.Ldexp(1, int(e.cfg.F)))))
+}
+
+// DecodeSigned decodes an opened field element to a float at scale 2^F.
+func (e *Engine) DecodeSigned(x *big.Int) float64 {
+	f, _ := new(big.Float).SetInt(Signed(x)).Float64()
+	return f / math.Ldexp(1, int(e.cfg.F))
+}
+
+// FPMulVec multiplies f-scaled values pairwise and rescales: the raw
+// products must be bounded by 2^(k-1) in magnitude.
+func (e *Engine) FPMulVec(xs, ys []Share, k uint) []Share {
+	raw := e.MulVec(xs, ys)
+	return e.TruncVec(raw, k, e.cfg.F)
+}
+
+// FPMul multiplies two f-scaled values.
+func (e *Engine) FPMul(x, y Share, k uint) Share {
+	return e.FPMulVec([]Share{x}, []Share{y}, k)[0]
+}
+
+// FPDivVec computes, elementwise, the f-scaled quotient ⟨2^F·a/b⟩ for
+// non-negative a and positive b, both bounded by 2^k (as raw integers; if
+// both carry the same scale the quotient is f-scaled directly).  A zero
+// divisor yields zero.  Requires F+2 <= k and 2k+F+2+κ within the field.
+func (e *Engine) FPDivVec(as, bs []Share, k uint) []Share {
+	if k <= e.cfg.F+1 {
+		k = e.cfg.F + 2
+	}
+	e.checkWidth(2*k + e.cfg.F + 2)
+	e.Stats.Divisions += int64(len(as))
+	f := e.cfg.F
+	count := len(as)
+
+	// Normalize: B = b·v ∈ [2^(k-1), 2^k).
+	bits := e.BitDecVec(bs, k)
+	vs, _ := e.msbNormalizeVec(bits, k)
+	Bs := e.MulVec(bs, vs)
+	// x = B·2^(f-k), an f-scaled value in [0.5, 1).
+	xs := e.TruncVec(Bs, k+1, k-f)
+
+	// w ≈ 2^(2f)/x via Newton iterations from w0 = 2.9142 - 2x.
+	w0c := e.EncodeConst(2.9142)
+	ws := make([]Share, count)
+	for t := range ws {
+		ws[t] = e.AddConst(e.MulPub(xs[t], big.NewInt(-2)), w0c)
+	}
+	two := new(big.Int).Lsh(big.NewInt(1), f+1)
+	for iter := 0; iter < 4; iter++ {
+		ts := e.FPMulVec(xs, ws, 2*f+3)
+		corr := make([]Share, count)
+		for t := range corr {
+			corr[t] = e.AddConst(e.Neg(ts[t]), two)
+		}
+		ws = e.FPMulVec(ws, corr, 2*f+3)
+	}
+
+	// result = Trunc(a·v·w, 2k).  a·v·w = a·v·2^(2f)/x·... = 2^f·a/b.
+	avs := e.MulVec(as, vs)
+	prods := e.MulVec(avs, ws)
+	return e.TruncVec(prods, 2*k+f+2, k)
+}
+
+// FPDiv divides one pair.
+func (e *Engine) FPDiv(a, b Share, k uint) Share {
+	return e.FPDivVec([]Share{a}, []Share{b}, k)[0]
+}
+
+// RecipVec computes f-scaled reciprocals ⟨2^F/b⟩ for positive integers b.
+func (e *Engine) RecipVec(bs []Share, k uint) []Share {
+	ones := make([]Share, len(bs))
+	for i := range ones {
+		ones[i] = e.ConstInt64(1)
+	}
+	return e.FPDivVec(ones, bs, k)
+}
+
+// expMaxAbs bounds the clamped exponent input.
+const expMaxAbs = 20.0
+
+// ExpVec computes elementwise e^x for f-scaled x with |x| < 2^(kIn-1)
+// (inputs are clamped to ±20 first, so the result fits easily).
+func (e *Engine) ExpVec(xs []Share, kIn uint) []Share {
+	f := e.cfg.F
+	count := len(xs)
+	lo := e.EncodeConst(-expMaxAbs)
+	hi := e.EncodeConst(expMaxAbs)
+
+	// Clamp to [-20, 20].
+	loS := make([]Share, count)
+	hiS := make([]Share, count)
+	for t := range loS {
+		loS[t] = e.Const(lo)
+		hiS[t] = e.Const(hi)
+	}
+	belows := e.LTVec(xs, loS, kIn)
+	clamped := e.selectPairwise(belows, loS, xs)
+	aboves := e.LTVec(hiS, clamped, kIn)
+	clamped = e.selectPairwise(aboves, hiS, clamped)
+
+	// y = x·log2(e); t = y + 32 ∈ (2, 62); split integer/fraction.
+	log2e := e.EncodeConst(math.Log2(math.E))
+	ys := make([]Share, count)
+	for t := range ys {
+		ys[t] = e.MulPub(clamped[t], log2e)
+	}
+	ys = e.TruncVec(ys, 2*f+7, f)
+	off := new(big.Int).Lsh(big.NewInt(32), f)
+	ts := make([]Share, count)
+	for t := range ts {
+		ts[t] = e.AddConst(ys[t], off)
+	}
+	ips := e.TruncVec(ts, f+7, f)
+	rems := make([]Share, count)
+	scaleF := new(big.Int).Lsh(big.NewInt(1), f)
+	for t := range rems {
+		rems[t] = e.Sub(ts[t], e.MulPub(ips[t], scaleF))
+	}
+
+	// 2^ip from the 6 bits of ip.
+	bits := e.BitDecVec(ips, 6)
+	pows := make([]Share, count)
+	for t := range pows {
+		pows[t] = e.Const(big.NewInt(1))
+	}
+	for j := uint(0); j < 6; j++ {
+		terms := make([]Share, count)
+		mult := new(big.Int).Lsh(big.NewInt(1), 1<<j)
+		mult.Sub(mult, big.NewInt(1))
+		for t := range terms {
+			terms[t] = e.AddConst(e.MulPub(bits[t][j], mult), big.NewInt(1))
+		}
+		pows = e.MulVec(pows, terms)
+	}
+
+	// 2^rem for rem ∈ [0,1) via the degree-7 Taylor series of e^(rem·ln2).
+	polys := e.polyHorner(rems, exp2Coeffs(), 2*f+3)
+
+	// result = pow·poly / 2^32.
+	prods := e.MulVec(pows, polys)
+	return e.TruncVec(prods, 64+f+4, 32)
+}
+
+// Exp computes e^x for a single f-scaled share.
+func (e *Engine) Exp(x Share, kIn uint) Share {
+	return e.ExpVec([]Share{x}, kIn)[0]
+}
+
+func exp2Coeffs() []float64 {
+	// 2^r = Σ (r·ln2)^j / j!, j = 0..7, as polynomial coefficients in r.
+	coeffs := make([]float64, 8)
+	ln2 := math.Ln2
+	fact := 1.0
+	pow := 1.0
+	for j := 0; j < 8; j++ {
+		if j > 0 {
+			fact *= float64(j)
+			pow *= ln2
+		}
+		coeffs[j] = pow / fact
+	}
+	return coeffs
+}
+
+// polyHorner evaluates Σ c_j·x^j with Horner's rule on f-scaled inputs.
+func (e *Engine) polyHorner(xs []Share, coeffs []float64, k uint) []Share {
+	count := len(xs)
+	acc := make([]Share, count)
+	top := e.EncodeConst(coeffs[len(coeffs)-1])
+	for t := range acc {
+		acc[t] = e.Const(top)
+	}
+	for j := len(coeffs) - 2; j >= 0; j-- {
+		acc = e.FPMulVec(acc, xs, k)
+		c := e.EncodeConst(coeffs[j])
+		for t := range acc {
+			acc[t] = e.AddConst(acc[t], c)
+		}
+	}
+	return acc
+}
+
+// selectPairwise returns s_t ? a_t : b_t elementwise in one round.
+func (e *Engine) selectPairwise(ss, as, bs []Share) []Share {
+	diffs := make([]Share, len(as))
+	for i := range as {
+		diffs[i] = e.Sub(as[i], bs[i])
+	}
+	prods := e.MulVec(ss, diffs)
+	out := make([]Share, len(as))
+	for i := range as {
+		out[i] = e.Add(bs[i], prods[i])
+	}
+	return out
+}
+
+// LnVec computes elementwise ln(x) for f-scaled x in (0, 1] (the domain the
+// differential-privacy mechanisms need: ln(1 - 2|U|) with U ∈ (-1/2, 1/2)).
+func (e *Engine) LnVec(xs []Share) []Share {
+	f := e.cfg.F
+	count := len(xs)
+	k := f + 1
+
+	// Normalize x to B = x·2^(f-p) ∈ [2^f, 2^(f+1)), i.e. value u ∈ [1, 2).
+	bits := e.BitDecVec(xs, k)
+	vs, ps := e.msbNormalizeVec(bits, k)
+	Bs := e.MulVec(xs, vs)
+
+	// w = u - 1 ∈ [0, 1);  t = w / (2 + w) ∈ [0, 1/3);
+	// ln u = 2·atanh(t) = 2(t + t³/3 + t⁵/5 + t⁷/7 + t⁹/9).
+	scaleF := new(big.Int).Lsh(big.NewInt(1), f)
+	wShares := make([]Share, count)
+	denoms := make([]Share, count)
+	two := new(big.Int).Lsh(big.NewInt(2), f)
+	for t := range wShares {
+		wShares[t] = e.AddConst(Bs[t], new(big.Int).Neg(scaleF))
+		denoms[t] = e.AddConst(wShares[t], two)
+	}
+	ts := e.FPDivVec(wShares, denoms, f+3)
+	t2 := e.FPMulVec(ts, ts, 2*f+3)
+	// Horner in t²: ((1/9·t² + 1/7)·t² + 1/5)·t² + 1/3)·t² + 1, then ·t·2.
+	acc := make([]Share, count)
+	c9 := e.EncodeConst(1.0 / 9.0)
+	for t := range acc {
+		acc[t] = e.Const(c9)
+	}
+	for _, cf := range []float64{1.0 / 7.0, 1.0 / 5.0, 1.0 / 3.0, 1.0} {
+		acc = e.FPMulVec(acc, t2, 2*f+3)
+		c := e.EncodeConst(cf)
+		for t := range acc {
+			acc[t] = e.AddConst(acc[t], c)
+		}
+	}
+	atanh := e.FPMulVec(acc, ts, 2*f+3)
+
+	// ln x = 2·atanh + (p - f)·ln 2.
+	ln2 := e.EncodeConst(math.Ln2)
+	out := make([]Share, count)
+	for t := range out {
+		pTerm := e.MulPub(e.AddConst(ps[t], big.NewInt(-int64(f))), ln2)
+		out[t] = e.Add(e.MulPub(atanh[t], big.NewInt(2)), pTerm)
+	}
+	return out
+}
+
+// Ln computes ln(x) for one f-scaled share in (0, 1].
+func (e *Engine) Ln(x Share) Share {
+	return e.LnVec([]Share{x})[0]
+}
+
+// SoftmaxVec computes softmax over xs (f-scaled logits, |x| < 2^(kIn-1)).
+// Used by Pivot-GBDT classification (§7.2: "secure softmax ... constructed
+// using secure exponential, secure addition, and secure division").
+func (e *Engine) SoftmaxVec(xs []Share, kIn uint) []Share {
+	es := e.ExpVec(xs, kIn)
+	sum := e.Sum(es)
+	sums := make([]Share, len(es))
+	for i := range sums {
+		sums[i] = sum
+	}
+	// exp ≤ e^20·2^f < 2^46; sum ≤ c·that.
+	return e.FPDivVec(es, sums, 52)
+}
+
+// RandUniformFP returns count f-scaled shared values uniform in [0, 1),
+// assembled from dealer-provided random bits (the SPDZ primitive Algorithm
+// 5 of the paper relies on).
+func (e *Engine) RandUniformFP(count int) []Share {
+	return e.randMask(count, e.cfg.F)
+}
+
+// SelectPairs returns s_i ? a_i : b_i elementwise in one multiplication
+// round.  Each s_i must share 0 or 1.
+func (e *Engine) SelectPairs(ss, as, bs []Share) []Share {
+	return e.selectPairwise(ss, as, bs)
+}

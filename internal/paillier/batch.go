@@ -1,0 +1,150 @@
+package paillier
+
+import (
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// Batch helpers.  Threshold decryption is the dominant cost of Pivot's MPC
+// conversion step (§6: the O(cdbt) and O(nt) C_d terms), and the paper's
+// "-PP" variants parallelize exactly this, reporting up to 2.7× lower
+// training time.  Parallelism is a knob so benchmarks can report both the
+// sequential and parallel variants.
+
+// PartialDecryptVec computes this party's decryption share for every
+// ciphertext, optionally in parallel across workers goroutines (workers <= 1
+// means sequential).
+func (k *PartialKey) PartialDecryptVec(pk *PublicKey, cs []*Ciphertext, workers int) []*DecryptionShare {
+	out := make([]*DecryptionShare, len(cs))
+	parallelFor(len(cs), workers, func(i int) {
+		out[i] = k.PartialDecrypt(pk, cs[i])
+	})
+	return out
+}
+
+// CombineSharesVec combines per-ciphertext share vectors: sharesByParty[p][i]
+// is party p's share for ciphertext i.
+func (pk *PublicKey) CombineSharesVec(sharesByParty [][]*DecryptionShare, workers int) ([]*big.Int, error) {
+	if len(sharesByParty) == 0 {
+		return nil, nil
+	}
+	n := len(sharesByParty[0])
+	out := make([]*big.Int, n)
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(n, workers, func(i int) {
+		shares := make([]*DecryptionShare, len(sharesByParty))
+		for p := range sharesByParty {
+			shares[p] = sharesByParty[p][i]
+		}
+		v, err := pk.CombineShares(shares)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = v
+	})
+	return out, firstErr
+}
+
+// EncryptVec encrypts a vector of signed plaintexts.
+func (pk *PublicKey) EncryptVec(random io.Reader, xs []*big.Int, workers int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(xs))
+	if workers <= 1 {
+		for i, x := range xs {
+			ct, err := pk.Encrypt(random, x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ct
+		}
+		return out, nil
+	}
+	// Parallel path requires an independent randomness source per worker;
+	// crypto/rand.Reader is safe for concurrent use.
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(xs), workers, func(i int) {
+		ct, err := pk.Encrypt(random, xs[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = ct
+	})
+	return out, firstErr
+}
+
+// MarshalCiphertexts flattens ciphertexts for the wire.
+func MarshalCiphertexts(cs []*Ciphertext) []*big.Int {
+	out := make([]*big.Int, len(cs))
+	for i, c := range cs {
+		out[i] = c.C
+	}
+	return out
+}
+
+// UnmarshalCiphertexts wraps wire integers back into ciphertexts.
+func UnmarshalCiphertexts(xs []*big.Int) []*Ciphertext {
+	out := make([]*Ciphertext, len(xs))
+	for i, x := range xs {
+		out[i] = &Ciphertext{C: x}
+	}
+	return out
+}
+
+// MarshalShares flattens decryption shares (index order is positional).
+func MarshalShares(ss []*DecryptionShare) []*big.Int {
+	out := make([]*big.Int, len(ss))
+	for i, s := range ss {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// UnmarshalShares reconstructs decryption shares for party index.
+func UnmarshalShares(index int, xs []*big.Int) []*DecryptionShare {
+	out := make([]*DecryptionShare, len(xs))
+	for i, x := range xs {
+		out[i] = &DecryptionShare{Index: index, Value: x}
+	}
+	return out
+}
+
+func parallelFor(n, workers int, body func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

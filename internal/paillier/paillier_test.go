@@ -1,0 +1,265 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+const testBits = 256
+
+func testKeys(t testing.TB, parties int) (*PublicKey, *SecretKey, []*PartialKey) {
+	t.Helper()
+	pk, sk, pks, err := KeyGen(rand.Reader, testBits, parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, sk, pks
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	pk, sk, _ := testKeys(t, 3)
+	for _, v := range []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40)} {
+		ct, err := pk.EncryptInt64(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sk.Decrypt(pk, ct); got.Int64() != v {
+			t.Errorf("Decrypt(Enc(%d)) = %v", v, got)
+		}
+	}
+}
+
+func TestEncryptDecryptQuick(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	f := func(v int64) bool {
+		ct, err := pk.Encrypt(rand.Reader, big.NewInt(v))
+		if err != nil {
+			return false
+		}
+		return sk.Decrypt(pk, ct).Int64() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdDecrypt(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5} {
+		pk, _, pks := testKeys(t, m)
+		for _, v := range []int64{0, 7, -7, 123456789} {
+			ct, err := pk.EncryptInt64(rand.Reader, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares := make([]*DecryptionShare, m)
+			for i, k := range pks {
+				shares[i] = k.PartialDecrypt(pk, ct)
+			}
+			got, err := pk.CombineShares(shares)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int64() != v {
+				t.Errorf("m=%d: threshold decrypt %d -> %v", m, v, got)
+			}
+		}
+	}
+}
+
+func TestThresholdRequiresAllShares(t *testing.T) {
+	pk, _, pks := testKeys(t, 3)
+	ct, _ := pk.EncryptInt64(rand.Reader, 99)
+	shares := []*DecryptionShare{pks[0].PartialDecrypt(pk, ct), pks[1].PartialDecrypt(pk, ct)}
+	got, err := pk.CombineShares(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() == 99 {
+		t.Fatal("decryption with m-1 shares should not yield the plaintext")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	c1, _ := pk.EncryptInt64(rand.Reader, 1234)
+	c2, _ := pk.EncryptInt64(rand.Reader, -234)
+	if got := sk.Decrypt(pk, pk.Add(c1, c2)); got.Int64() != 1000 {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := sk.Decrypt(pk, pk.Sub(c1, c2)); got.Int64() != 1468 {
+		t.Errorf("Sub: got %v", got)
+	}
+}
+
+func TestHomomorphicMulConst(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	c, _ := pk.EncryptInt64(rand.Reader, 37)
+	for _, k := range []int64{0, 1, -1, 5, -5, 1000} {
+		got := sk.Decrypt(pk, pk.MulConst(c, big.NewInt(k)))
+		if got.Int64() != 37*k {
+			t.Errorf("MulConst(%d): got %v, want %d", k, got, 37*k)
+		}
+	}
+}
+
+func TestHomomorphicAddPlain(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	c, _ := pk.EncryptInt64(rand.Reader, 10)
+	if got := sk.Decrypt(pk, pk.AddPlain(c, big.NewInt(-25))); got.Int64() != -15 {
+		t.Errorf("AddPlain: got %v", got)
+	}
+}
+
+func TestHomomorphicDot(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	vals := []int64{3, -1, 4, 1, -5}
+	coef := []int64{1, 0, 2, 1, -3}
+	cts := make([]*Ciphertext, len(vals))
+	for i, v := range vals {
+		cts[i], _ = pk.EncryptInt64(rand.Reader, v)
+	}
+	xs := make([]*big.Int, len(coef))
+	var want int64
+	for i, k := range coef {
+		xs[i] = big.NewInt(k)
+		want += k * vals[i]
+	}
+	dot, err := pk.Dot(xs, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Decrypt(pk, dot); got.Int64() != want {
+		t.Errorf("Dot: got %v, want %d", got, want)
+	}
+}
+
+func TestDotLengthMismatch(t *testing.T) {
+	pk, _, _ := testKeys(t, 2)
+	c, _ := pk.EncryptInt64(rand.Reader, 1)
+	if _, err := pk.Dot([]*big.Int{big.NewInt(1)}, []*Ciphertext{c, c}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestRerandomizePreservesPlaintext(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	c, _ := pk.EncryptInt64(rand.Reader, 777)
+	c2, err := pk.Rerandomize(rand.Reader, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.C.Cmp(c2.C) == 0 {
+		t.Fatal("rerandomize did not change the ciphertext")
+	}
+	if got := sk.Decrypt(pk, c2); got.Int64() != 777 {
+		t.Errorf("rerandomized decrypt = %v", got)
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	pk, _, _ := testKeys(t, 2)
+	c1, _ := pk.EncryptInt64(rand.Reader, 5)
+	c2, _ := pk.EncryptInt64(rand.Reader, 5)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("two encryptions of the same plaintext coincide")
+	}
+}
+
+func TestBatchPartialDecrypt(t *testing.T) {
+	pk, _, pks := testKeys(t, 3)
+	const n = 20
+	cts := make([]*Ciphertext, n)
+	want := make([]int64, n)
+	for i := range cts {
+		want[i] = int64(i*i - 50)
+		cts[i], _ = pk.EncryptInt64(rand.Reader, want[i])
+	}
+	for _, workers := range []int{1, 4} {
+		byParty := make([][]*DecryptionShare, len(pks))
+		for p, k := range pks {
+			byParty[p] = k.PartialDecryptVec(pk, cts, workers)
+		}
+		got, err := pk.CombineSharesVec(byParty, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i].Int64() != want[i] {
+				t.Errorf("workers=%d idx=%d: got %v want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMarshalRoundTrips(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	cts := make([]*Ciphertext, 4)
+	for i := range cts {
+		cts[i], _ = pk.EncryptInt64(rand.Reader, int64(i+1))
+	}
+	back := UnmarshalCiphertexts(MarshalCiphertexts(cts))
+	for i := range back {
+		if got := sk.Decrypt(pk, back[i]); got.Int64() != int64(i+1) {
+			t.Errorf("marshal round trip idx %d: %v", i, got)
+		}
+	}
+}
+
+func TestSignedEncoding(t *testing.T) {
+	pk, _, _ := testKeys(t, 2)
+	f := func(v int64) bool {
+		x := big.NewInt(v)
+		return pk.DecodeSigned(pk.EncodeSigned(x)).Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyGenValidation(t *testing.T) {
+	if _, _, _, err := KeyGen(rand.Reader, 64, 2); err == nil {
+		t.Error("expected error for tiny key")
+	}
+	if _, _, _, err := KeyGen(rand.Reader, 256, 0); err == nil {
+		t.Error("expected error for zero parties")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	pk, _, _ := testKeys(b, 2)
+	x := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(rand.Reader, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartialDecrypt(b *testing.B) {
+	pk, _, pks := testKeys(b, 3)
+	ct, _ := pk.EncryptInt64(rand.Reader, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pks[0].PartialDecrypt(pk, ct)
+	}
+}
+
+func BenchmarkDotBinary(b *testing.B) {
+	pk, _, _ := testKeys(b, 2)
+	const n = 256
+	cts := make([]*Ciphertext, n)
+	xs := make([]*big.Int, n)
+	for i := range cts {
+		cts[i], _ = pk.EncryptInt64(rand.Reader, int64(i))
+		xs[i] = big.NewInt(int64(i % 2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Dot(xs, cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestZeroDeterministic(t *testing.T) {
+	pk, sk, _ := testKeys(t, 2)
+	z := pk.ZeroDeterministic()
+	if got := sk.Decrypt(pk, z); got.Sign() != 0 {
+		t.Fatalf("trivial zero decrypts to %v", got)
+	}
+	// Homomorphically absorbing it is the identity.
+	ct, err := pk.EncryptInt64(rand.Reader, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sk.Decrypt(pk, pk.Add(ct, z)); got.Int64() != 42 {
+		t.Fatalf("x + 0 decrypts to %v", got)
+	}
+	// Identical at every caller — no randomness involved.
+	if pk.ZeroDeterministic().C.Cmp(z.C) != 0 {
+		t.Fatal("trivial zero not deterministic")
+	}
+}

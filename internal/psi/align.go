@@ -1,0 +1,60 @@
+package psi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// AlignAll runs the m-party intersection protocol among in-process parties
+// (one goroutine per party over a memory network) and returns the common id
+// set plus, per party, the local row indices of those ids in intersection
+// order.  This is the initialization-stage convenience used by simulated
+// federations; distributed deployments call Intersect directly with their
+// own endpoints.
+func AlignAll(g *Group, ids [][]string) (common []string, rows [][]int, err error) {
+	m := len(ids)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("psi: no parties")
+	}
+	eps := transport.NewMemoryNetwork(m, 64)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	outs := make([][]string, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = Intersect(eps[i], g, ids[i])
+			if errs[i] != nil {
+				// A failed party closes the network so peers blocked on it
+				// fail fast instead of hanging.
+				for _, ep := range eps {
+					ep.Close()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, nil, fmt.Errorf("psi: party %d: %w", i, e)
+		}
+	}
+	common = outs[0]
+	rows = make([][]int, m)
+	for i := 0; i < m; i++ {
+		idx, err := AlignIndices(ids[i], common)
+		if err != nil {
+			return nil, nil, fmt.Errorf("psi: party %d: %w", i, err)
+		}
+		rows[i] = idx
+	}
+	return common, rows, nil
+}

@@ -1,0 +1,115 @@
+// Package psi implements the private set intersection protocol that backs
+// Pivot's initialization stage.  The paper (§3.1) assumes the clients "have
+// determined and aligned their common samples using private set intersection
+// techniques without revealing any information about samples not in the
+// intersection", citing Meadows-style commutative-encryption PSI; this
+// package provides that substrate.
+//
+// The protocol is the classic DDH-based commutative blinding scheme
+// (Meadows, IEEE S&P 1986; the paper's reference [54]) generalized to m
+// parties: every sample id is hashed into the quadratic-residue subgroup of
+// a safe-prime group, blinded by every party's secret exponent in a ring
+// pass, and the fully-blinded values — equal across parties iff the
+// underlying ids are equal, and pseudorandom otherwise under DDH — are
+// intersected in the clear.  All parties learn the intersection (which is
+// the agreed output: the aligned sample ids) and the other parties' set
+// sizes, and nothing else about ids outside the intersection.
+package psi
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Group is a safe-prime group: P = 2Q+1 with P, Q prime.  Blinded values
+// live in the order-Q subgroup of quadratic residues mod P.
+type Group struct {
+	P *big.Int // safe prime modulus
+	Q *big.Int // (P-1)/2, the subgroup order
+}
+
+// Standard groups.  Generating safe primes at runtime is slow and
+// non-deterministic, so two fixed groups are embedded; both were produced by
+// safe-prime search over crypto/rand and are verified by TestEmbeddedGroups.
+const (
+	// hexP512 is a 512-bit safe prime, for tests and examples.
+	hexP512 = "ea47ad64f44529f949fbd15abe2ae316f244448fabedcd73f83d783fa484cec404c0bc9553d6a0f219a5d4feb450605addc2142c78bdc7899854b9b8606b3933"
+	// hexP1024 is a 1024-bit safe prime, the default production group.
+	hexP1024 = "d37a08976036530b6c8e2678c75e5ff23823a7c2a7be69072fff2f369fcae541e766372b569aca9268724c9c6079fa3735d534df6b57bb04952ac950910a5d1a1fb46b7bb689b606387bd18b8cdf042fa11f09333e56fb0b367c9a669a3b5c8c1815ac9dfb9147def4d7795829703ee00361f7d2a2fa4dd4b98a94b59b30ec1b"
+)
+
+func mustGroup(hexP string) *Group {
+	p, ok := new(big.Int).SetString(hexP, 16)
+	if !ok {
+		panic("psi: bad embedded prime")
+	}
+	q := new(big.Int).Rsh(p, 1)
+	return &Group{P: p, Q: q}
+}
+
+// TestGroup returns the embedded 512-bit group (fast; test/demo strength).
+func TestGroup() *Group { return mustGroup(hexP512) }
+
+// DefaultGroup returns the embedded 1024-bit group.
+func DefaultGroup() *Group { return mustGroup(hexP1024) }
+
+// Validate checks the group structure (P = 2Q+1, both probably prime).
+func (g *Group) Validate() error {
+	if g.P == nil || g.Q == nil {
+		return fmt.Errorf("psi: nil group parameter")
+	}
+	pq := new(big.Int).Lsh(g.Q, 1)
+	pq.Add(pq, big.NewInt(1))
+	if pq.Cmp(g.P) != 0 {
+		return fmt.Errorf("psi: P != 2Q+1")
+	}
+	if !g.P.ProbablyPrime(32) || !g.Q.ProbablyPrime(32) {
+		return fmt.Errorf("psi: group parameters not prime")
+	}
+	return nil
+}
+
+// HashToGroup maps an id into the quadratic-residue subgroup: the SHA-256
+// digest (extended to the modulus size by counter-mode hashing) is reduced
+// mod P and squared.  Squaring lands in the subgroup of order Q, where the
+// DDH assumption applies.
+func (g *Group) HashToGroup(id string) *big.Int {
+	need := (g.P.BitLen() + 7) / 8
+	buf := make([]byte, 0, need+sha256.Size)
+	var ctr [1]byte
+	for len(buf) < need {
+		h := sha256.New()
+		h.Write(ctr[:])
+		io.WriteString(h, id)
+		buf = h.Sum(buf)
+		ctr[0]++
+	}
+	x := new(big.Int).SetBytes(buf[:need])
+	x.Mod(x, g.P)
+	x.Mul(x, x)
+	x.Mod(x, g.P)
+	if x.Sign() == 0 { // only if id hashed to 0 mod P; effectively impossible
+		x.SetInt64(4)
+	}
+	return x
+}
+
+// RandomScalar returns a uniform exponent in [1, Q).
+func (g *Group) RandomScalar(r io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(g.Q, big.NewInt(1))
+	k, err := rand.Int(r, max)
+	if err != nil {
+		return nil, fmt.Errorf("psi: scalar sampling: %w", err)
+	}
+	return k.Add(k, big.NewInt(1)), nil
+}
+
+// blind raises every element to the scalar k mod P, in place.
+func (g *Group) blind(xs []*big.Int, k *big.Int) {
+	for i, x := range xs {
+		xs[i] = new(big.Int).Exp(x, k, g.P)
+	}
+}

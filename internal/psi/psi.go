@@ -1,0 +1,164 @@
+package psi
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// Intersect runs the m-party private set intersection protocol over the
+// endpoint's network and returns the ids common to every party, sorted, and
+// identical at every party.  Every party calls Intersect concurrently with
+// its own id list (which must be duplicate-free).
+//
+// Protocol (semi-honest, all m parties):
+//
+//  1. Party i hashes each of its ids into the group and blinds the vector
+//     with its secret exponent k_i.
+//  2. Ring pass: for m−1 rounds, each party forwards the vector it holds to
+//     party i+1 and raises the vector received from party i−1 to k_i.
+//     Element order is preserved, so after the pass party i+1 holds party
+//     (i+2)'s fully-blinded vector H(id)^(k_1···k_m), and returns it to its
+//     origin.
+//  3. Every party broadcasts its own fully-blinded vector; ids whose blinded
+//     value appears in all m vectors form the intersection.
+//
+// Under DDH the blinded value of an id outside the intersection is
+// indistinguishable from random, so nothing beyond the output (the
+// intersection itself, plus every party's set size) is revealed.
+func Intersect(ep transport.Endpoint, g *Group, ids []string) ([]string, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("psi: duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	m := ep.N()
+	me := ep.ID()
+	k, err := g.RandomScalar(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: hash and self-blind.
+	held := make([]*big.Int, len(ids))
+	for i, id := range ids {
+		held[i] = g.HashToGroup(id)
+	}
+	g.blind(held, k)
+
+	// Step 2: ring pass.  After round r, this party holds the vector that
+	// originated at party (me+r) mod m, blinded by r+1 exponents.
+	next := (me + 1) % m
+	prev := (me + m - 1) % m
+	for r := 0; r < m-1; r++ {
+		if err := transport.SendInts(ep, next, held); err != nil {
+			return nil, fmt.Errorf("psi: ring send: %w", err)
+		}
+		held, err = transport.RecvInts(ep, prev)
+		if err != nil {
+			return nil, fmt.Errorf("psi: ring recv: %w", err)
+		}
+		g.blind(held, k)
+	}
+	// After m−1 rounds this party holds the fully-blinded vector that
+	// originated at party (me+1) mod m; return it, and collect my own
+	// (held by party me−1).
+	var mine = held
+	if m > 1 {
+		if err := transport.SendInts(ep, next, held); err != nil {
+			return nil, fmt.Errorf("psi: return send: %w", err)
+		}
+		mine, err = transport.RecvInts(ep, prev)
+		if err != nil {
+			return nil, fmt.Errorf("psi: return recv: %w", err)
+		}
+	}
+	if len(mine) != len(ids) {
+		return nil, fmt.Errorf("psi: fully-blinded vector length %d, want %d", len(mine), len(ids))
+	}
+
+	// Step 3: broadcast fully-blinded vectors and intersect.
+	if err := transport.BroadcastInts(ep, mine); err != nil {
+		return nil, fmt.Errorf("psi: broadcast: %w", err)
+	}
+	counts := make(map[string]int)
+	for c := 0; c < m; c++ {
+		theirs := mine
+		if c != me {
+			theirs, err = transport.RecvInts(ep, c)
+			if err != nil {
+				return nil, fmt.Errorf("psi: collect from %d: %w", c, err)
+			}
+		}
+		dedup := make(map[string]bool, len(theirs))
+		for _, v := range theirs {
+			dedup[string(v.Bytes())] = true
+		}
+		for key := range dedup {
+			counts[key]++
+		}
+	}
+	var out []string
+	for i, id := range ids {
+		if counts[string(mine[i].Bytes())] == m {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// IntersectLocal computes the plain (non-private) intersection of the given
+// id sets, sorted — the ideal functionality Intersect realizes.  Used by
+// tests and as a reference for non-private baselines.
+func IntersectLocal(sets ...[]string) []string {
+	if len(sets) == 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	for _, set := range sets {
+		dedup := make(map[string]bool, len(set))
+		for _, id := range set {
+			dedup[id] = true
+		}
+		for id := range dedup {
+			counts[id]++
+		}
+	}
+	var out []string
+	for id, c := range counts {
+		if c == len(sets) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AlignIndices maps the intersection back to row indices: for each id in
+// common (in order), the index of that id in ids.  Ids absent from common
+// are dropped; this is the row selection a client applies to its local
+// table after PSI.
+func AlignIndices(ids, common []string) ([]int, error) {
+	pos := make(map[string]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	out := make([]int, len(common))
+	for i, id := range common {
+		j, ok := pos[id]
+		if !ok {
+			return nil, fmt.Errorf("psi: intersection id %q not in local set", id)
+		}
+		out[i] = j
+	}
+	return out, nil
+}

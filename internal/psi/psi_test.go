@@ -1,0 +1,353 @@
+package psi
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+// runPSI executes the protocol for every party concurrently on an in-memory
+// network and returns each party's output.
+func runPSI(t *testing.T, g *Group, sets [][]string) ([][]string, []error) {
+	t.Helper()
+	m := len(sets)
+	eps := transport.NewMemoryNetwork(m, 64)
+	outs := make([][]string, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = Intersect(eps[i], g, sets[i])
+			if errs[i] != nil {
+				// Unblock peers waiting on this party.
+				for _, ep := range eps {
+					ep.Close()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return outs, errs
+}
+
+func TestEmbeddedGroups(t *testing.T) {
+	for name, g := range map[string]*Group{"test512": TestGroup(), "default1024": DefaultGroup()} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if got := TestGroup().P.BitLen(); got != 512 {
+		t.Errorf("test group size %d, want 512", got)
+	}
+	if got := DefaultGroup().P.BitLen(); got != 1024 {
+		t.Errorf("default group size %d, want 1024", got)
+	}
+}
+
+func TestValidateRejectsBadGroups(t *testing.T) {
+	cases := map[string]*Group{
+		"nil":      {},
+		"notSafe":  {P: big.NewInt(23), Q: big.NewInt(7)},  // 23 != 2*7+1
+		"notPrime": {P: big.NewInt(33), Q: big.NewInt(16)}, // composite
+	}
+	for name, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid group", name)
+		}
+	}
+}
+
+func TestHashToGroupLandsInSubgroup(t *testing.T) {
+	g := TestGroup()
+	for _, id := range []string{"", "alice", "bob", "sample-000042", "日本語"} {
+		x := g.HashToGroup(id)
+		if x.Sign() <= 0 || x.Cmp(g.P) >= 0 {
+			t.Fatalf("HashToGroup(%q) = %v out of range", id, x)
+		}
+		// An element of the order-Q subgroup satisfies x^Q == 1 mod P.
+		if new(big.Int).Exp(x, g.Q, g.P).Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("HashToGroup(%q) not in the QR subgroup", id)
+		}
+	}
+}
+
+func TestHashToGroupDeterministicAndDistinct(t *testing.T) {
+	g := TestGroup()
+	a1 := g.HashToGroup("a")
+	a2 := g.HashToGroup("a")
+	b := g.HashToGroup("b")
+	if a1.Cmp(a2) != 0 {
+		t.Error("HashToGroup not deterministic")
+	}
+	if a1.Cmp(b) == 0 {
+		t.Error("distinct ids hash to the same group element")
+	}
+}
+
+func TestBlindingCommutes(t *testing.T) {
+	g := TestGroup()
+	x := g.HashToGroup("id")
+	k1, err := g.RandomScalar(cryptoReader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := g.RandomScalar(cryptoReader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := new(big.Int).Exp(new(big.Int).Exp(x, k1, g.P), k2, g.P)
+	ba := new(big.Int).Exp(new(big.Int).Exp(x, k2, g.P), k1, g.P)
+	if ab.Cmp(ba) != 0 {
+		t.Error("blinding does not commute")
+	}
+}
+
+func TestTwoPartyIntersection(t *testing.T) {
+	sets := [][]string{
+		{"u1", "u2", "u3", "u5"},
+		{"u2", "u4", "u5", "u9"},
+	}
+	outs, errs := runPSI(t, TestGroup(), sets)
+	want := []string{"u2", "u5"}
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Errorf("party %d got %v, want %v", i, outs[i], want)
+		}
+	}
+}
+
+func TestMultiPartyIntersection(t *testing.T) {
+	for m := 2; m <= 5; m++ {
+		// Party i holds ids {i, i+1, ..., i+9}; the m-way intersection is
+		// {m-1, ..., 9}.
+		sets := make([][]string, m)
+		for i := range sets {
+			for v := i; v < i+10; v++ {
+				sets[i] = append(sets[i], fmt.Sprintf("id%02d", v))
+			}
+		}
+		var want []string
+		for v := m - 1; v < 10; v++ {
+			want = append(want, fmt.Sprintf("id%02d", v))
+		}
+		outs, errs := runPSI(t, TestGroup(), sets)
+		for i := range outs {
+			if errs[i] != nil {
+				t.Fatalf("m=%d party %d: %v", m, i, errs[i])
+			}
+			if !reflect.DeepEqual(outs[i], want) {
+				t.Errorf("m=%d party %d got %v, want %v", m, i, outs[i], want)
+			}
+		}
+	}
+}
+
+func TestEmptyIntersection(t *testing.T) {
+	sets := [][]string{{"a", "b"}, {"c", "d"}, {"e", "f"}}
+	outs, errs := runPSI(t, TestGroup(), sets)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if len(outs[i]) != 0 {
+			t.Errorf("party %d: expected empty intersection, got %v", i, outs[i])
+		}
+	}
+}
+
+func TestEmptyLocalSet(t *testing.T) {
+	sets := [][]string{{"a", "b"}, {}}
+	outs, errs := runPSI(t, TestGroup(), sets)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if len(outs[i]) != 0 {
+			t.Errorf("party %d: expected empty intersection, got %v", i, outs[i])
+		}
+	}
+}
+
+func TestIdenticalSets(t *testing.T) {
+	ids := []string{"x", "y", "z"}
+	sets := [][]string{ids, ids, ids}
+	want := append([]string(nil), ids...)
+	sort.Strings(want)
+	outs, errs := runPSI(t, TestGroup(), sets)
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Errorf("party %d got %v, want %v", i, outs[i], want)
+		}
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	sets := [][]string{{"a", "a"}, {"a"}}
+	_, errs := runPSI(t, TestGroup(), sets)
+	if errs[0] == nil {
+		t.Error("duplicate local ids should be rejected")
+	}
+	// The honest peer must fail fast (network torn down), not hang.
+	if errs[1] == nil {
+		t.Error("peer of a failed party should observe an error")
+	}
+}
+
+func TestSinglePartyReturnsOwnSet(t *testing.T) {
+	outs, errs := runPSI(t, TestGroup(), [][]string{{"b", "a"}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if !reflect.DeepEqual(outs[0], []string{"a", "b"}) {
+		t.Errorf("got %v", outs[0])
+	}
+}
+
+// TestIntersectMatchesIdealFunctionality is the property-based check: on
+// random overlapping sets, the protocol output equals the plain intersection
+// for every party.
+func TestIntersectMatchesIdealFunctionality(t *testing.T) {
+	g := TestGroup()
+	cfg := &quick.Config{MaxCount: 8}
+	property := func(seed uint64, mRaw uint8) bool {
+		m := 2 + int(mRaw%3)
+		rng := rand.New(rand.NewPCG(seed, 99))
+		universe := 1 + rng.IntN(24)
+		sets := make([][]string, m)
+		for i := range sets {
+			for v := 0; v < universe; v++ {
+				if rng.Float64() < 0.55 {
+					sets[i] = append(sets[i], fmt.Sprintf("row-%03d", v))
+				}
+			}
+		}
+		want := IntersectLocal(sets...)
+		outs, errs := runPSI(t, g, sets)
+		for i := range outs {
+			if errs[i] != nil {
+				t.Logf("party %d: %v", i, errs[i])
+				return false
+			}
+			if len(want) == 0 && len(outs[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(outs[i], want) {
+				t.Logf("party %d got %v want %v", i, outs[i], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectLocal(t *testing.T) {
+	cases := []struct {
+		sets [][]string
+		want []string
+	}{
+		{nil, nil},
+		{[][]string{{"a"}}, []string{"a"}},
+		{[][]string{{"b", "a"}, {"a", "c"}}, []string{"a"}},
+		{[][]string{{"a"}, {}}, nil},
+		{[][]string{{"a", "a", "b"}, {"a", "b"}}, []string{"a", "b"}},
+	}
+	for i, c := range cases {
+		got := IntersectLocal(c.sets...)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAlignIndices(t *testing.T) {
+	ids := []string{"u5", "u1", "u9", "u3"}
+	common := []string{"u1", "u9"}
+	idx, err := AlignIndices(ids, common)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx, []int{1, 2}) {
+		t.Errorf("got %v", idx)
+	}
+	if _, err := AlignIndices(ids, []string{"missing"}); err == nil {
+		t.Error("expected error for id outside the local set")
+	}
+}
+
+// TestBlindedValuesHideNonMembers is a sanity check of the privacy intuition:
+// the fully-blinded values of two non-intersecting ids are distinct group
+// elements with no visible relation to their hashes.
+func TestBlindedValuesHideNonMembers(t *testing.T) {
+	g := TestGroup()
+	k, err := g.RandomScalar(cryptoReader(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []*big.Int{g.HashToGroup("a"), g.HashToGroup("b")}
+	h0, h1 := new(big.Int).Set(xs[0]), new(big.Int).Set(xs[1])
+	g.blind(xs, k)
+	if xs[0].Cmp(h0) == 0 || xs[1].Cmp(h1) == 0 {
+		t.Error("blinding left a value unchanged")
+	}
+	if xs[0].Cmp(xs[1]) == 0 {
+		t.Error("blinding collapsed distinct values")
+	}
+}
+
+func BenchmarkIntersect3Party(b *testing.B) {
+	g := TestGroup()
+	const perParty = 64
+	sets := make([][]string, 3)
+	for i := range sets {
+		for v := 0; v < perParty; v++ {
+			sets[i] = append(sets[i], fmt.Sprintf("row-%04d", v+8*i))
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m := len(sets)
+		eps := transport.NewMemoryNetwork(m, 64)
+		var wg sync.WaitGroup
+		for i := 0; i < m; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := Intersect(eps[i], g, sets[i]); err != nil {
+					b.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}
+}
+
+func cryptoReader(t *testing.T) io.Reader { t.Helper(); return crand.Reader }

@@ -1,0 +1,67 @@
+package psi
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestIntersectOverTCP runs the alignment protocol over real TCP sockets —
+// the deployment shape where each organization is its own process.
+func TestIntersectOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network test")
+	}
+	const m = 3
+	addrs := []string{"127.0.0.1:39261", "127.0.0.1:39262", "127.0.0.1:39263"}
+	sets := [][]string{
+		{"u1", "u2", "u3", "u4"},
+		{"u2", "u3", "u4", "u5"},
+		{"u0", "u3", "u4", "u9"},
+	}
+	want := []string{"u3", "u4"}
+
+	eps := make([]transport.Endpoint, m)
+	errs := make([]error, m)
+	var setup sync.WaitGroup
+	for i := 0; i < m; i++ {
+		setup.Add(1)
+		go func(i int) {
+			defer setup.Done()
+			eps[i], errs[i] = transport.NewTCPEndpoint(transport.TCPConfig{Addrs: addrs}, i)
+		}(i)
+	}
+	setup.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	outs := make([][]string, m)
+	var wg sync.WaitGroup
+	g := TestGroup()
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = Intersect(eps[i], g, sets[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < m; i++ {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Errorf("party %d got %v, want %v", i, outs[i], want)
+		}
+	}
+}

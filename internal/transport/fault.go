@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the default failure returned by a FaultEndpoint.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultEndpoint wraps an Endpoint and injects failures after configured
+// operation budgets — test infrastructure for exercising the protocols'
+// failure-handling paths (a crashed peer, a dropped connection).  A budget
+// of zero or negative means unlimited (never fails).
+type FaultEndpoint struct {
+	Endpoint
+	// SendBudget is how many Sends succeed before every later Send fails.
+	SendBudget int64
+	// RecvBudget is how many Recvs succeed before every later Recv fails.
+	RecvBudget int64
+	// Err overrides ErrInjected when non-nil.
+	Err error
+
+	sends atomic.Int64
+	recvs atomic.Int64
+}
+
+// WithFaults wraps ep so that sends (resp. recvs) start failing after
+// sendBudget (resp. recvBudget) successful operations.
+func WithFaults(ep Endpoint, sendBudget, recvBudget int64) *FaultEndpoint {
+	return &FaultEndpoint{Endpoint: ep, SendBudget: sendBudget, RecvBudget: recvBudget}
+}
+
+func (f *FaultEndpoint) fault() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Send delegates until the send budget is exhausted, then fails.
+func (f *FaultEndpoint) Send(to int, b []byte) error {
+	if f.SendBudget > 0 && f.sends.Add(1) > f.SendBudget {
+		return f.fault()
+	}
+	return f.Endpoint.Send(to, b)
+}
+
+// Recv delegates until the recv budget is exhausted, then fails.
+func (f *FaultEndpoint) Recv(from int) ([]byte, error) {
+	if f.RecvBudget > 0 && f.recvs.Add(1) > f.RecvBudget {
+		return nil, f.fault()
+	}
+	return f.Endpoint.Recv(from)
+}

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+)
+
+func closeAll(eps []Endpoint) {
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func TestFaultEndpointSendBudget(t *testing.T) {
+	eps := NewMemoryNetwork(2, 4)
+	defer closeAll(eps)
+	f := WithFaults(eps[0], 2, 0)
+	if err := f.Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(1, []byte("c")); err == nil {
+		t.Fatal("third send should fail")
+	} else if err != ErrInjected {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// Messages sent before the fault are still deliverable.
+	for _, want := range []string{"a", "b"} {
+		got, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFaultEndpointRecvBudgetAndCustomErr(t *testing.T) {
+	eps := NewMemoryNetwork(2, 4)
+	defer closeAll(eps)
+	custom := fmt.Errorf("link down")
+	f := WithFaults(eps[1], 0, 1)
+	f.Err = custom
+	if err := eps[0].Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(0); err != custom {
+		t.Fatalf("expected custom error, got %v", err)
+	}
+}
+
+func TestFaultEndpointUnlimitedBudgets(t *testing.T) {
+	eps := NewMemoryNetwork(2, 16)
+	defer closeAll(eps)
+	f := WithFaults(eps[0], 0, 0) // zero = unlimited
+	for i := 0; i < 10; i++ {
+		if err := f.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stats and identity delegate to the wrapped endpoint.
+	if f.ID() != 0 || f.N() != 2 {
+		t.Fatal("identity not delegated")
+	}
+	if f.Stats().MsgsSent.Load() != 10 {
+		t.Fatalf("stats not delegated: %d", f.Stats().MsgsSent.Load())
+	}
+}

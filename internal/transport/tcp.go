@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpEndpoint implements Endpoint over one TCP connection per peer with
+// length-prefixed frames.  Connection setup uses the usual mesh convention:
+// party i dials every j < i and accepts from every j > i.
+type tcpEndpoint struct {
+	id, n int
+	conns []net.Conn
+	rd    []*bufio.Reader
+	wr    []*bufio.Writer
+	wrMu  []sync.Mutex
+	stats Stats
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// TCPConfig describes a TCP mesh.  Addrs[i] is the listen address of party i.
+type TCPConfig struct {
+	Addrs []string
+}
+
+// NewTCPEndpoint joins the mesh as party id.  It blocks until connections to
+// all peers are established.  All parties must call this concurrently.
+func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
+	n := len(cfg.Addrs)
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("transport: party id %d out of range [0,%d)", id, n)
+	}
+	e := &tcpEndpoint{
+		id: id, n: n,
+		conns: make([]net.Conn, n),
+		rd:    make([]*bufio.Reader, n),
+		wr:    make([]*bufio.Writer, n),
+		wrMu:  make([]sync.Mutex, n),
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[id], err)
+	}
+	defer ln.Close()
+
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	// Accept from higher-numbered parties.
+	higher := n - 1 - id
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < higher; k++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			var peer uint32
+			if err := binary.Read(conn, binary.BigEndian, &peer); err != nil {
+				errc <- err
+				return
+			}
+			e.attach(int(peer), conn)
+		}
+	}()
+	// Dial lower-numbered parties.
+	for j := 0; j < id; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			conn, err := dialRetry(cfg.Addrs[j])
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := binary.Write(conn, binary.BigEndian, uint32(id)); err != nil {
+				errc <- err
+				return
+			}
+			e.attach(j, conn)
+		}(j)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		e.Close()
+		return nil, fmt.Errorf("transport: mesh setup: %w", err)
+	default:
+	}
+	return e, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (e *tcpEndpoint) attach(peer int, conn net.Conn) {
+	e.conns[peer] = conn
+	e.rd[peer] = bufio.NewReaderSize(conn, 1<<16)
+	e.wr[peer] = bufio.NewWriterSize(conn, 1<<16)
+}
+
+func (e *tcpEndpoint) ID() int       { return e.id }
+func (e *tcpEndpoint) N() int        { return e.n }
+func (e *tcpEndpoint) Stats() *Stats { return &e.stats }
+
+func (e *tcpEndpoint) Send(to int, b []byte) error {
+	if to < 0 || to >= e.n || to == e.id {
+		return fmt.Errorf("transport: bad destination %d", to)
+	}
+	e.wrMu[to].Lock()
+	defer e.wrMu[to].Unlock()
+	w := e.wr[to]
+	if w == nil {
+		return ErrClosed
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	e.stats.MsgsSent.Add(1)
+	e.stats.BytesSent.Add(int64(len(b)))
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= e.n || from == e.id {
+		return nil, fmt.Errorf("transport: bad source %d", from)
+	}
+	r := e.rd[from]
+	if r == nil {
+		return nil, ErrClosed
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	e.stats.MsgsRecv.Add(1)
+	e.stats.BytesRecv.Add(int64(n))
+	return msg, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		for _, c := range e.conns {
+			if c != nil {
+				if err := c.Close(); err != nil && e.closeErr == nil {
+					e.closeErr = err
+				}
+			}
+		}
+	})
+	return e.closeErr
+}

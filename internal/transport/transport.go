@@ -1,0 +1,87 @@
+// Package transport provides the point-to-point messaging substrate the
+// protocol parties run on.  The paper's implementation uses libscapi sockets
+// on a LAN; here two interchangeable implementations are provided: an
+// in-memory channel network (the default for experiments, so that measured
+// time is computation + protocol structure rather than kernel overhead) and
+// a TCP network using length-prefixed frames.
+//
+// Every message is an opaque byte slice; the wire helpers in this package
+// marshal the big-integer vectors that dominate the protocols.  Per-endpoint
+// statistics (messages and bytes sent/received) feed the experiment reports.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Endpoint is one party's connection to all other parties.  Parties are
+// numbered 0..N()-1.  Send and Recv pair up in FIFO order per (from, to)
+// pair; the protocols in this repository are single-program-multiple-data,
+// so matching is deterministic.
+type Endpoint interface {
+	// ID returns this party's index.
+	ID() int
+	// N returns the total number of parties on the network.
+	N() int
+	// Send delivers b to party `to`.  It must not retain b.
+	Send(to int, b []byte) error
+	// Recv blocks for the next message from party `from`.
+	Recv(from int) ([]byte, error)
+	// Stats returns this endpoint's traffic counters.
+	Stats() *Stats
+	// Close releases resources.  Safe to call more than once.
+	Close() error
+}
+
+// Stats counts traffic through one endpoint.  All fields are updated
+// atomically and may be read while the protocol is running.
+type Stats struct {
+	MsgsSent  atomic.Int64
+	MsgsRecv  atomic.Int64
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.MsgsSent.Add(other.MsgsSent.Load())
+	s.MsgsRecv.Add(other.MsgsRecv.Load())
+	s.BytesSent.Add(other.BytesSent.Load())
+	s.BytesRecv.Add(other.BytesRecv.Load())
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("sent %d msgs / %d bytes, recv %d msgs / %d bytes",
+		s.MsgsSent.Load(), s.BytesSent.Load(), s.MsgsRecv.Load(), s.BytesRecv.Load())
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Broadcast sends b to every party except the sender itself.
+func Broadcast(ep Endpoint, b []byte) error {
+	for p := 0; p < ep.N(); p++ {
+		if p == ep.ID() {
+			continue
+		}
+		if err := ep.Send(p, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BroadcastTo sends b to every party in parties (skipping the sender).
+func BroadcastTo(ep Endpoint, parties []int, b []byte) error {
+	for _, p := range parties {
+		if p == ep.ID() {
+			continue
+		}
+		if err := ep.Send(p, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryPairwise(t *testing.T) {
+	eps := NewMemoryNetwork(3, 8)
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	if err := eps[0].Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[1].Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if eps[0].Stats().MsgsSent.Load() != 1 || eps[1].Stats().MsgsRecv.Load() != 1 {
+		t.Fatal("stats not updated")
+	}
+}
+
+func TestMemoryFIFOOrder(t *testing.T) {
+	eps := NewMemoryNetwork(2, 64)
+	for i := 0; i < 50; i++ {
+		if err := eps[0].Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		b, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i) {
+			t.Fatalf("out of order: got %d want %d", b[0], i)
+		}
+	}
+}
+
+func TestMemorySelfAndRangeErrors(t *testing.T) {
+	eps := NewMemoryNetwork(2, 1)
+	if err := eps[0].Send(0, nil); err == nil {
+		t.Error("self-send should fail")
+	}
+	if err := eps[0].Send(5, nil); err == nil {
+		t.Error("out-of-range send should fail")
+	}
+	if _, err := eps[0].Recv(0); err == nil {
+		t.Error("self-recv should fail")
+	}
+}
+
+func TestMemoryCloseUnblocksRecv(t *testing.T) {
+	eps := NewMemoryNetwork(2, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv(0)
+		done <- err
+	}()
+	eps[1].Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestMemoryAllToAll(t *testing.T) {
+	const n = 5
+	eps := NewMemoryNetwork(n, 16)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := eps[i]
+			if err := Broadcast(ep, []byte(fmt.Sprintf("from-%d", i))); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				b, err := ep.Recv(j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("from-%d", j); string(b) != want {
+					errs <- fmt.Errorf("party %d: got %q want %q", i, b, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWireIntsRoundTrip(t *testing.T) {
+	xs := []*big.Int{big.NewInt(0), big.NewInt(1), new(big.Int).Lsh(big.NewInt(12345), 200)}
+	got, rest, err := UnmarshalInts(MarshalInts(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+	for i := range xs {
+		if xs[i].Cmp(got[i]) != 0 {
+			t.Errorf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestWireIntsQuick(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		xs := make([]*big.Int, len(raw))
+		for i, b := range raw {
+			xs[i] = new(big.Int).SetBytes(b)
+		}
+		got, rest, err := UnmarshalInts(MarshalInts(xs))
+		if err != nil || len(rest) != 0 || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if xs[i].Cmp(got[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative value")
+		}
+	}()
+	MarshalInts([]*big.Int{big.NewInt(-1)})
+}
+
+func TestWireTruncated(t *testing.T) {
+	b := MarshalInts([]*big.Int{big.NewInt(1 << 40)})
+	if _, _, err := UnmarshalInts(b[:len(b)-2]); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestTCPMesh(t *testing.T) {
+	cfg := TCPConfig{Addrs: []string{"127.0.0.1:39131", "127.0.0.1:39132", "127.0.0.1:39133"}}
+	const n = 3
+	eps := make([]Endpoint, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := NewTCPEndpoint(cfg, i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			eps[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	defer func() {
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}()
+
+	payload := bytes.Repeat([]byte{0xab}, 100000)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := Broadcast(eps[i], payload); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				b, err := eps[i].Recv(j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(b, payload) {
+					errs <- fmt.Errorf("party %d: corrupted payload from %d", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

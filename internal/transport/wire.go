@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// The protocols exchange almost exclusively vectors of non-negative big
+// integers (ciphertexts, field elements, decryption shares).  The wire
+// format is deliberately simple: uvarint count, then per element uvarint
+// byte-length followed by big-endian magnitude bytes.  Signed values are
+// mapped into a ring by the caller before marshalling.
+
+// AppendInts appends the wire encoding of xs to dst and returns it.
+func AppendInts(dst []byte, xs []*big.Int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(xs)))
+	for _, x := range xs {
+		if x.Sign() < 0 {
+			panic("transport: negative integer on the wire; map into a ring first")
+		}
+		b := x.Bytes()
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// MarshalInts encodes xs.
+func MarshalInts(xs []*big.Int) []byte {
+	// Rough size guess to avoid re-allocation.
+	size := 10
+	for _, x := range xs {
+		size += 5 + (x.BitLen()+7)/8
+	}
+	return AppendInts(make([]byte, 0, size), xs)
+}
+
+// UnmarshalInts decodes a vector encoded by MarshalInts and returns the
+// remaining bytes.
+func UnmarshalInts(b []byte) ([]*big.Int, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("transport: bad vector header")
+	}
+	b = b[k:]
+	out := make([]*big.Int, n)
+	for i := range out {
+		l, k := binary.Uvarint(b)
+		if k <= 0 || uint64(len(b[k:])) < l {
+			return nil, nil, fmt.Errorf("transport: truncated integer %d/%d", i, n)
+		}
+		b = b[k:]
+		out[i] = new(big.Int).SetBytes(b[:l])
+		b = b[l:]
+	}
+	return out, b, nil
+}
+
+// SendInts marshals and sends a vector of non-negative big integers.
+func SendInts(ep Endpoint, to int, xs []*big.Int) error {
+	return ep.Send(to, MarshalInts(xs))
+}
+
+// RecvInts receives and unmarshals a vector of big integers.
+func RecvInts(ep Endpoint, from int) ([]*big.Int, error) {
+	b, err := ep.Recv(from)
+	if err != nil {
+		return nil, err
+	}
+	xs, _, err := UnmarshalInts(b)
+	return xs, err
+}
+
+// BroadcastInts sends the same vector to every other party.
+func BroadcastInts(ep Endpoint, xs []*big.Int) error {
+	return Broadcast(ep, MarshalInts(xs))
+}
+
+// SendInt sends a single non-negative big integer.
+func SendInt(ep Endpoint, to int, x *big.Int) error {
+	return SendInts(ep, to, []*big.Int{x})
+}
+
+// RecvInt receives a single big integer.
+func RecvInt(ep Endpoint, from int) (*big.Int, error) {
+	xs, err := RecvInts(ep, from)
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) != 1 {
+		return nil, fmt.Errorf("transport: expected 1 integer, got %d", len(xs))
+	}
+	return xs[0], nil
+}

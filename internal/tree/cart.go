@@ -1,0 +1,392 @@
+// Package tree implements plain (non-private) CART decision trees, random
+// forests and gradient-boosting ensembles.  These serve two roles in the
+// reproduction: (i) the NP-DT / NP-RF / NP-GBDT accuracy baselines of Table
+// 3, and (ii) the reference semantics the Pivot protocols are tested
+// against — Pivot trained on the same data must produce (up to fixed-point
+// rounding) the same trees.
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Criterion selects the classification impurity measure.  The paper uses
+// Gini (CART); Entropy gives the ID3/C4.5-style information gain the paper
+// notes "can be easily generalized" (§2.3).  Regression always uses label
+// variance.
+type Criterion int
+
+const (
+	// Gini impurity, Eqn (4).
+	Gini Criterion = iota
+	// Entropy (information gain), the ID3 variant.
+	Entropy
+	// GainRatio normalizes the information gain by the split information
+	// −(w_l·ln w_l + w_r·ln w_r), the C4.5 variant.
+	GainRatio
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case Entropy:
+		return "entropy"
+	case GainRatio:
+		return "gain-ratio"
+	default:
+		return "gini"
+	}
+}
+
+// splitInfoEps regularizes the gain-ratio denominator so near-degenerate
+// splits (all samples on one side) do not divide by ~0.  The secure
+// implementation applies the same constant, keeping the two in agreement.
+const splitInfoEps = 1.0 / 256
+
+// Hyper are the CART hyper-parameters, matching the paper's Table 4 names:
+// h is MaxDepth, b is MaxSplits.
+type Hyper struct {
+	MaxDepth        int
+	MaxSplits       int // b: max candidate split values per feature
+	MinSamplesSplit int // prune when a node has fewer samples
+	Criterion       Criterion
+}
+
+// DefaultHyper mirrors the evaluation defaults (h=4, b=8).
+func DefaultHyper() Hyper {
+	return Hyper{MaxDepth: 4, MaxSplits: 8, MinSamplesSplit: 2}
+}
+
+func (h Hyper) withDefaults() Hyper {
+	if h.MaxDepth == 0 {
+		h.MaxDepth = 4
+	}
+	if h.MaxSplits == 0 {
+		h.MaxSplits = 8
+	}
+	if h.MinSamplesSplit < 2 {
+		h.MinSamplesSplit = 2
+	}
+	return h
+}
+
+// Node is one node of a fitted tree, stored in a flat slice.
+type Node struct {
+	Leaf      bool
+	Feature   int     // split feature (internal nodes)
+	Threshold float64 // x[Feature] <= Threshold goes left
+	Left      int     // child indices into DecisionTree.Nodes
+	Right     int
+	Value     float64 // leaf prediction (class index or mean)
+	Gain      float64 // sample-weighted impurity decrease of this split
+}
+
+// DecisionTree is a fitted CART tree.
+type DecisionTree struct {
+	Nodes   []Node
+	Classes int // 0 for regression
+}
+
+// Fit builds a CART tree on ds (Algorithm 1 of the paper).
+func Fit(ds *dataset.Dataset, h Hyper) (*DecisionTree, error) {
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("tree: empty dataset")
+	}
+	h = h.withDefaults()
+	t := &DecisionTree{Classes: ds.Classes}
+	idx := make([]int, ds.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	cands := candidateSplits(ds, h.MaxSplits)
+	t.build(ds, idx, cands, h, 0)
+	return t, nil
+}
+
+// candidateSplits precomputes per-feature candidate thresholds on the full
+// training set — the same quantile bucketing Pivot's clients use locally.
+func candidateSplits(ds *dataset.Dataset, b int) [][]float64 {
+	out := make([][]float64, ds.D())
+	for j := range out {
+		out[j] = dataset.SplitCandidates(ds.Column(j), b)
+	}
+	return out
+}
+
+func (t *DecisionTree) build(ds *dataset.Dataset, idx []int, cands [][]float64, h Hyper, depth int) int {
+	if depth >= h.MaxDepth || len(idx) < h.MinSamplesSplit || pure(ds, idx) {
+		return t.leaf(ds, idx)
+	}
+	feat, thr, gain := bestSplit(ds, idx, cands, h.Criterion)
+	if gain <= 0 {
+		return t.leaf(ds, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if ds.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return t.leaf(ds, idx)
+	}
+	me := len(t.Nodes)
+	weighted := gain * float64(len(idx)) / float64(ds.N())
+	t.Nodes = append(t.Nodes, Node{Feature: feat, Threshold: thr, Gain: weighted})
+	l := t.build(ds, left, cands, h, depth+1)
+	r := t.build(ds, right, cands, h, depth+1)
+	t.Nodes[me].Left = l
+	t.Nodes[me].Right = r
+	return me
+}
+
+func pure(ds *dataset.Dataset, idx []int) bool {
+	if len(idx) <= 1 {
+		return true
+	}
+	first := ds.Y[idx[0]]
+	for _, i := range idx[1:] {
+		if ds.Y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *DecisionTree) leaf(ds *dataset.Dataset, idx []int) int {
+	var value float64
+	if ds.IsClassification() {
+		counts := make([]int, ds.Classes)
+		for _, i := range idx {
+			counts[int(ds.Y[i])]++
+		}
+		best := 0
+		for k, c := range counts {
+			if c > counts[best] {
+				best = k
+			}
+		}
+		value = float64(best)
+	} else {
+		var sum float64
+		for _, i := range idx {
+			sum += ds.Y[i]
+		}
+		if len(idx) > 0 {
+			value = sum / float64(len(idx))
+		}
+	}
+	me := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Leaf: true, Value: value})
+	return me
+}
+
+// bestSplit scans every candidate split of every feature and returns the
+// one maximizing the impurity / variance gain (Eqns 5–6 of the paper).
+func bestSplit(ds *dataset.Dataset, idx []int, cands [][]float64, crit Criterion) (feat int, thr float64, gain float64) {
+	gain = math.Inf(-1)
+	feat = -1
+	scoreCrit := crit
+	if crit == GainRatio {
+		scoreCrit = Entropy // gain ratio normalizes the entropy gain
+	}
+	base := impurityScore(ds, idx, scoreCrit)
+	for j := 0; j < ds.D(); j++ {
+		for _, tau := range cands[j] {
+			g := splitScore(ds, idx, j, tau, scoreCrit) - base
+			if crit == GainRatio && ds.IsClassification() && !math.IsInf(g, -1) {
+				g /= splitInfo(ds, idx, j, tau) + splitInfoEps
+			}
+			if g > gain {
+				gain, feat, thr = g, j, tau
+			}
+		}
+	}
+	if feat < 0 {
+		return -1, 0, 0
+	}
+	return feat, thr, gain
+}
+
+// splitInfo returns C4.5's split information −(w_l·ln w_l + w_r·ln w_r).
+func splitInfo(ds *dataset.Dataset, idx []int, feat int, tau float64) float64 {
+	nl := 0
+	for _, i := range idx {
+		if ds.X[i][feat] <= tau {
+			nl++
+		}
+	}
+	n := float64(len(idx))
+	var s float64
+	for _, c := range []float64{float64(nl), n - float64(nl)} {
+		if c > 0 {
+			w := c / n
+			s -= w * math.Log(w)
+		}
+	}
+	return s
+}
+
+// impurityScore returns a purity score — larger is purer — whose weighted
+// branch sum minus node value equals the paper's gain: Σ_k p_k² for Gini,
+// Σ_k p_k·ln p_k (the negated entropy) for Entropy, and (E[Y])² − E[Y²] for
+// regression.
+func impurityScore(ds *dataset.Dataset, idx []int, crit Criterion) float64 {
+	if ds.IsClassification() {
+		counts := make([]float64, ds.Classes)
+		for _, i := range idx {
+			counts[int(ds.Y[i])]++
+		}
+		n := float64(len(idx))
+		var s float64
+		for _, c := range counts {
+			p := c / n
+			if crit == Entropy {
+				if p > 0 {
+					s += p * math.Log(p)
+				}
+			} else {
+				s += p * p
+			}
+		}
+		return s
+	}
+	// Variance gain: maximizing Σ_branch w·(E_b[Y])² − E[Y²] terms; the
+	// node-constant E[Y²] cancels in comparisons, so score = -(variance).
+	var sum, sum2 float64
+	for _, i := range idx {
+		sum += ds.Y[i]
+		sum2 += ds.Y[i] * ds.Y[i]
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	return -(sum2/n - mean*mean)
+}
+
+// splitScore returns w_l·score(D_l) + w_r·score(D_r) for the split.
+func splitScore(ds *dataset.Dataset, idx []int, feat int, tau float64, crit Criterion) float64 {
+	var left, right []int
+	for _, i := range idx {
+		if ds.X[i][feat] <= tau {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return math.Inf(-1)
+	}
+	n := float64(len(idx))
+	wl := float64(len(left)) / n
+	wr := float64(len(right)) / n
+	return wl*impurityScore(ds, left, crit) + wr*impurityScore(ds, right, crit)
+}
+
+// Predict returns the tree's prediction for one sample.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	i := 0
+	for !t.Nodes[i].Leaf {
+		n := t.Nodes[i]
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+	return t.Nodes[i].Value
+}
+
+// PredictBatch predicts every row.
+func (t *DecisionTree) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out
+}
+
+// Depth returns the height of the tree (0 for a lone leaf).
+func (t *DecisionTree) Depth() int {
+	var walk func(i int) int
+	walk = func(i int) int {
+		n := t.Nodes[i]
+		if n.Leaf {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+// InternalNodes counts non-leaf nodes (the paper's t).
+func (t *DecisionTree) InternalNodes() int {
+	c := 0
+	for _, n := range t.Nodes {
+		if !n.Leaf {
+			c++
+		}
+	}
+	return c
+}
+
+// FeatureImportance returns the normalized, sample-weighted total impurity
+// decrease per feature (the standard mean-decrease-in-impurity importance),
+// over d features.  All zeros if the tree is a lone leaf.
+//
+// This is computable for the *plaintext* baselines and for released
+// basic-protocol Pivot models only in split-count form (core.SplitCounts):
+// the privacy-preserving protocol never opens per-split gains.
+func (t *DecisionTree) FeatureImportance(d int) []float64 {
+	imp := make([]float64, d)
+	var total float64
+	for _, n := range t.Nodes {
+		if !n.Leaf && n.Feature >= 0 && n.Feature < d {
+			imp[n.Feature] += n.Gain
+			total += n.Gain
+		}
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+// Accuracy computes classification accuracy on a labelled set.
+func Accuracy(pred, y []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// MSE computes mean squared error on a labelled set.
+func MSE(pred, y []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - y[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}

@@ -1,0 +1,275 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/dataset"
+)
+
+// Ensemble baselines: NP-RF and NP-GBDT (§2.3, §7 of the paper).
+
+// EnsembleHyper extends Hyper with ensemble parameters (W = NumTrees).
+type EnsembleHyper struct {
+	Hyper
+	NumTrees     int
+	LearningRate float64 // GBDT shrinkage ν
+	Subsample    float64 // RF bootstrap fraction (1.0 = n samples)
+	Seed         uint64
+}
+
+// DefaultEnsembleHyper matches the evaluation defaults.
+func DefaultEnsembleHyper() EnsembleHyper {
+	return EnsembleHyper{Hyper: DefaultHyper(), NumTrees: 8, LearningRate: 0.1, Subsample: 1.0}
+}
+
+func (h EnsembleHyper) withDefaults() EnsembleHyper {
+	h.Hyper = h.Hyper.withDefaults()
+	if h.NumTrees == 0 {
+		h.NumTrees = 8
+	}
+	if h.LearningRate == 0 {
+		h.LearningRate = 0.1
+	}
+	if h.Subsample == 0 {
+		h.Subsample = 1.0
+	}
+	return h
+}
+
+// RandomForest is a bagged ensemble of CART trees.
+type RandomForest struct {
+	Trees   []*DecisionTree
+	Classes int
+}
+
+// FitForest trains NumTrees independent trees on bootstrap resamples.
+func FitForest(ds *dataset.Dataset, h EnsembleHyper) (*RandomForest, error) {
+	h = h.withDefaults()
+	rng := rand.New(rand.NewPCG(h.Seed, h.Seed^0xabcdef))
+	rf := &RandomForest{Classes: ds.Classes}
+	for w := 0; w < h.NumTrees; w++ {
+		boot := bootstrap(ds, h.Subsample, rng)
+		t, err := Fit(boot, h.Hyper)
+		if err != nil {
+			return nil, fmt.Errorf("tree %d: %w", w, err)
+		}
+		rf.Trees = append(rf.Trees, t)
+	}
+	return rf, nil
+}
+
+func bootstrap(ds *dataset.Dataset, frac float64, rng *rand.Rand) *dataset.Dataset {
+	n := int(math.Round(float64(ds.N()) * frac))
+	if n < 1 {
+		n = 1
+	}
+	out := &dataset.Dataset{Classes: ds.Classes, Names: ds.Names}
+	out.X = make([][]float64, n)
+	out.Y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := rng.IntN(ds.N())
+		out.X[i] = ds.X[t]
+		out.Y[i] = ds.Y[t]
+	}
+	return out
+}
+
+// Predict votes (classification) or averages (regression).
+func (rf *RandomForest) Predict(x []float64) float64 {
+	if rf.Classes > 0 {
+		votes := make([]int, rf.Classes)
+		for _, t := range rf.Trees {
+			votes[int(t.Predict(x))]++
+		}
+		best := 0
+		for k, v := range votes {
+			if v > votes[best] {
+				best = k
+			}
+		}
+		return float64(best)
+	}
+	var s float64
+	for _, t := range rf.Trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(rf.Trees))
+}
+
+// PredictBatch predicts every row.
+func (rf *RandomForest) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = rf.Predict(x)
+	}
+	return out
+}
+
+// FeatureImportance averages the member trees' normalized importances.
+func (rf *RandomForest) FeatureImportance(d int) []float64 {
+	return averageImportance(rf.Trees, d)
+}
+
+func averageImportance(trees []*DecisionTree, d int) []float64 {
+	imp := make([]float64, d)
+	if len(trees) == 0 {
+		return imp
+	}
+	for _, t := range trees {
+		for j, v := range t.FeatureImportance(d) {
+			imp[j] += v / float64(len(trees))
+		}
+	}
+	return imp
+}
+
+// GBDT is a gradient-boosted ensemble.  Regression boosts squared loss;
+// classification uses the paper's one-vs-the-rest construction (§7.2): one
+// regression forest per class, combined by softmax.
+type GBDT struct {
+	Classes      int
+	LearningRate float64
+	Base         float64           // initial prediction (regression mean)
+	Forests      [][]*DecisionTree // [class][round] (1 class for regression)
+}
+
+// FeatureImportance averages importances across every boosted tree.
+func (g *GBDT) FeatureImportance(d int) []float64 {
+	var all []*DecisionTree
+	for _, f := range g.Forests {
+		all = append(all, f...)
+	}
+	return averageImportance(all, d)
+}
+
+// FitGBDT trains a boosted ensemble.
+func FitGBDT(ds *dataset.Dataset, h EnsembleHyper) (*GBDT, error) {
+	h = h.withDefaults()
+	if ds.IsClassification() {
+		return fitGBDTClassification(ds, h)
+	}
+	return fitGBDTRegression(ds, h)
+}
+
+func fitGBDTRegression(ds *dataset.Dataset, h EnsembleHyper) (*GBDT, error) {
+	g := &GBDT{LearningRate: h.LearningRate, Forests: make([][]*DecisionTree, 1)}
+	var mean float64
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(ds.N())
+	g.Base = mean
+	resid := ds.Clone()
+	pred := make([]float64, ds.N())
+	for i := range pred {
+		pred[i] = mean
+		resid.Y[i] = ds.Y[i] - mean
+	}
+	for w := 0; w < h.NumTrees; w++ {
+		t, err := Fit(resid, h.Hyper)
+		if err != nil {
+			return nil, err
+		}
+		g.Forests[0] = append(g.Forests[0], t)
+		for i := range pred {
+			pred[i] += h.LearningRate * t.Predict(ds.X[i])
+			resid.Y[i] = ds.Y[i] - pred[i]
+		}
+	}
+	return g, nil
+}
+
+func fitGBDTClassification(ds *dataset.Dataset, h EnsembleHyper) (*GBDT, error) {
+	c := ds.Classes
+	g := &GBDT{Classes: c, LearningRate: h.LearningRate, Forests: make([][]*DecisionTree, c)}
+	n := ds.N()
+	scores := make([][]float64, c) // raw scores per class per sample
+	onehot := make([][]float64, c)
+	for k := 0; k < c; k++ {
+		scores[k] = make([]float64, n)
+		onehot[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			if int(ds.Y[i]) == k {
+				onehot[k][i] = 1
+			}
+		}
+	}
+	resid := ds.Clone()
+	resid.Classes = 0 // regression trees on residuals
+	for w := 0; w < h.NumTrees; w++ {
+		probs := softmaxScores(scores)
+		for k := 0; k < c; k++ {
+			for i := 0; i < n; i++ {
+				resid.Y[i] = onehot[k][i] - probs[k][i]
+			}
+			t, err := Fit(resid, h.Hyper)
+			if err != nil {
+				return nil, err
+			}
+			g.Forests[k] = append(g.Forests[k], t)
+			for i := 0; i < n; i++ {
+				scores[k][i] += h.LearningRate * t.Predict(ds.X[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+func softmaxScores(scores [][]float64) [][]float64 {
+	c := len(scores)
+	n := len(scores[0])
+	out := make([][]float64, c)
+	for k := range out {
+		out[k] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var max float64 = math.Inf(-1)
+		for k := 0; k < c; k++ {
+			if scores[k][i] > max {
+				max = scores[k][i]
+			}
+		}
+		var sum float64
+		for k := 0; k < c; k++ {
+			out[k][i] = math.Exp(scores[k][i] - max)
+			sum += out[k][i]
+		}
+		for k := 0; k < c; k++ {
+			out[k][i] /= sum
+		}
+	}
+	return out
+}
+
+// Predict returns the boosted prediction for one sample.
+func (g *GBDT) Predict(x []float64) float64 {
+	if g.Classes == 0 {
+		s := g.Base
+		for _, t := range g.Forests[0] {
+			s += g.LearningRate * t.Predict(x)
+		}
+		return s
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for k := 0; k < g.Classes; k++ {
+		var s float64
+		for _, t := range g.Forests[k] {
+			s += g.LearningRate * t.Predict(x)
+		}
+		if s > bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return float64(best)
+}
+
+// PredictBatch predicts every row.
+func (g *GBDT) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = g.Predict(x)
+	}
+	return out
+}

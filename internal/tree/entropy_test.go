@@ -1,0 +1,203 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEntropyImpurityScore(t *testing.T) {
+	// Two classes, 3 vs 1 → score = Σ p ln p = 0.75·ln0.75 + 0.25·ln0.25.
+	ds := &dataset.Dataset{
+		Classes: 2,
+		X:       [][]float64{{0}, {0}, {0}, {0}},
+		Y:       []float64{0, 0, 0, 1},
+	}
+	got := impurityScore(ds, []int{0, 1, 2, 3}, Entropy)
+	want := 0.75*math.Log(0.75) + 0.25*math.Log(0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("entropy score %v, want %v", got, want)
+	}
+	// A pure node's entropy score is 0 (1·ln 1), the maximum.
+	if s := impurityScore(ds, []int{0, 1, 2}, Entropy); s != 0 {
+		t.Fatalf("pure node score %v, want 0", s)
+	}
+}
+
+func TestEntropyCriterionLearns(t *testing.T) {
+	ds := dataset.SyntheticClassification(300, 6, 3, 2.5, 31)
+	h := DefaultHyper()
+	h.Criterion = Entropy
+	tr, err := Fit(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(tr.PredictBatch(ds.X), ds.Y)
+	if acc < 0.85 {
+		t.Fatalf("entropy tree training accuracy %.2f", acc)
+	}
+}
+
+func TestGiniAndEntropyUsuallyAgree(t *testing.T) {
+	// Gini and information gain are different functionals, but on a well
+	// separated dataset they should produce trees of comparable quality.
+	ds := dataset.SyntheticClassification(400, 5, 2, 3.0, 77)
+	train, test := dataset.Split(ds, 0.25, 5)
+	var accs [2]float64
+	for i, crit := range []Criterion{Gini, Entropy} {
+		h := DefaultHyper()
+		h.Criterion = crit
+		tr, err := Fit(train, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[i] = Accuracy(tr.PredictBatch(test.X), test.Y)
+	}
+	if math.Abs(accs[0]-accs[1]) > 0.15 {
+		t.Fatalf("gini %.2f and entropy %.2f accuracies diverge too much", accs[0], accs[1])
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Gini.String() != "gini" || Entropy.String() != "entropy" || GainRatio.String() != "gain-ratio" {
+		t.Fatal("criterion names wrong")
+	}
+}
+
+func TestSplitInfo(t *testing.T) {
+	// 2 left / 2 right → split info = ln 2 (maximal for a binary split).
+	ds := &dataset.Dataset{
+		Classes: 2,
+		X:       [][]float64{{0}, {1}, {2}, {3}},
+		Y:       []float64{0, 0, 1, 1},
+	}
+	got := splitInfo(ds, []int{0, 1, 2, 3}, 0, 1.5)
+	if math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("split info %v, want ln2", got)
+	}
+	// Degenerate split (everything left) → 0.
+	if si := splitInfo(ds, []int{0, 1, 2, 3}, 0, 99); si != 0 {
+		t.Fatalf("degenerate split info %v, want 0", si)
+	}
+}
+
+func TestGainRatioCriterionLearns(t *testing.T) {
+	ds := dataset.SyntheticClassification(300, 6, 3, 2.5, 41)
+	h := DefaultHyper()
+	h.Criterion = GainRatio
+	tr, err := Fit(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(tr.PredictBatch(ds.X), ds.Y)
+	if acc < 0.85 {
+		t.Fatalf("gain-ratio tree training accuracy %.2f", acc)
+	}
+}
+
+func TestGainRatioPenalizesUnbalancedSplits(t *testing.T) {
+	// Construct a node where a degenerate split and a balanced split yield
+	// the same information gain; gain ratio must prefer the balanced one.
+	// Feature 0 separates classes perfectly with a balanced 2/2 split;
+	// feature 1 only peels off one sample.
+	ds := &dataset.Dataset{
+		Classes: 2,
+		X: [][]float64{
+			{0, 0}, {0, 1}, {1, 1}, {1, 1},
+		},
+		Y: []float64{0, 0, 1, 1},
+	}
+	h := Hyper{MaxDepth: 1, MaxSplits: 4, MinSamplesSplit: 2, Criterion: GainRatio}
+	tr, err := Fit(ds, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes[0].Feature != 0 {
+		t.Fatalf("gain ratio picked feature %d, want the balanced feature 0", tr.Nodes[0].Feature)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	// Only feature 0 carries signal: importance must concentrate there.
+	ds := dataset.SyntheticClassification(200, 1, 2, 3.0, 3)
+	for i := range ds.X {
+		ds.X[i] = append(ds.X[i], float64(i%7)) // pure-noise second column
+	}
+	ds.Names = append(ds.Names, "noise")
+	tr, err := Fit(ds, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance(2)
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v, want 1", sum)
+	}
+	if imp[0] < 0.75 {
+		t.Fatalf("signal feature importance %v, want dominant", imp[0])
+	}
+}
+
+func TestEnsembleFeatureImportance(t *testing.T) {
+	ds := dataset.SyntheticClassification(200, 1, 2, 3.0, 9)
+	for i := range ds.X {
+		ds.X[i] = append(ds.X[i], float64(i%5)) // noise column
+	}
+	ds.Names = append(ds.Names, "noise")
+	eh := DefaultEnsembleHyper()
+	eh.NumTrees = 4
+	rf, err := FitForest(ds, eh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfImp := rf.FeatureImportance(2)
+	if rfImp[0] < rfImp[1] {
+		t.Fatalf("forest importance %v should favor the signal feature", rfImp)
+	}
+	g, err := FitGBDT(ds, eh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gImp := g.FeatureImportance(2)
+	if gImp[0] < gImp[1] {
+		t.Fatalf("gbdt importance %v should favor the signal feature", gImp)
+	}
+}
+
+func TestFeatureImportanceLoneLeaf(t *testing.T) {
+	ds := &dataset.Dataset{Classes: 2, X: [][]float64{{1}}, Y: []float64{0}}
+	tr, err := Fit(ds, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.FeatureImportance(1)
+	if imp[0] != 0 {
+		t.Fatalf("lone leaf importance %v, want 0", imp[0])
+	}
+}
+
+func TestEntropyRegressionUnaffected(t *testing.T) {
+	// Criterion only applies to classification; regression fits must be
+	// identical under both settings.
+	ds := dataset.SyntheticRegression(200, 4, 0.2, 13)
+	hg := DefaultHyper()
+	he := DefaultHyper()
+	he.Criterion = Entropy
+	tg, err := Fit(ds, hg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := Fit(ds, he)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Nodes) != len(te.Nodes) {
+		t.Fatalf("regression trees differ: %d vs %d nodes", len(tg.Nodes), len(te.Nodes))
+	}
+	for i := range tg.Nodes {
+		if tg.Nodes[i] != te.Nodes[i] {
+			t.Fatalf("regression node %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestDecisionTreeLearnsSeparableData(t *testing.T) {
+	ds := dataset.SyntheticClassification(400, 6, 2, 3.0, 1)
+	train, test := dataset.Split(ds, 0.25, 2)
+	tr, err := Fit(train, Hyper{MaxDepth: 4, MaxSplits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(tr.PredictBatch(test.X), test.Y)
+	if acc < 0.85 {
+		t.Fatalf("accuracy %v too low for well-separated data", acc)
+	}
+}
+
+func TestDecisionTreeMulticlass(t *testing.T) {
+	ds := dataset.SyntheticClassification(600, 8, 4, 3.0, 7)
+	train, test := dataset.Split(ds, 0.25, 3)
+	tr, err := Fit(train, Hyper{MaxDepth: 5, MaxSplits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tr.PredictBatch(test.X), test.Y); acc < 0.7 {
+		t.Fatalf("multiclass accuracy %v", acc)
+	}
+}
+
+func TestDecisionTreeRegression(t *testing.T) {
+	ds := dataset.SyntheticRegression(500, 5, 0.1, 4)
+	train, test := dataset.Split(ds, 0.25, 5)
+	tr, err := Fit(train, Hyper{MaxDepth: 5, MaxSplits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := MSE(tr.PredictBatch(test.X), test.Y)
+	// Variance of Y is > 1; the tree must explain a useful share of it.
+	base := MSE(make([]float64, test.N()), test.Y)
+	if mse > base*0.9 {
+		t.Fatalf("regression mse %v vs baseline %v", mse, base)
+	}
+}
+
+func TestDepthRespected(t *testing.T) {
+	ds := dataset.SyntheticClassification(300, 5, 2, 0.5, 9)
+	for _, h := range []int{1, 2, 3, 4} {
+		tr, err := Fit(ds, Hyper{MaxDepth: h, MaxSplits: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Depth(); got > h {
+			t.Fatalf("depth %d exceeds max %d", got, h)
+		}
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	ds := &dataset.Dataset{
+		Classes: 2,
+		X:       [][]float64{{1}, {2}, {3}},
+		Y:       []float64{1, 1, 1},
+	}
+	tr, err := Fit(ds, Hyper{MaxDepth: 4, MaxSplits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 || !tr.Nodes[0].Leaf || tr.Nodes[0].Value != 1 {
+		t.Fatalf("pure dataset should give a single leaf, got %+v", tr.Nodes)
+	}
+}
+
+func TestEmptyDatasetErrors(t *testing.T) {
+	if _, err := Fit(&dataset.Dataset{Classes: 2}, Hyper{}); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestInternalNodesCount(t *testing.T) {
+	ds := dataset.SyntheticClassification(300, 5, 2, 2.0, 12)
+	tr, _ := Fit(ds, Hyper{MaxDepth: 3, MaxSplits: 4})
+	leaves := 0
+	for _, n := range tr.Nodes {
+		if n.Leaf {
+			leaves++
+		}
+	}
+	if tr.InternalNodes() != leaves-1 {
+		t.Fatalf("binary tree invariant violated: %d internal, %d leaves", tr.InternalNodes(), leaves)
+	}
+}
+
+func TestForestBeatsOrMatchesSingleTreeShape(t *testing.T) {
+	ds := dataset.SyntheticClassification(500, 8, 3, 2.0, 21)
+	train, test := dataset.Split(ds, 0.25, 22)
+	rf, err := FitForest(train, EnsembleHyper{Hyper: Hyper{MaxDepth: 4, MaxSplits: 8}, NumTrees: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf.Trees) != 10 {
+		t.Fatalf("forest has %d trees", len(rf.Trees))
+	}
+	if acc := Accuracy(rf.PredictBatch(test.X), test.Y); acc < 0.75 {
+		t.Fatalf("forest accuracy %v", acc)
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	ds := dataset.SyntheticRegression(400, 5, 0.2, 31)
+	train, test := dataset.Split(ds, 0.25, 32)
+	rf, err := FitForest(train, EnsembleHyper{Hyper: Hyper{MaxDepth: 5, MaxSplits: 8}, NumTrees: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := meanBaselineMSE(test)
+	if mse := MSE(rf.PredictBatch(test.X), test.Y); mse > base {
+		t.Fatalf("forest mse %v above mean baseline %v", mse, base)
+	}
+}
+
+func TestGBDTRegressionImprovesWithRounds(t *testing.T) {
+	ds := dataset.SyntheticRegression(500, 5, 0.1, 41)
+	train, test := dataset.Split(ds, 0.25, 42)
+	var prev float64 = math.Inf(1)
+	for _, w := range []int{1, 4, 16} {
+		g, err := FitGBDT(train, EnsembleHyper{Hyper: Hyper{MaxDepth: 3, MaxSplits: 8}, NumTrees: w, LearningRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse := MSE(g.PredictBatch(test.X), test.Y)
+		if mse > prev*1.1 {
+			t.Fatalf("mse went up with more rounds: %v -> %v (W=%d)", prev, mse, w)
+		}
+		prev = mse
+	}
+}
+
+func TestGBDTClassification(t *testing.T) {
+	ds := dataset.SyntheticClassification(500, 6, 3, 2.5, 51)
+	train, test := dataset.Split(ds, 0.25, 52)
+	g, err := FitGBDT(train, EnsembleHyper{Hyper: Hyper{MaxDepth: 3, MaxSplits: 8}, NumTrees: 6, LearningRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Forests) != 3 {
+		t.Fatalf("one-vs-rest should build %d forests, got %d", 3, len(g.Forests))
+	}
+	if acc := Accuracy(g.PredictBatch(test.X), test.Y); acc < 0.75 {
+		t.Fatalf("gbdt accuracy %v", acc)
+	}
+}
+
+func meanBaselineMSE(ds *dataset.Dataset) float64 {
+	var mean float64
+	for _, y := range ds.Y {
+		mean += y
+	}
+	mean /= float64(ds.N())
+	pred := make([]float64, ds.N())
+	for i := range pred {
+		pred[i] = mean
+	}
+	return MSE(pred, ds.Y)
+}
+
+func TestAccuracyAndMSEHelpers(t *testing.T) {
+	if a := Accuracy([]float64{1, 2, 3}, []float64{1, 0, 3}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v", a)
+	}
+	if m := MSE([]float64{1, 2}, []float64{0, 0}); math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("mse %v", m)
+	}
+	if Accuracy(nil, nil) != 0 || MSE(nil, nil) != 0 {
+		t.Fatal("empty metrics should be 0")
+	}
+}

@@ -1,0 +1,252 @@
+// Package zkp implements the Σ-protocols Pivot's malicious extension (§9.1)
+// uses to make clients prove that their local homomorphic computations are
+// consistent with committed data:
+//
+//   - POPK   — proof of plaintext knowledge for a Paillier ciphertext
+//   - POPCM  — proof of plaintext-ciphertext multiplication
+//     (Cramer–Damgård–Nielsen, EUROCRYPT'01)
+//   - POHDP  — proof of homomorphic dot product (per Helen, S&P'19),
+//     composed from POPCM instances plus a public aggregation
+//
+// All proofs are made non-interactive by the Fiat–Shamir transform over
+// SHA-256.  Challenges are 128 bits; commitments use κ = 80 bits of
+// statistical masking so responses leak nothing about the witnesses.
+package zkp
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/paillier"
+)
+
+const challengeBits = 128
+const statMask = 80
+
+var one = big.NewInt(1)
+
+// challenge derives the Fiat–Shamir challenge from the transcript parts.
+func challenge(parts ...*big.Int) *big.Int {
+	h := sha256.New()
+	for _, p := range parts {
+		b := p.Bytes()
+		var lenb [4]byte
+		lenb[0] = byte(len(b) >> 24)
+		lenb[1] = byte(len(b) >> 16)
+		lenb[2] = byte(len(b) >> 8)
+		lenb[3] = byte(len(b))
+		h.Write(lenb[:])
+		h.Write(b)
+	}
+	sum := h.Sum(nil)
+	e := new(big.Int).SetBytes(sum)
+	return e.Rsh(e, uint(len(sum)*8-challengeBits))
+}
+
+func randUnit(pk *paillier.PublicKey) (*big.Int, error) {
+	for {
+		r, err := rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// gPow computes (1+N)^x mod N² = 1 + xN (for x reduced mod N).
+func gPow(pk *paillier.PublicKey, x *big.Int) *big.Int {
+	xm := new(big.Int).Mod(x, pk.N)
+	v := new(big.Int).Mul(xm, pk.N)
+	v.Add(v, one)
+	return v.Mod(v, pk.N2)
+}
+
+// POPK proves knowledge of the plaintext (and randomness) of a ciphertext.
+type POPK struct {
+	U *big.Int // commitment (1+N)^a · s^N
+	Z *big.Int // a + e·x over ℤ
+	W *big.Int // s · r^e mod N²
+}
+
+// ProvePOPK proves knowledge of (x, r) with c = (1+N)^x · r^N mod N².
+// x must be the ring-encoded plaintext in [0, N).
+func ProvePOPK(pk *paillier.PublicKey, c *paillier.Ciphertext, x, r *big.Int) (*POPK, error) {
+	aBound := new(big.Int).Lsh(pk.N, challengeBits+statMask)
+	a, err := rand.Int(rand.Reader, aBound)
+	if err != nil {
+		return nil, err
+	}
+	s, err := randUnit(pk)
+	if err != nil {
+		return nil, err
+	}
+	u := new(big.Int).Mul(gPow(pk, a), new(big.Int).Exp(s, pk.N, pk.N2))
+	u.Mod(u, pk.N2)
+	e := challenge(pk.N, c.C, u)
+	z := new(big.Int).Mul(e, x)
+	z.Add(z, a)
+	w := new(big.Int).Exp(r, e, pk.N2)
+	w.Mul(w, s)
+	w.Mod(w, pk.N2)
+	return &POPK{U: u, Z: z, W: w}, nil
+}
+
+// VerifyPOPK checks a POPK against its ciphertext.
+func VerifyPOPK(pk *paillier.PublicKey, c *paillier.Ciphertext, pr *POPK) error {
+	if pr == nil || pr.U == nil || pr.Z == nil || pr.W == nil {
+		return errors.New("zkp: malformed POPK")
+	}
+	e := challenge(pk.N, c.C, pr.U)
+	lhs := new(big.Int).Mul(gPow(pk, pr.Z), new(big.Int).Exp(pr.W, pk.N, pk.N2))
+	lhs.Mod(lhs, pk.N2)
+	rhs := new(big.Int).Exp(c.C, e, pk.N2)
+	rhs.Mul(rhs, pr.U)
+	rhs.Mod(rhs, pk.N2)
+	if lhs.Cmp(rhs) != 0 {
+		return errors.New("zkp: POPK verification failed")
+	}
+	return nil
+}
+
+// POPCM proves that c3 encrypts x·Dec(c2), where x is the plaintext of a
+// commitment ciphertext c1 the prover knows how to open.
+type POPCM struct {
+	U1 *big.Int // (1+N)^a · s_a^N
+	U2 *big.Int // c2^a · s_b^N
+	Z  *big.Int // a + e·x over ℤ
+	W1 *big.Int // s_a · r1^e
+	W2 *big.Int // s_b · rho^e
+}
+
+// ProvePOPCM proves c3 = c2^x · rho^N where c1 = (1+N)^x · r1^N is the
+// prover's commitment to x (ring-encoded).
+func ProvePOPCM(pk *paillier.PublicKey, c1, c2, c3 *paillier.Ciphertext, x, r1, rho *big.Int) (*POPCM, error) {
+	aBound := new(big.Int).Lsh(pk.N, challengeBits+statMask)
+	a, err := rand.Int(rand.Reader, aBound)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := randUnit(pk)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := randUnit(pk)
+	if err != nil {
+		return nil, err
+	}
+	u1 := new(big.Int).Mul(gPow(pk, a), new(big.Int).Exp(sa, pk.N, pk.N2))
+	u1.Mod(u1, pk.N2)
+	u2 := new(big.Int).Mul(new(big.Int).Exp(c2.C, a, pk.N2), new(big.Int).Exp(sb, pk.N, pk.N2))
+	u2.Mod(u2, pk.N2)
+	e := challenge(pk.N, c1.C, c2.C, c3.C, u1, u2)
+	z := new(big.Int).Mul(e, x)
+	z.Add(z, a)
+	w1 := new(big.Int).Exp(r1, e, pk.N2)
+	w1.Mul(w1, sa)
+	w1.Mod(w1, pk.N2)
+	w2 := new(big.Int).Exp(rho, e, pk.N2)
+	w2.Mul(w2, sb)
+	w2.Mod(w2, pk.N2)
+	return &POPCM{U1: u1, U2: u2, Z: z, W1: w1, W2: w2}, nil
+}
+
+// VerifyPOPCM checks the multiplicative relation between c1, c2, c3.
+func VerifyPOPCM(pk *paillier.PublicKey, c1, c2, c3 *paillier.Ciphertext, pr *POPCM) error {
+	if pr == nil || pr.U1 == nil || pr.U2 == nil || pr.Z == nil || pr.W1 == nil || pr.W2 == nil {
+		return errors.New("zkp: malformed POPCM")
+	}
+	e := challenge(pk.N, c1.C, c2.C, c3.C, pr.U1, pr.U2)
+	// (1+N)^z · w1^N == u1 · c1^e
+	lhs1 := new(big.Int).Mul(gPow(pk, pr.Z), new(big.Int).Exp(pr.W1, pk.N, pk.N2))
+	lhs1.Mod(lhs1, pk.N2)
+	rhs1 := new(big.Int).Exp(c1.C, e, pk.N2)
+	rhs1.Mul(rhs1, pr.U1)
+	rhs1.Mod(rhs1, pk.N2)
+	if lhs1.Cmp(rhs1) != 0 {
+		return errors.New("zkp: POPCM commitment check failed")
+	}
+	// c2^z · w2^N == u2 · c3^e
+	lhs2 := new(big.Int).Exp(c2.C, pr.Z, pk.N2)
+	lhs2.Mul(lhs2, new(big.Int).Exp(pr.W2, pk.N, pk.N2))
+	lhs2.Mod(lhs2, pk.N2)
+	rhs2 := new(big.Int).Exp(c3.C, e, pk.N2)
+	rhs2.Mul(rhs2, pr.U2)
+	rhs2.Mod(rhs2, pk.N2)
+	if lhs2.Cmp(rhs2) != 0 {
+		return errors.New("zkp: POPCM product check failed")
+	}
+	return nil
+}
+
+// MulCommitted computes c3 = c2^x · rho^N together with the randomness, for
+// use with ProvePOPCM.  x is the ring-encoded plaintext.
+func MulCommitted(pk *paillier.PublicKey, c2 *paillier.Ciphertext, x *big.Int) (*paillier.Ciphertext, *big.Int, error) {
+	rho, err := randUnit(pk)
+	if err != nil {
+		return nil, nil, err
+	}
+	c3 := new(big.Int).Exp(c2.C, x, pk.N2)
+	c3.Mul(c3, new(big.Int).Exp(rho, pk.N, pk.N2))
+	c3.Mod(c3, pk.N2)
+	return &paillier.Ciphertext{C: c3}, rho, nil
+}
+
+// POHDP proves res = v ⊙ [γ] for a committed plaintext vector v: one POPCM
+// per component ties t_j = γ_j^{v_j}·rho_j^N to the commitment of v_j, and
+// the verifier re-aggregates res = Π t_j publicly.
+type POHDP struct {
+	Terms  []*paillier.Ciphertext
+	Proofs []*POPCM
+}
+
+// ProvePOHDP proves that res was computed as the homomorphic dot product of
+// committed v (with commitments comms = Enc(v_j; rs_j)) and public γ.
+// It returns the proof and the (rerandomized) result ciphertext.
+func ProvePOHDP(pk *paillier.PublicKey, comms, gamma []*paillier.Ciphertext, v, rs []*big.Int) (*POHDP, *paillier.Ciphertext, error) {
+	if len(comms) != len(gamma) || len(v) != len(gamma) || len(rs) != len(gamma) {
+		return nil, nil, fmt.Errorf("zkp: POHDP length mismatch")
+	}
+	pr := &POHDP{Terms: make([]*paillier.Ciphertext, len(v)), Proofs: make([]*POPCM, len(v))}
+	acc := &paillier.Ciphertext{C: new(big.Int).Set(one)}
+	for j := range v {
+		x := pk.EncodeSigned(v[j])
+		t, rho, err := MulCommitted(pk, gamma[j], x)
+		if err != nil {
+			return nil, nil, err
+		}
+		proof, err := ProvePOPCM(pk, comms[j], gamma[j], t, x, rs[j], rho)
+		if err != nil {
+			return nil, nil, err
+		}
+		pr.Terms[j] = t
+		pr.Proofs[j] = proof
+		acc = pk.Add(acc, t)
+	}
+	return pr, acc, nil
+}
+
+// VerifyPOHDP checks every component proof and that res aggregates them.
+func VerifyPOHDP(pk *paillier.PublicKey, comms, gamma []*paillier.Ciphertext, res *paillier.Ciphertext, pr *POHDP) error {
+	if pr == nil || len(pr.Terms) != len(gamma) || len(pr.Proofs) != len(gamma) {
+		return errors.New("zkp: malformed POHDP")
+	}
+	acc := &paillier.Ciphertext{C: new(big.Int).Set(one)}
+	for j := range gamma {
+		if err := VerifyPOPCM(pk, comms[j], gamma[j], pr.Terms[j], pr.Proofs[j]); err != nil {
+			return fmt.Errorf("zkp: POHDP component %d: %w", j, err)
+		}
+		acc = pk.Add(acc, pr.Terms[j])
+	}
+	if acc.C.Cmp(res.C) != 0 {
+		return errors.New("zkp: POHDP aggregation mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Package pivot is the public API of this reproduction of "Privacy
+// Preserving Vertical Federated Learning for Tree-based Models" (Wu et al.,
+// PVLDB 2020).  It wraps the protocol engine in internal/core with a small
+// surface for the common flows:
+//
+//	ds := pivot.SyntheticClassification(1000, 12, 2, 2.0, 1)
+//	cfg := pivot.DefaultConfig()
+//	fed, _ := pivot.NewFederation(ds, 3, cfg)   // 3 clients, client 0 has labels
+//	defer fed.Close()
+//	model, _ := fed.TrainDecisionTree()
+//	pred, _ := fed.Predict(model, 0)            // privacy-preserving prediction
+//
+// A Federation simulates the m clients of the paper's LAN deployment as
+// goroutines over an in-memory transport; every protocol message, threshold
+// decryption and secure computation is executed exactly as specified in the
+// paper (see DESIGN.md for the substitution notes).
+package pivot
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/psi"
+)
+
+// Re-exported configuration and model types.
+type (
+	// Config collects every protocol knob (see internal/core).
+	Config = core.Config
+	// TreeHyper are the CART hyper-parameters.
+	TreeHyper = core.TreeHyper
+	// DPConfig enables differentially private training (§9.2).
+	DPConfig = core.DPConfig
+	// Model is a trained Pivot decision tree.
+	Model = core.Model
+	// ForestModel is a trained Pivot random forest (§7.1).
+	ForestModel = core.ForestModel
+	// BoostModel is a trained Pivot GBDT (§7.2).
+	BoostModel = core.BoostModel
+	// RunStats aggregates protocol statistics for a run.
+	RunStats = core.RunStats
+	// Dataset is a dense labelled table.
+	Dataset = dataset.Dataset
+	// Partition is one client's vertical slice of a Dataset.
+	Partition = dataset.Partition
+	// Protocol selects the basic or enhanced protocol.
+	Protocol = core.Protocol
+	// HideLevel selects what the enhanced protocol conceals (§5.2).
+	HideLevel = core.HideLevel
+	// SplitCriterion selects gini or entropy classification gains.
+	SplitCriterion = core.SplitCriterion
+)
+
+// Protocol values.
+const (
+	Basic    = core.Basic
+	Enhanced = core.Enhanced
+)
+
+// Hide levels for the enhanced protocol (each extends the previous).
+const (
+	HideThreshold = core.HideThreshold
+	HideFeature   = core.HideFeature
+	HideClient    = core.HideClient
+)
+
+// Split criteria.
+const (
+	Gini      = core.Gini
+	Entropy   = core.Entropy
+	GainRatio = core.GainRatio
+)
+
+// DefaultConfig returns the paper's protocol parameters at laptop scale.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Dataset constructors (stand-ins for the paper's evaluation data).
+var (
+	SyntheticClassification = dataset.SyntheticClassification
+	SyntheticRegression     = dataset.SyntheticRegression
+	BankMarketing           = dataset.BankMarketing
+	CreditCard              = dataset.CreditCard
+	AppliancesEnergy        = dataset.AppliancesEnergy
+	Split                   = dataset.Split
+	LoadCSVFile             = dataset.LoadCSVFile
+	SaveCSVFile             = dataset.SaveCSVFile
+	VerticalPartition       = dataset.VerticalPartition
+)
+
+// Federation is a live m-client session: data vertically partitioned,
+// threshold keys dealt, clients connected.
+type Federation struct {
+	session *Session
+	parts   []*Partition
+}
+
+// Session is the lower-level SPMD session (advanced use).
+type Session = core.Session
+
+// NewFederation vertically partitions ds across m clients (labels at
+// client 0, the super client) and brings the federation up.
+func NewFederation(ds *Dataset, m int, cfg Config) (*Federation, error) {
+	parts, err := dataset.VerticalPartition(ds, m, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewFederationFromPartitions(parts, cfg)
+}
+
+// NewFederationFromPartitions starts a federation over pre-built vertical
+// partitions (e.g. loaded from per-client CSV files).
+func NewFederationFromPartitions(parts []*Partition, cfg Config) (*Federation, error) {
+	s, err := core.NewSession(parts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{session: s, parts: parts}, nil
+}
+
+// PSIGroup is the algebraic group the private-set-intersection alignment
+// runs in (see internal/psi).
+type PSIGroup = psi.Group
+
+// PSI group constructors: DefaultPSIGroup is the 1024-bit production group,
+// TestPSIGroup the fast 512-bit group for tests and demos.
+var (
+	DefaultPSIGroup = psi.DefaultGroup
+	TestPSIGroup    = psi.TestGroup
+)
+
+// NewAlignedFederation performs the paper's initialization stage (§3.1) and
+// then brings the federation up: the m clients hold partitions whose rows
+// are keyed by ids[c] (arbitrary order, possibly different subsets of
+// users), run the DDH-based private set intersection protocol to find their
+// common samples without revealing ids outside the intersection, restrict
+// and reorder their local rows to the agreed order, and start the session.
+// The returned id list is the aligned sample order shared by all clients.
+func NewAlignedFederation(parts []*Partition, ids [][]string, g *PSIGroup, cfg Config) (*Federation, []string, error) {
+	if len(parts) != len(ids) {
+		return nil, nil, fmt.Errorf("pivot: %d partitions but %d id lists", len(parts), len(ids))
+	}
+	for c, p := range parts {
+		if len(ids[c]) != len(p.X) {
+			return nil, nil, fmt.Errorf("pivot: client %d has %d rows but %d ids", c, len(p.X), len(ids[c]))
+		}
+	}
+	if g == nil {
+		g = psi.DefaultGroup()
+	}
+	common, rows, err := psi.AlignAll(g, ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(common) == 0 {
+		return nil, nil, fmt.Errorf("pivot: the clients share no common samples")
+	}
+	aligned := make([]*Partition, len(parts))
+	for c, p := range parts {
+		ap, err := p.SelectRows(rows[c])
+		if err != nil {
+			return nil, nil, fmt.Errorf("pivot: client %d alignment: %w", c, err)
+		}
+		aligned[c] = ap
+	}
+	fed, err := NewFederationFromPartitions(aligned, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fed, common, nil
+}
+
+// Close tears the federation down.
+func (f *Federation) Close() { f.session.Close() }
+
+// Parts returns the vertical partitions (client i's view of the data).
+func (f *Federation) Parts() []*Partition { return f.parts }
+
+// Stats returns aggregated protocol statistics across all clients.
+func (f *Federation) Stats() RunStats { return f.session.Stats() }
+
+// Session exposes the SPMD session for advanced orchestration.
+func (f *Federation) Session() *Session { return f.session }
+
+// TrainDecisionTree trains one Pivot decision tree (Algorithm 3; the
+// protocol — basic or enhanced — comes from the federation config).
+func (f *Federation) TrainDecisionTree() (*Model, error) {
+	models := make([]*Model, len(f.parts))
+	err := f.session.Each(func(p *core.Party) error {
+		m, err := p.TrainDT()
+		if err == nil {
+			models[p.ID] = m
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[0], nil
+}
+
+// TrainRandomForest trains a Pivot-RF ensemble (§7.1).
+func (f *Federation) TrainRandomForest() (*ForestModel, error) {
+	models := make([]*ForestModel, len(f.parts))
+	err := f.session.Each(func(p *core.Party) error {
+		m, err := p.TrainRF()
+		if err == nil {
+			models[p.ID] = m
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[0], nil
+}
+
+// TrainGBDT trains a Pivot-GBDT ensemble (§7.2).
+func (f *Federation) TrainGBDT() (*BoostModel, error) {
+	models := make([]*BoostModel, len(f.parts))
+	err := f.session.Each(func(p *core.Party) error {
+		m, err := p.TrainGBDT()
+		if err == nil {
+			models[p.ID] = m
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[0], nil
+}
+
+// Predict runs the privacy-preserving prediction protocol for training
+// sample index i (round-robin under the basic protocol, secret-shared under
+// the enhanced protocol).
+func (f *Federation) Predict(model *Model, i int) (float64, error) {
+	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
+		return p.Predict(model, x)
+	})
+}
+
+// PredictSample predicts an out-of-training sample whose features are
+// already split per client (featuresByClient[c] is client c's columns).
+func (f *Federation) PredictSample(model *Model, featuresByClient [][]float64) (float64, error) {
+	if len(featuresByClient) != len(f.parts) {
+		return 0, fmt.Errorf("pivot: sample has %d client slices, federation has %d", len(featuresByClient), len(f.parts))
+	}
+	var out float64
+	err := f.session.Each(func(p *core.Party) error {
+		v, err := p.Predict(model, featuresByClient[p.ID])
+		if p.ID == 0 && err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// PredictForest votes the Pivot-RF prediction for training sample i.
+func (f *Federation) PredictForest(fm *ForestModel, i int) (float64, error) {
+	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
+		return p.PredictRF(fm, x)
+	})
+}
+
+// PredictBoost computes the Pivot-GBDT prediction for training sample i.
+func (f *Federation) PredictBoost(bm *BoostModel, i int) (float64, error) {
+	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
+		return p.PredictGBDT(bm, x)
+	})
+}
+
+func (f *Federation) predictAt(i int, fn func(*core.Party, []float64) (float64, error)) (float64, error) {
+	if i < 0 || i >= f.parts[0].N {
+		return 0, fmt.Errorf("pivot: sample index %d out of range", i)
+	}
+	var out float64
+	err := f.session.Each(func(p *core.Party) error {
+		v, err := fn(p, f.parts[p.ID].X[i])
+		if p.ID == 0 && err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// LRModel is the §7.3 vertical logistic regression model.
+type LRModel = core.LRModel
+
+// LRConfig are the logistic regression hyper-parameters.
+type LRConfig = core.LRConfig
+
+// TrainLogisticRegression trains the §7.3 vertical logistic regression
+// extension (binary labels) over the federation.
+func (f *Federation) TrainLogisticRegression(cfg LRConfig) (*LRModel, error) {
+	models := make([]*LRModel, len(f.parts))
+	err := f.session.Each(func(p *core.Party) error {
+		m, err := p.TrainLR(cfg)
+		if err == nil {
+			models[p.ID] = m
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return models[0], nil
+}
