@@ -116,6 +116,42 @@ func BenchmarkPSIAlignment(b *testing.B) { runExperiment(b, experiments.PSIAlign
 // BenchmarkPhaseBreakdown reports per-phase training time (Table 2 columns).
 func BenchmarkPhaseBreakdown(b *testing.B) { runExperiment(b, experiments.PhaseBreakdown) }
 
+// BenchmarkPaillierAcceleration reports the Paillier acceleration layer's
+// ops/sec comparison (sequential vs parallel vs precomputed) plus the
+// end-to-end training speedup; `pivot-bench -exp paillier -json
+// BENCH_paillier.json` persists the same numbers as the perf baseline.
+func BenchmarkPaillierAcceleration(b *testing.B) { runExperiment(b, experiments.PaillierBench) }
+
+// benchTrainDT measures one end-to-end TrainDecisionTree run per iteration.
+func benchTrainDT(b *testing.B, workers, poolCapacity int) {
+	b.Helper()
+	ds := SyntheticClassification(48, 6, 2, 2.0, 1)
+	cfg := DefaultConfig()
+	cfg.KeyBits = 256
+	cfg.Workers = workers
+	cfg.PoolCapacity = poolCapacity
+	cfg.Seed = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fed, err := NewFederation(ds, 3, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fed.TrainDecisionTree(); err != nil {
+			b.Fatal(err)
+		}
+		fed.Close()
+	}
+}
+
+// BenchmarkTrainSequential is the seed configuration: one worker, no
+// randomness pool — every encryption pays a full modular exponentiation.
+func BenchmarkTrainSequential(b *testing.B) { benchTrainDT(b, 1, -1) }
+
+// BenchmarkTrainAccelerated is the default configuration: all cores plus
+// the precomputed randomness pool.
+func BenchmarkTrainAccelerated(b *testing.B) { benchTrainDT(b, 0, 0) }
+
 // metricUnit builds a whitespace-free unit label (ReportMetric requirement).
 func metricUnit(name, unit string) string {
 	u := name + "/" + unit

@@ -5,6 +5,7 @@
 //	pivot-bench -exp fig4a                 # one experiment, quick preset
 //	pivot-bench -exp all                   # everything, quick preset
 //	pivot-bench -exp fig5b -preset paper   # the paper's parameters (slow!)
+//	pivot-bench -exp paillier -json BENCH_paillier.json   # perf baseline
 //	pivot-bench -list
 package main
 
@@ -22,6 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
+	jsonOut := flag.String("json", "", "with -exp paillier: write the machine-readable perf baseline to this file")
 	flag.Parse()
 
 	if *list {
@@ -58,6 +60,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("all experiments done in %s\n", experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "paillier" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WritePaillierBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("paillier baseline -> %s (enc speedup %.2fx, train speedup %.2fx) in %s\n",
+			*jsonOut, st.EncSpeedup, st.TrainSpeedup, experiments.Elapsed(start))
 		return
 	}
 

@@ -70,7 +70,10 @@ func main() {
 		return
 	}
 
-	// Key distribution: client 0 deals the threshold keys (see file docs).
+	// Key distribution: client 0 deals the threshold keys (see file docs)
+	// and announces the public class count, which every client needs — the
+	// per-node protocols branch on classification vs regression, so a
+	// diverging local value would desynchronize the conversion step.
 	var pk *paillier.PublicKey
 	var myKey *paillier.PartialKey
 	if *id == 0 {
@@ -81,8 +84,17 @@ func main() {
 		}
 		myKey = keys[0]
 		for c := 1; c < m; c++ {
-			share := pk.EncodeSigned(keys[c].DShare) // ring-encode the (possibly negative) share
-			if err := transport.SendInts(ep, c, []*big.Int{pk.N, share}); err != nil {
+			// The integer share of the threshold exponent is bigger than N
+			// (it carries 80 bits of statistical masking) and may be
+			// negative, so it travels as sign + magnitude — a ring encoding
+			// mod N would destroy it.
+			share := keys[c].DShare
+			sign := big.NewInt(0)
+			if share.Sign() < 0 {
+				sign.SetInt64(1)
+			}
+			msg := []*big.Int{pk.N, new(big.Int).Abs(share), sign, big.NewInt(int64(*classes))}
+			if err := transport.SendInts(ep, c, msg); err != nil {
 				fail(err)
 			}
 		}
@@ -91,8 +103,16 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if len(xs) != 4 {
+			fail(fmt.Errorf("malformed key material from client 0"))
+		}
 		pk = &paillier.PublicKey{N: xs[0], N2: new(big.Int).Mul(xs[0], xs[0])}
-		myKey = &paillier.PartialKey{Index: *id, DShare: pk.DecodeSigned(xs[1])}
+		share := xs[1]
+		if xs[2].Sign() != 0 {
+			share = share.Neg(share)
+		}
+		myKey = &paillier.PartialKey{Index: *id, DShare: share}
+		*classes = int(xs[3].Int64())
 	}
 
 	ds, err := dataset.LoadCSVFile(*dataPath, *classes)
@@ -113,6 +133,15 @@ func main() {
 	cfg.Tree = core.TreeHyper{MaxDepth: *depth, MaxSplits: *splits, MinSamplesSplit: 2, LeafOnZeroGain: true}
 	if *protocol == "enhanced" {
 		cfg.Protocol = core.Enhanced
+	}
+
+	// Standalone parties own their key copy, so each enables its own
+	// randomness pool (in-process sessions share one via core.NewSession).
+	if cfg.PoolCapacity >= 0 {
+		if _, err := pk.EnablePool(paillier.PoolConfig{Workers: cfg.PoolWorkers, Capacity: cfg.PoolCapacity}); err != nil {
+			fail(err)
+		}
+		defer pk.DisablePool()
 	}
 
 	p, err := core.NewParty(ep, part, pk, myKey, m, cfg)

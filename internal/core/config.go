@@ -10,6 +10,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/mpc"
@@ -133,9 +134,21 @@ type Config struct {
 	// to size the statistical masks for regression label sums).
 	LabelBits uint
 
-	// Workers > 1 parallelizes threshold decryption and encryption — the
-	// paper's "-PP" variants (6 cores in §8.3).
+	// Workers > 1 parallelizes threshold decryption, encryption and the
+	// homomorphic vector operations — the paper's "-PP" variants (6 cores
+	// in §8.3).  0 means runtime.NumCPU(); set 1 to force the sequential
+	// baseline.
 	Workers int
+
+	// PoolCapacity sizes the Paillier randomness pool: the number of
+	// r^N mod N² obfuscators precomputed ahead of the encryption hot path
+	// by background workers (0 = default 1024; negative disables the pool
+	// so every encryption pays a full modular exponentiation, the seed
+	// behavior).
+	PoolCapacity int
+	// PoolWorkers is the number of background obfuscator generator
+	// goroutines (0 = 1).
+	PoolWorkers int
 
 	// Hide selects what the enhanced protocol conceals (ignored under the
 	// basic protocol): the paper's default conceals thresholds and leaf
@@ -173,7 +186,7 @@ func DefaultConfig() Config {
 		F:            16,
 		Kappa:        40,
 		LabelBits:    8,
-		Workers:      1,
+		Workers:      runtime.NumCPU(),
 		NumTrees:     4,
 		LearningRate: 0.1,
 		Subsample:    1.0,
@@ -194,7 +207,7 @@ func (c Config) withDefaults() Config {
 		c.LabelBits = 8
 	}
 	if c.Workers == 0 {
-		c.Workers = 1
+		c.Workers = runtime.NumCPU()
 	}
 	if c.Tree.MaxDepth == 0 {
 		c.Tree = DefaultTreeHyper()
@@ -219,6 +232,7 @@ func (c Config) mpcConfig() mpc.Config {
 		Authenticated: c.Malicious,
 		Seed:          c.Seed,
 		BatchSize:     512,
+		Workers:       c.Workers,
 	}
 }
 

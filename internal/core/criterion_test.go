@@ -12,6 +12,9 @@ import (
 // plaintext reference on the same data.
 
 func TestEntropyMatchesPlainTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	cfg := testConfig()
 	cfg.Tree.Criterion = Entropy
@@ -49,6 +52,9 @@ func TestEntropyMatchesPlainTree(t *testing.T) {
 }
 
 func TestEntropyTrainingAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(36)
 	cfg := testConfig()
 	cfg.Tree.Criterion = Entropy
@@ -69,6 +75,9 @@ func TestEntropyTrainingAccuracy(t *testing.T) {
 }
 
 func TestGainRatioMatchesPlainTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	cfg := testConfig()
 	cfg.Tree.Criterion = GainRatio
@@ -103,6 +112,9 @@ func TestGainRatioMatchesPlainTree(t *testing.T) {
 }
 
 func TestEntropyWithEnhancedProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	cfg := testConfig()
 	cfg.Tree.Criterion = Entropy

@@ -41,6 +41,9 @@ func TestEnhancedConcealsModel(t *testing.T) {
 }
 
 func TestEnhancedPredictionMatchesBasic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	// Train the same data twice — basic and enhanced — with identical
 	// hyper-parameters; predictions on training samples should agree on
 	// most samples (fixed-point noise can flip near-tie splits).

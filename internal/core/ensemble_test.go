@@ -7,6 +7,9 @@ import (
 )
 
 func TestRFClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	cfg := testConfig()
 	cfg.NumTrees = 3
@@ -56,6 +59,9 @@ func TestRFClassification(t *testing.T) {
 }
 
 func TestRFRegressionMean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := dataset.SyntheticRegression(30, 4, 0.2, 23)
 	cfg := testConfig()
 	cfg.NumTrees = 2
@@ -108,6 +114,9 @@ func TestRFRegressionMean(t *testing.T) {
 }
 
 func TestGBDTRegressionReducesError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := dataset.SyntheticRegression(30, 4, 0.1, 33)
 	cfg := testConfig()
 	cfg.NumTrees = 3
@@ -159,6 +168,9 @@ func TestGBDTRegressionReducesError(t *testing.T) {
 }
 
 func TestGBDTClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(24)
 	cfg := testConfig()
 	cfg.NumTrees = 2

@@ -10,6 +10,9 @@ import (
 // change the trained model.
 
 func TestTournamentArgmaxSameModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	cfgLin := testConfig()
 	_, _, linModel := trainSession(t, ds, 2, cfgLin)
@@ -36,6 +39,9 @@ func TestTournamentArgmaxSameModel(t *testing.T) {
 }
 
 func TestParallelDecryptionSameModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	cfg1 := testConfig()
 	_, _, m1 := trainSession(t, ds, 2, cfg1)
@@ -58,6 +64,9 @@ func TestParallelDecryptionSameModel(t *testing.T) {
 }
 
 func TestFourClientsClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := dataset.SyntheticClassification(40, 8, 2, 3.0, 31)
 	cfg := testConfig()
 	s, parts, model := trainSession(t, ds, 4, cfg)
@@ -130,6 +139,9 @@ func TestMinSamplesPruning(t *testing.T) {
 }
 
 func TestLogisticRegressionSeparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	// §7.3 extension: vertical LR on linearly separable data should recover
 	// a usable decision boundary.
 	ds := dataset.SyntheticClassification(48, 4, 2, 3.0, 51)

@@ -35,6 +35,9 @@ func TestDPTrainingProducesValidModel(t *testing.T) {
 }
 
 func TestDPLeafLabelsAreValidClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	cfg := testConfig()
 	cfg.Tree.MaxDepth = 2
@@ -65,6 +68,9 @@ func TestMaliciousHonestRunSucceeds(t *testing.T) {
 }
 
 func TestMaliciousMatchesSemiHonestShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := dataset.SyntheticClassification(16, 4, 2, 3.0, 5)
 	base := testConfig()
 	base.Tree.MaxDepth = 2
@@ -91,6 +97,9 @@ func TestMaliciousMatchesSemiHonestShape(t *testing.T) {
 }
 
 func TestModelSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	_, _, model := trainSession(t, ds, 2, testConfig())
 	var sb strings.Builder

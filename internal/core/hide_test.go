@@ -20,6 +20,9 @@ func hideConfig(level HideLevel) Config {
 }
 
 func TestHideFeatureConcealsFeature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	_, _, model := trainSession(t, ds, 3, hideConfig(HideFeature))
 
@@ -57,6 +60,9 @@ func TestHideFeatureConcealsFeature(t *testing.T) {
 }
 
 func TestHideClientConcealsOwner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	_, _, model := trainSession(t, ds, 3, hideConfig(HideClient))
 
@@ -92,6 +98,9 @@ func TestHideClientConcealsOwner(t *testing.T) {
 // protocol and each hide level; the concealed models must predict (via the
 // secret-shared prediction protocol) what the public model predicts.
 func TestHideLevelsPredictLikeBasic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(36)
 	sB, partsB, modelB := trainSession(t, ds, 2, testConfig())
 	predsB, err := PredictDataset(sB, modelB, partsB)
@@ -140,6 +149,9 @@ func TestHideClientRegression(t *testing.T) {
 }
 
 func TestHiddenModelRoundTripsThroughJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	s, parts, model := trainSession(t, ds, 2, hideConfig(HideClient))
 

@@ -215,6 +215,42 @@ func (p *Party) encryptVec(xs []*big.Int) ([]*paillier.Ciphertext, error) {
 	return p.pk.EncryptVec(rand.Reader, xs, p.cfg.Workers)
 }
 
+// scalarMulRerandVec computes rerandomized β_t ⊗ [x_t] for every entry, in
+// parallel across the configured workers.  A zero β yields a fresh
+// encryption of zero (ZeroDeterministic followed by rerandomization is
+// exactly Enc(0; r)), so nothing about β leaks.
+func (p *Party) scalarMulRerandVec(cts []*paillier.Ciphertext, betas []*big.Int) ([]*paillier.Ciphertext, error) {
+	prods := p.pk.ScalarMulVec(cts, betas, p.cfg.Workers)
+	out, err := p.pk.RerandomizeVec(cryptoRand(), prods, p.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.HEOps += int64(len(cts))
+	p.Stats.Encryptions += int64(len(cts))
+	return out, nil
+}
+
+// dotRerandVec computes one rerandomized homomorphic dot product per
+// (plaintext vector, ciphertext vector) pair, in parallel across workers.
+func (p *Party) dotRerandVec(xss [][]*big.Int, chs [][]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(xss) != len(chs) {
+		return nil, p.errf("dot batch length mismatch %d vs %d", len(xss), len(chs))
+	}
+	dots, err := p.pk.DotVec(xss, chs, p.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, x := range xss {
+		p.Stats.HEOps += int64(len(x))
+	}
+	out, err := p.pk.RerandomizeVec(cryptoRand(), dots, p.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p.Stats.Encryptions += int64(len(dots))
+	return out, nil
+}
+
 func (p *Party) encryptInt64(v int64) (*paillier.Ciphertext, error) {
 	p.Stats.Encryptions++
 	return p.pk.EncryptInt64(rand.Reader, v)
@@ -326,9 +362,7 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 					return nil, err
 				}
 			}
-			for j := range encE {
-				encE[j] = p.pk.Add(encE[j], theirs[j])
-			}
+			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
 		}
 		p.Stats.HEOps += int64(count * p.M)
 		if err := p.broadcastCts(encE); err != nil {
@@ -450,9 +484,7 @@ func (p *Party) encToIntShares(cts []*paillier.Ciphertext, kStat uint) ([]*big.I
 			if err != nil {
 				return nil, nil, err
 			}
-			for j := range encE {
-				encE[j] = p.pk.Add(encE[j], theirs[j])
-			}
+			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
 		}
 		if err := p.broadcastCts(encE); err != nil {
 			return nil, nil, err
@@ -529,9 +561,7 @@ func (p *Party) shareToEnc(shares []mpc.Share, kStat uint, combiner int) ([]*pai
 			if err != nil {
 				return nil, err
 			}
-			for j := range out {
-				out[j] = p.pk.Sub(out[j], theirs[j])
-			}
+			out = p.pk.SubVec(out, theirs, p.cfg.Workers)
 		}
 		p.Stats.HEOps += int64(count * p.M)
 		if err := p.broadcastCts(out); err != nil {

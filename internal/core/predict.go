@@ -94,7 +94,9 @@ func (p *Party) predictBasicEnc(model *Model, x []float64) (*paillier.Ciphertext
 		}
 	}
 
-	// Eliminate the prediction paths my local features contradict.
+	// Eliminate the prediction paths my local features contradict (one
+	// parallel rerandomized scalar-mul batch over the leaves).
+	marks := make([]*big.Int, leaves)
 	for pos, path := range paths {
 		consistent := true
 		for _, step := range path {
@@ -108,11 +110,11 @@ func (p *Party) predictBasicEnc(model *Model, x []float64) (*paillier.Ciphertext
 				break
 			}
 		}
-		ct, err := p.scalarMulRerand(eta[pos], big.NewInt(boolToInt(consistent)))
-		if err != nil {
-			return nil, err
-		}
-		eta[pos] = ct
+		marks[pos] = big.NewInt(boolToInt(consistent))
+	}
+	eta, err := p.scalarMulRerandVec(eta, marks)
+	if err != nil {
+		return nil, err
 	}
 
 	if p.ID > 0 {

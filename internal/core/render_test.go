@@ -6,6 +6,9 @@ import (
 )
 
 func TestStringRendersBasicModelPlaintext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	_, _, model := trainSession(t, ds, 2, testConfig())
 	out := model.String()
@@ -42,6 +45,9 @@ func TestStringRendersConcealment(t *testing.T) {
 }
 
 func TestDotIsWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	_, _, model := trainSession(t, ds, 2, testConfig())
 	dot := model.Dot()
@@ -60,6 +66,9 @@ func TestDotIsWellFormed(t *testing.T) {
 }
 
 func TestSplitCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(40)
 	_, _, model := trainSession(t, ds, 2, testConfig())
 	counts := model.SplitCounts()

@@ -54,6 +54,18 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 	}
 	s.PK = pk
 
+	// Attach the shared randomness pool: the key is held by reference at
+	// every party, so one set of background workers precomputes the
+	// r^N mod N² obfuscators for the whole federation.
+	if cfg.PoolCapacity >= 0 {
+		if _, err := pk.EnablePool(paillier.PoolConfig{
+			Workers:  cfg.PoolWorkers,
+			Capacity: cfg.PoolCapacity,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	// Bring up the clients concurrently (their constructors handshake).
 	s.parties = make([]*Party, m)
 	errs := make([]error, m)
@@ -186,6 +198,9 @@ func (s *Session) shutdown() {
 	}
 	for _, ep := range s.eps {
 		_ = ep.Close()
+	}
+	if s.PK != nil {
+		s.PK.DisablePool()
 	}
 }
 

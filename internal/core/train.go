@@ -138,12 +138,8 @@ func (p *Party) channels(nd nodeData) int {
 // foldAdd homomorphically sums a ciphertext vector (local, deterministic, so
 // every client derives the identical ciphertext).
 func (p *Party) foldAdd(cts []*paillier.Ciphertext) *paillier.Ciphertext {
-	acc := cts[0]
-	for _, ct := range cts[1:] {
-		acc = p.pk.Add(acc, ct)
-	}
 	p.Stats.HEOps += int64(len(cts))
-	return acc
+	return p.pk.FoldAdd(cts)
 }
 
 // buildNode recursively splits one node and returns its index in the model.
@@ -323,26 +319,24 @@ func (p *Party) computeGammas(nd nodeData) ([][]*paillier.Ciphertext, error) {
 	if p.ID == p.Super {
 		n := p.part.N
 		for k := 0; k < C; k++ {
-			ch := make([]*paillier.Ciphertext, n)
+			betas := make([]*big.Int, n)
 			for t := 0; t < n; t++ {
-				var beta *big.Int
 				if p.part.Classes > 0 {
 					if int(p.part.Y[t]) == k {
-						beta = big.NewInt(1)
+						betas[t] = big.NewInt(1)
 					} else {
-						beta = big.NewInt(0)
+						betas[t] = big.NewInt(0)
 					}
 				} else if k == 0 {
-					beta = p.cod.Encode(p.part.Y[t])
+					betas[t] = p.cod.Encode(p.part.Y[t])
 				} else {
 					y := p.cod.Encode(p.part.Y[t])
-					beta = new(big.Int).Mul(y, y)
+					betas[t] = new(big.Int).Mul(y, y)
 				}
-				ct, err := p.scalarMulRerand(nd.alpha[t], beta)
-				if err != nil {
-					return nil, err
-				}
-				ch[t] = ct
+			}
+			ch, err := p.scalarMulRerandVec(nd.alpha, betas)
+			if err != nil {
+				return nil, err
 			}
 			if err := p.broadcastCts(ch); err != nil {
 				return nil, err
@@ -391,37 +385,49 @@ func (p *Party) computeSplitStats(alpha []*paillier.Ciphertext, gch [][]*paillie
 	channels := append([][]*paillier.Ciphertext{alpha}, gch...)
 	statsPerSplit := 2 * len(channels)
 
-	// Compute my own statistics.
+	// Compute my own statistics.  In semi-honest mode all (split, channel,
+	// side) dot products are independent, so they run as one parallel batch
+	// across the configured workers; the malicious path keeps its serial
+	// proof protocol.
 	var mine []*paillier.Ciphertext
-	flat := 0
-	for j := range p.indic {
-		for s := range p.indic[j] {
-			vl := p.indic[j][s]
-			vr := complement(vl)
-			for chIdx, ch := range channels {
-				if p.audit != nil {
+	if p.audit != nil {
+		totals := make([]*paillier.Ciphertext, len(channels))
+		for c, ch := range channels {
+			totals[c] = p.foldAdd(ch)
+		}
+		flat := 0
+		for j := range p.indic {
+			for s := range p.indic[j] {
+				vl := p.indic[j][s]
+				for c, ch := range channels {
 					// Proven left statistic; right = total − left is
 					// publicly derivable, so it carries no proof.
 					dl, err := p.audit.statWithProof(flat, ch, vl)
 					if err != nil {
 						return nil, err
 					}
-					totalCt := p.foldAdd(ch)
-					mine = append(mine, dl, p.pk.Sub(totalCt, dl))
-					continue
+					mine = append(mine, dl, p.pk.Sub(totals[c], dl))
 				}
-				_ = chIdx
-				dl, err := p.dotRerand(vl, ch)
-				if err != nil {
-					return nil, err
-				}
-				dr, err := p.dotRerand(vr, ch)
-				if err != nil {
-					return nil, err
-				}
-				mine = append(mine, dl, dr)
+				flat++
 			}
-			flat++
+		}
+	} else {
+		var xss [][]*big.Int
+		var chs [][]*paillier.Ciphertext
+		for j := range p.indic {
+			for s := range p.indic[j] {
+				vl := p.indic[j][s]
+				vr := complement(vl)
+				for _, ch := range channels {
+					xss = append(xss, vl, vr)
+					chs = append(chs, ch, ch)
+				}
+			}
+		}
+		var err error
+		mine, err = p.dotRerandVec(xss, chs)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -450,14 +456,17 @@ func (p *Party) computeSplitStats(alpha []*paillier.Ciphertext, gch [][]*paillie
 			continue
 		}
 		if p.audit != nil {
+			totals := make([]*paillier.Ciphertext, len(channels))
+			for k, ch := range channels {
+				totals[k] = p.foldAdd(ch)
+			}
 			for s := 0; s < nSplits; s++ {
-				for _, ch := range channels {
+				for k, ch := range channels {
 					dl, err := p.audit.verifyStat(c, s, ch)
 					if err != nil {
 						return nil, err
 					}
-					totalCt := p.foldAdd(ch)
-					all = append(all, dl, p.pk.Sub(totalCt, dl))
+					all = append(all, dl, p.pk.Sub(totals[k], dl))
 				}
 			}
 			continue
@@ -731,9 +740,12 @@ func (p *Party) makeLeaf(model *Model, nd nodeData, nShare mpc.Share) (int, erro
 // leafClassification picks the majority class obliviously.
 func (p *Party) leafClassification(model *Model, node *Node, nd nodeData) error {
 	C := model.Classes
-	// Super computes the encrypted per-class counts [g_k] = β_k ⊙ [α].
+	// Super computes the encrypted per-class counts [g_k] = β_k ⊙ [α],
+	// one parallel batch over the classes.
 	counts := make([]*paillier.Ciphertext, C)
 	if p.ID == p.Super {
+		betas := make([][]*big.Int, C)
+		alphas := make([][]*paillier.Ciphertext, C)
 		for k := 0; k < C; k++ {
 			beta := make([]*big.Int, p.part.N)
 			for t := range beta {
@@ -743,11 +755,13 @@ func (p *Party) leafClassification(model *Model, node *Node, nd nodeData) error 
 					beta[t] = big.NewInt(0)
 				}
 			}
-			ct, err := p.dotRerand(beta, nd.alpha)
-			if err != nil {
-				return err
-			}
-			counts[k] = ct
+			betas[k] = beta
+			alphas[k] = nd.alpha
+		}
+		var err error
+		counts, err = p.dotRerandVec(betas, alphas)
+		if err != nil {
+			return err
 		}
 	}
 	var shares []mpc.Share

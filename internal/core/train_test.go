@@ -129,6 +129,9 @@ func TestBasicRegression(t *testing.T) {
 }
 
 func TestBasicDistributedPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(50)
 	cfg := testConfig()
 	s, parts, model := trainSession(t, ds, 3, cfg)
@@ -152,6 +155,9 @@ func TestBasicDistributedPrediction(t *testing.T) {
 }
 
 func TestStatsArePopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := smallClassification(30)
 	s, _, _ := trainSession(t, ds, 2, testConfig())
 	st := s.Stats()

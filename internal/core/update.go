@@ -53,10 +53,7 @@ func (p *Party) updateBasic(model *Model, nd nodeData, gch [][]*paillier.Ciphert
 				if err != nil {
 					return err
 				}
-				r := make([]*paillier.Ciphertext, len(vec))
-				for t := range vec {
-					r[t] = p.pk.Sub(vec[t], l[t])
-				}
+				r := p.pk.SubVec(vec, l, p.cfg.Workers)
 				p.Stats.HEOps += int64(len(vec))
 				lefts = append(lefts, l)
 				rights = append(rights, r)
@@ -128,15 +125,7 @@ func (p *Party) maskVector(vec []*paillier.Ciphertext, v []*big.Int, flatIdx int
 	if p.audit != nil {
 		return p.audit.provenScalarMulVec(p.ID, flatIdx, vec, v)
 	}
-	out := make([]*paillier.Ciphertext, len(vec))
-	for t := range vec {
-		ct, err := p.scalarMulRerand(vec[t], v[t])
-		if err != nil {
-			return nil, err
-		}
-		out[t] = ct
-	}
-	return out, nil
+	return p.scalarMulRerandVec(vec, v)
 }
 
 // recvMasked receives a masked vector; in malicious mode it runs the
@@ -191,17 +180,19 @@ func (p *Party) updateEnhanced(model *Model, nd nodeData, iStar, jStar int, sSta
 		var encV []*paillier.Ciphertext
 		var encTau *paillier.Ciphertext
 		if me {
-			encV = make([]*paillier.Ciphertext, n)
+			rows := make([][]*big.Int, n)
+			lams := make([][]*paillier.Ciphertext, n)
 			for t := 0; t < n; t++ {
 				row := make([]*big.Int, nPrime)
 				for s := 0; s < nPrime; s++ {
 					row[s] = p.indic[jStar][s][t]
 				}
-				ct, err := p.dotRerand(row, encLam)
-				if err != nil {
-					return err
-				}
-				encV[t] = ct
+				rows[t] = row
+				lams[t] = encLam
+			}
+			encV, err = p.dotRerandVec(rows, lams)
+			if err != nil {
+				return err
 			}
 			taus := make([]*big.Int, nPrime)
 			for s := 0; s < nPrime; s++ {
@@ -266,10 +257,10 @@ func (p *Party) encMaskedProduct(alpha, encV []*paillier.Ciphertext, owner int) 
 	if err != nil {
 		return nil, err
 	}
-	contrib := make([]*paillier.Ciphertext, n)
-	for t := 0; t < n; t++ {
-		contrib[t] = p.pk.MulConst(encV[t], ints[t])
-	}
+	// The conversion shares are full-width masked integers, so these
+	// exponentiations are the step's dominant cost — run them across the
+	// configured workers.
+	contrib := p.pk.ScalarMulVec(encV, ints, p.cfg.Workers)
 	p.Stats.HEOps += int64(n)
 	if p.ID != owner {
 		if err := p.sendCts(owner, contrib); err != nil {
@@ -286,19 +277,18 @@ func (p *Party) encMaskedProduct(alpha, encV []*paillier.Ciphertext, owner int) 
 		if err != nil {
 			return nil, err
 		}
-		for t := 0; t < n; t++ {
-			out[t] = p.pk.Add(out[t], theirs[t])
-		}
+		out = p.pk.AddVec(out, theirs, p.cfg.Workers)
 	}
+	// Σ_i shares = α_t + off, so subtract off·v_t homomorphically.
 	negOff := new(big.Int).Neg(off)
-	for t := 0; t < n; t++ {
-		// Σ_i shares = α_t + off, so subtract off·v_t homomorphically.
-		out[t] = p.pk.Add(out[t], p.pk.MulConst(encV[t], negOff))
-		ct, err := p.pk.Rerandomize(cryptoRand(), out[t])
-		if err != nil {
-			return nil, err
-		}
-		out[t] = ct
+	negOffs := make([]*big.Int, n)
+	for t := range negOffs {
+		negOffs[t] = negOff
+	}
+	out = p.pk.AddVec(out, p.pk.ScalarMulVec(encV, negOffs, p.cfg.Workers), p.cfg.Workers)
+	out, err = p.pk.RerandomizeVec(cryptoRand(), out, p.cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 	p.Stats.HEOps += int64(2 * n)
 	p.Stats.Encryptions += int64(n)

@@ -116,6 +116,7 @@ func All(p Preset) ([]*Result, error) {
 		{"ablation-hide", AblationHideLevels}, {"ablation-criterion", AblationCriterion},
 		{"psi", PSIAlignment},
 		{"phases", PhaseBreakdown},
+		{"paillier", PaillierBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -136,8 +137,9 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"fig5a": Fig5a, "fig5b": Fig5b,
 	"ablation-argmax": AblationArgmax, "ablation-pp": AblationParallelDecrypt,
 	"ablation-hide": AblationHideLevels, "ablation-criterion": AblationCriterion,
-	"psi":    PSIAlignment,
-	"phases": PhaseBreakdown,
+	"psi":      PSIAlignment,
+	"phases":   PhaseBreakdown,
+	"paillier": PaillierBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

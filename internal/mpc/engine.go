@@ -21,6 +21,9 @@ type Config struct {
 	Seed int64
 	// BatchSize is the minimum dealer request size (amortizes round trips).
 	BatchSize int
+	// Workers > 1 parallelizes the local (communication-free) arithmetic of
+	// the batched primitives across goroutines.
+	Workers int
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation:
@@ -495,14 +498,16 @@ func (e *Engine) MulVec(xs, ys []Share) []Share {
 	}
 	ef := e.OpenVec(opens)
 	out := make([]Share, len(xs))
-	for i := range xs {
+	// Beaver recombination is communication-free and touches only immutable
+	// engine state, so it parallelizes across the configured workers.
+	parallelFor(len(xs), e.cfg.Workers, func(i int) {
 		ev, fv := ef[2*i], ef[2*i+1]
 		z := ts[i].c
 		z = e.Add(z, e.MulPub(ts[i].b, ev))
 		z = e.Add(z, e.MulPub(ts[i].a, fv))
 		z = e.AddConst(z, new(big.Int).Mul(ev, fv))
 		out[i] = z
-	}
+	})
 	return out
 }
 

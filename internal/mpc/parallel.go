@@ -1,0 +1,38 @@
+package mpc
+
+import (
+	"sync"
+)
+
+// parallelFor runs body(i) for i in [0, n), fanning out across workers
+// goroutines when workers > 1 (mirroring the helper in internal/paillier).
+// Bodies must be independent and must not touch mutable engine state: the
+// pure share arithmetic (Add, Sub, MulPub, AddConst, ...) qualifies, the
+// interactive primitives do not.
+func parallelFor(n, workers int, body func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

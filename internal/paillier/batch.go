@@ -1,9 +1,9 @@
 package paillier
 
 import (
+	"fmt"
 	"io"
 	"math/big"
-	"runtime"
 	"sync"
 )
 
@@ -66,8 +66,9 @@ func (pk *PublicKey) EncryptVec(random io.Reader, xs []*big.Int, workers int) ([
 		}
 		return out, nil
 	}
-	// Parallel path requires an independent randomness source per worker;
-	// crypto/rand.Reader is safe for concurrent use.
+	// Parallel path requires a concurrency-safe randomness source:
+	// crypto/rand.Reader is, and the pooled path (which bypasses random —
+	// see Obfuscator) always is.
 	var firstErr error
 	var mu sync.Mutex
 	parallelFor(len(xs), workers, func(i int) {
@@ -83,6 +84,109 @@ func (pk *PublicKey) EncryptVec(random io.Reader, xs []*big.Int, workers int) ([
 		out[i] = ct
 	})
 	return out, firstErr
+}
+
+// AddVec returns the elementwise homomorphic sum [a_i + b_i].
+func (pk *PublicKey) AddVec(as, bs []*Ciphertext, workers int) []*Ciphertext {
+	if len(as) != len(bs) {
+		panic("paillier: AddVec length mismatch")
+	}
+	out := make([]*Ciphertext, len(as))
+	parallelFor(len(as), workers, func(i int) {
+		out[i] = pk.Add(as[i], bs[i])
+	})
+	return out
+}
+
+// SubVec returns the elementwise homomorphic difference [a_i - b_i].
+func (pk *PublicKey) SubVec(as, bs []*Ciphertext, workers int) []*Ciphertext {
+	if len(as) != len(bs) {
+		panic("paillier: SubVec length mismatch")
+	}
+	out := make([]*Ciphertext, len(as))
+	parallelFor(len(as), workers, func(i int) {
+		out[i] = pk.Sub(as[i], bs[i])
+	})
+	return out
+}
+
+// ScalarMulVec returns the elementwise [k_i · x_i] = c_i^{k_i}.  Entries
+// with k_i ∈ {0, 1} skip the modular exponentiation, mirroring Dot: the
+// indicator-style vectors that dominate Pivot's model update step make this
+// the common case.
+func (pk *PublicKey) ScalarMulVec(cs []*Ciphertext, ks []*big.Int, workers int) []*Ciphertext {
+	if len(cs) != len(ks) {
+		panic("paillier: ScalarMulVec length mismatch")
+	}
+	out := make([]*Ciphertext, len(cs))
+	parallelFor(len(cs), workers, func(i int) {
+		switch {
+		case ks[i].Sign() == 0:
+			out[i] = pk.ZeroDeterministic()
+		case ks[i].Cmp(one) == 0:
+			out[i] = cs[i]
+		default:
+			out[i] = pk.MulConst(cs[i], ks[i])
+		}
+	})
+	return out
+}
+
+// DotVec computes one homomorphic dot product per (x, v) pair, in parallel
+// across workers.
+func (pk *PublicKey) DotVec(xss [][]*big.Int, vss [][]*Ciphertext, workers int) ([]*Ciphertext, error) {
+	if len(xss) != len(vss) {
+		return nil, fmt.Errorf("paillier: DotVec length mismatch %d vs %d", len(xss), len(vss))
+	}
+	out := make([]*Ciphertext, len(xss))
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(xss), workers, func(i int) {
+		d, err := pk.Dot(xss[i], vss[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = d
+	})
+	return out, firstErr
+}
+
+// RerandomizeVec rerandomizes every ciphertext (fresh obfuscators, pooled
+// when a pool is attached).
+func (pk *PublicKey) RerandomizeVec(random io.Reader, cs []*Ciphertext, workers int) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(cs))
+	var firstErr error
+	var mu sync.Mutex
+	parallelFor(len(cs), workers, func(i int) {
+		ct, err := pk.Rerandomize(random, cs[i])
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		out[i] = ct
+	})
+	return out, firstErr
+}
+
+// FoldAdd homomorphically sums a ciphertext vector.  Deterministic and
+// sequential on purpose: every client must derive the identical ciphertext
+// without communication.
+func (pk *PublicKey) FoldAdd(cs []*Ciphertext) *Ciphertext {
+	acc := new(big.Int).Set(cs[0].C)
+	for _, c := range cs[1:] {
+		acc.Mul(acc, c.C)
+		acc.Mod(acc, pk.N2)
+	}
+	return &Ciphertext{C: acc}
 }
 
 // MarshalCiphertexts flattens ciphertexts for the wire.
@@ -128,8 +232,11 @@ func parallelFor(n, workers int, body func(i int)) {
 		}
 		return
 	}
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
+	// Cap at the batch size but not at NumCPU: honoring the requested
+	// fan-out keeps the "-PP" worker knob meaningful everywhere and lets
+	// the race detector exercise the concurrent paths even on small hosts.
+	if workers > n {
+		workers = n
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)

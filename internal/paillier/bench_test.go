@@ -1,0 +1,134 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"runtime"
+	"testing"
+)
+
+// Microbenchmarks for the encryption hot path: the seed sequential baseline,
+// worker-parallel encryption, and the precomputed (pool + fixed-base)
+// variants.  cmd/pivot-bench -exp paillier wraps the same comparison as a
+// JSON perf baseline (BENCH_paillier.json).
+
+func benchKey(b *testing.B) *PublicKey {
+	b.Helper()
+	pk, _, _, err := KeyGen(rand.Reader, 512, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pk
+}
+
+func benchPlain(n int) []*big.Int {
+	xs := make([]*big.Int, n)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i * 31))
+	}
+	return xs
+}
+
+func BenchmarkEncryptSequential(b *testing.B) {
+	pk := benchKey(b)
+	xs := benchPlain(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptVec(rand.Reader, xs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "enc/s")
+}
+
+func BenchmarkEncryptParallel(b *testing.B) {
+	pk := benchKey(b)
+	xs := benchPlain(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptVec(rand.Reader, xs, runtime.NumCPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "enc/s")
+}
+
+func BenchmarkEncryptPrecomputed(b *testing.B) {
+	pk := benchKey(b)
+	if _, err := pk.EnablePool(PoolConfig{Workers: 1, Capacity: 1024}); err != nil {
+		b.Fatal(err)
+	}
+	defer pk.DisablePool()
+	xs := benchPlain(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptVec(rand.Reader, xs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "enc/s")
+}
+
+func BenchmarkEncryptPrecomputedParallel(b *testing.B) {
+	pk := benchKey(b)
+	if _, err := pk.EnablePool(PoolConfig{Workers: 1, Capacity: 1024}); err != nil {
+		b.Fatal(err)
+	}
+	defer pk.DisablePool()
+	xs := benchPlain(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.EncryptVec(rand.Reader, xs, runtime.NumCPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(xs))/b.Elapsed().Seconds(), "enc/s")
+}
+
+func BenchmarkFixedBaseExp(b *testing.B) {
+	pk := benchKey(b)
+	base, err := rand.Int(rand.Reader, pk.N2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := NewFixedBaseTable(base, pk.N2, 6, 256)
+	e, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Exp(e)
+	}
+}
+
+func BenchmarkBigIntExpFullWidth(b *testing.B) {
+	pk := benchKey(b)
+	base, err := rand.Int(rand.Reader, pk.N2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(big.Int).Exp(base, pk.N, pk.N2)
+	}
+}
+
+func BenchmarkPartialDecryptSequential(b *testing.B) { benchPartialDecrypt(b, 1) }
+func BenchmarkPartialDecryptParallel(b *testing.B)   { benchPartialDecrypt(b, runtime.NumCPU()) }
+
+func benchPartialDecrypt(b *testing.B, workers int) {
+	pk, _, keys, err := KeyGen(rand.Reader, 512, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cts, err := pk.EncryptVec(rand.Reader, benchPlain(16), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys[0].PartialDecryptVec(pk, cts, workers)
+	}
+	b.ReportMetric(float64(b.N*len(cts))/b.Elapsed().Seconds(), "dec/s")
+}

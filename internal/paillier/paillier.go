@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync/atomic"
 )
 
 var one = big.NewInt(1)
@@ -30,6 +31,11 @@ var one = big.NewInt(1)
 type PublicKey struct {
 	N  *big.Int // modulus
 	N2 *big.Int // N^2, cached
+
+	// pool, when attached via EnablePool, serves precomputed encryption
+	// obfuscators (see pool.go).  Keys are shared by reference across
+	// parties, so one pool serves a whole session.
+	pool atomic.Pointer[Pool]
 }
 
 // SecretKey is the non-threshold secret key (λ, μ).  It is produced by
@@ -135,6 +141,27 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 	}
 }
 
+// Obfuscator returns a fresh (r, r^N mod N²) pair for encryption: from the
+// attached pool when one is enabled, otherwise by drawing r from random and
+// exponentiating.  The zero-knowledge proofs in internal/zkp use it for
+// their commitment randomness too.
+//
+// NOTE: an attached pool sources its randomness from crypto/rand at
+// generation time, so with a pool enabled the supplied reader is NOT
+// consulted (this also applies to Encrypt, EncryptWithNonce, Rerandomize
+// and the vector APIs).  Callers needing a specific randomness source must
+// not attach a pool to the key.
+func (pk *PublicKey) Obfuscator(random io.Reader) (*big.Int, *big.Int, error) {
+	if p := pk.pool.Load(); p != nil {
+		return p.Obfuscator()
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, new(big.Int).Exp(r, pk.N, pk.N2), nil
+}
+
 // EncodeSigned maps a signed integer into Z_N.
 func (pk *PublicKey) EncodeSigned(x *big.Int) *big.Int {
 	v := new(big.Int).Mod(x, pk.N)
@@ -166,7 +193,7 @@ func (pk *PublicKey) Encrypt(random io.Reader, x *big.Int) (*Ciphertext, error) 
 // The ciphertext is (1+N)^x · r^N mod N², computed as (1 + xN) · r^N.
 func (pk *PublicKey) EncryptWithNonce(random io.Reader, x *big.Int) (*Ciphertext, *big.Int, error) {
 	m := pk.EncodeSigned(x)
-	r, err := pk.randomUnit(random)
+	r, rn, err := pk.Obfuscator(random)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,7 +201,6 @@ func (pk *PublicKey) EncryptWithNonce(random io.Reader, x *big.Int) (*Ciphertext
 	gm := new(big.Int).Mul(m, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, r, nil
@@ -306,14 +332,13 @@ func (pk *PublicKey) Dot(x []*big.Int, v []*Ciphertext) (*Ciphertext, error) {
 
 // Rerandomize multiplies c by a fresh encryption of zero.
 func (pk *PublicKey) Rerandomize(random io.Reader, c *Ciphertext) (*Ciphertext, error) {
-	r, err := pk.randomUnit(random)
+	_, rn, err := pk.Obfuscator(random)
 	if err != nil {
 		return nil, err
 	}
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
-	rn.Mul(rn, c.C)
-	rn.Mod(rn, pk.N2)
-	return &Ciphertext{C: rn}, nil
+	out := new(big.Int).Mul(rn, c.C)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}, nil
 }
 
 // EncryptZero returns a fresh encryption of 0.

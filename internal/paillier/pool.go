@@ -1,0 +1,190 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"sync/atomic"
+)
+
+// Randomness pool.  Every Paillier encryption and rerandomization needs a
+// fresh obfuscator r^N mod N² — a full modular exponentiation that dominates
+// the cost of the operation (the g^m part is free because g = N+1).  The
+// pool moves that exponentiation off the hot path twice over:
+//
+//  1. Obfuscators are generated ahead of time by background workers, so a
+//     hot-path Encrypt usually pops a ready pair and performs one mulmod.
+//  2. Generation itself uses the classic fixed-base shortcut (Damgård–Jurik
+//     §4.2): fix a random unit ρ, precompute windowed tables for ρ mod N and
+//     h = ρ^N mod N², and produce each obfuscator as (ρ^e mod N, h^e mod N²)
+//     for a fresh short exponent e.  Two table lookup products replace a
+//     full N-bit exponentiation; the hiding assumption is that h^e is
+//     indistinguishable from a uniform N-th power (see DESIGN.md,
+//     "Substitutions").
+//
+// Each pooled pair is consumed exactly once.
+
+// PoolConfig tunes the randomness pool.
+type PoolConfig struct {
+	// Workers is the number of background generator goroutines
+	// (default 1; generation is already ~10x cheaper than plain Exp).
+	Workers int
+	// Capacity is the number of obfuscator pairs buffered ahead of demand
+	// (default 1024).
+	Capacity int
+	// ExpBits is the short-exponent width for fixed-base generation.
+	// Values below 256 (including 0) are raised to 256 — the floor the
+	// short-exponent hiding assumption is calibrated for; larger is
+	// slower and strictly more conservative.
+	ExpBits uint
+	// Window is the fixed-base window width (default 6).
+	Window uint
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.ExpBits < 256 {
+		c.ExpBits = 256 // enforce the documented floor; wider is fine
+	}
+	if c.Window == 0 {
+		c.Window = 6
+	}
+	return c
+}
+
+// obf is one precomputed obfuscator: a unit r mod N and rn = r^N mod N².
+type obf struct {
+	r, rn *big.Int
+}
+
+// Pool precomputes encryption obfuscators for one public key.  It is safe
+// for concurrent use by any number of consumers.
+type Pool struct {
+	pk      *PublicKey
+	cfg     PoolConfig
+	tblN    *FixedBaseTable // ρ^e mod N  (the nonce)
+	tblN2   *FixedBaseTable // (ρ^N)^e mod N²  (the obfuscator)
+	ch      chan obf
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+	expMax  *big.Int
+	// Hits counts hot-path requests served from the buffer; Misses counts
+	// requests that had to generate inline (still fixed-base, still fast).
+	Hits, Misses atomic.Int64
+}
+
+// NewPool builds the fixed-base tables and starts the generator workers.
+// Callers must Close the pool to release the workers.
+func NewPool(pk *PublicKey, cfg PoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	rho, err := pk.randomUnit(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	h := new(big.Int).Exp(rho, pk.N, pk.N2)
+	p := &Pool{
+		pk:     pk,
+		cfg:    cfg,
+		tblN:   NewFixedBaseTable(rho, pk.N, cfg.Window, cfg.ExpBits),
+		tblN2:  NewFixedBaseTable(h, pk.N2, cfg.Window, cfg.ExpBits),
+		ch:     make(chan obf, cfg.Capacity),
+		stop:   make(chan struct{}),
+		expMax: new(big.Int).Lsh(big.NewInt(1), cfg.ExpBits),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		p.wg.Add(1)
+		go p.fill()
+	}
+	return p, nil
+}
+
+// fill keeps the buffer topped up until the pool is closed.
+func (p *Pool) fill() {
+	defer p.wg.Done()
+	for {
+		o, err := p.generate()
+		if err != nil {
+			return // crypto/rand failure; consumers fall back inline
+		}
+		select {
+		case p.ch <- o:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// generate produces one obfuscator pair via the fixed-base tables.
+func (p *Pool) generate() (obf, error) {
+	e, err := rand.Int(rand.Reader, p.expMax)
+	if err != nil {
+		return obf{}, err
+	}
+	// e = 0 would give the identity obfuscator (no hiding); skew to 1.
+	if e.Sign() == 0 {
+		e.SetInt64(1)
+	}
+	return obf{r: p.tblN.Exp(e), rn: p.tblN2.Exp(e)}, nil
+}
+
+// Obfuscator returns a fresh (r, r^N mod N²) pair: buffered if available,
+// generated inline through the fixed-base tables otherwise.
+func (p *Pool) Obfuscator() (*big.Int, *big.Int, error) {
+	select {
+	case o := <-p.ch:
+		p.Hits.Add(1)
+		return o.r, o.rn, nil
+	default:
+	}
+	p.Misses.Add(1)
+	o, err := p.generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return o.r, o.rn, nil
+}
+
+// Buffered reports how many obfuscator pairs are currently ready.
+func (p *Pool) Buffered() int { return len(p.ch) }
+
+// Close stops the generator workers.  Idempotent.
+func (p *Pool) Close() {
+	p.closed.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// PublicKey attachment
+
+// EnablePool attaches a randomness pool to the key: Encrypt, Rerandomize and
+// the vector APIs consult it automatically.  Any previously attached pool is
+// closed.  The returned pool is also owned by the key; DisablePool (or
+// enabling a new pool) closes it.
+func (pk *PublicKey) EnablePool(cfg PoolConfig) (*Pool, error) {
+	p, err := NewPool(pk, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if old := pk.pool.Swap(p); old != nil {
+		old.Close()
+	}
+	return p, nil
+}
+
+// Pool returns the attached randomness pool, or nil.
+func (pk *PublicKey) Pool() *Pool { return pk.pool.Load() }
+
+// DisablePool detaches and closes the attached pool, if any.
+func (pk *PublicKey) DisablePool() {
+	if old := pk.pool.Swap(nil); old != nil {
+		old.Close()
+	}
+}

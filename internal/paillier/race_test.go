@@ -1,0 +1,112 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPartiesRace exercises the whole accelerated surface under
+// concurrency — the shared randomness pool, parallel encryption, parallel
+// partial decryption and parallel share combination with Workers > 1, with
+// every party running in its own goroutine against the same public key —
+// so `go test -race` can catch data races in the pool and the vector APIs.
+func TestConcurrentPartiesRace(t *testing.T) {
+	const parties = 3
+	const batch = 24
+	const workers = 4
+
+	pk, _, keys := testKey(t, parties)
+	if _, err := pk.EnablePool(PoolConfig{Workers: 2, Capacity: 32}); err != nil {
+		t.Fatal(err)
+	}
+	defer pk.DisablePool()
+
+	// Shared plaintexts; every party encrypts its own batch concurrently.
+	want := make([]*big.Int, batch)
+	for i := range want {
+		want[i] = big.NewInt(int64(i - batch/2))
+	}
+
+	cts := make([][]*Ciphertext, parties)
+	var wg sync.WaitGroup
+	errs := make([]error, parties)
+	for c := 0; c < parties; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cts[c], errs[c] = pk.EncryptVec(rand.Reader, want, workers)
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d encrypt: %v", c, err)
+		}
+	}
+
+	// Homomorphically sum the parties' vectors with the parallel AddVec.
+	sum := cts[0]
+	for c := 1; c < parties; c++ {
+		sum = pk.AddVec(sum, cts[c], workers)
+	}
+
+	// Threshold-decrypt: every party computes its share vector concurrently.
+	shares := make([][]*DecryptionShare, parties)
+	for c := 0; c < parties; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			shares[c] = keys[c].PartialDecryptVec(pk, sum, workers)
+		}(c)
+	}
+	wg.Wait()
+
+	got, err := pk.CombineSharesVec(shares, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		expect := new(big.Int).Mul(want[i], big.NewInt(parties))
+		if got[i].Cmp(expect) != 0 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], expect)
+		}
+	}
+}
+
+// TestPoolConcurrentDrainRace hammers one pool from many consumers while
+// the background workers refill it.
+func TestPoolConcurrentDrainRace(t *testing.T) {
+	pk, sk, _ := testKey(t, 1)
+	pool, err := NewPool(pk, PoolConfig{Workers: 2, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if old := pk.pool.Swap(pool); old != nil {
+		old.Close()
+	}
+	defer pk.DisablePool()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				m := big.NewInt(int64(g*100 + i))
+				ct, err := pk.Encrypt(rand.Reader, m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := sk.Decrypt(pk, ct); got.Cmp(m) != 0 {
+					t.Errorf("round trip: got %v want %v", got, m)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

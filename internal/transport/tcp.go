@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // tcpEndpoint implements Endpoint over one TCP connection per peer with
@@ -108,6 +109,10 @@ func dialRetry(addr string) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		// Without a pause the 200 attempts burn out in milliseconds, making
+		// mesh startup depend on launch order; ~10s of patience lets the
+		// parties come up in any order.
+		time.Sleep(50 * time.Millisecond)
 	}
 	return nil, lastErr
 }

@@ -46,19 +46,12 @@ func challenge(parts ...*big.Int) *big.Int {
 	return e.Rsh(e, uint(len(sum)*8-challengeBits))
 }
 
-func randUnit(pk *paillier.PublicKey) (*big.Int, error) {
-	for {
-		r, err := rand.Int(rand.Reader, pk.N)
-		if err != nil {
-			return nil, err
-		}
-		if r.Sign() == 0 {
-			continue
-		}
-		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
-			return r, nil
-		}
-	}
+// obfuscator draws a commitment pair (s, s^N mod N²): every Σ-protocol
+// commitment below multiplies in an s^N term, which is exactly the shape the
+// key's randomness pool precomputes, so provers ride the same fixed-base
+// acceleration as the encrypt path.
+func obfuscator(pk *paillier.PublicKey) (*big.Int, *big.Int, error) {
+	return pk.Obfuscator(rand.Reader)
 }
 
 // gPow computes (1+N)^x mod N² = 1 + xN (for x reduced mod N).
@@ -84,11 +77,11 @@ func ProvePOPK(pk *paillier.PublicKey, c *paillier.Ciphertext, x, r *big.Int) (*
 	if err != nil {
 		return nil, err
 	}
-	s, err := randUnit(pk)
+	s, sN, err := obfuscator(pk)
 	if err != nil {
 		return nil, err
 	}
-	u := new(big.Int).Mul(gPow(pk, a), new(big.Int).Exp(s, pk.N, pk.N2))
+	u := new(big.Int).Mul(gPow(pk, a), sN)
 	u.Mod(u, pk.N2)
 	e := challenge(pk.N, c.C, u)
 	z := new(big.Int).Mul(e, x)
@@ -134,17 +127,17 @@ func ProvePOPCM(pk *paillier.PublicKey, c1, c2, c3 *paillier.Ciphertext, x, r1, 
 	if err != nil {
 		return nil, err
 	}
-	sa, err := randUnit(pk)
+	sa, saN, err := obfuscator(pk)
 	if err != nil {
 		return nil, err
 	}
-	sb, err := randUnit(pk)
+	sb, sbN, err := obfuscator(pk)
 	if err != nil {
 		return nil, err
 	}
-	u1 := new(big.Int).Mul(gPow(pk, a), new(big.Int).Exp(sa, pk.N, pk.N2))
+	u1 := new(big.Int).Mul(gPow(pk, a), saN)
 	u1.Mod(u1, pk.N2)
-	u2 := new(big.Int).Mul(new(big.Int).Exp(c2.C, a, pk.N2), new(big.Int).Exp(sb, pk.N, pk.N2))
+	u2 := new(big.Int).Mul(new(big.Int).Exp(c2.C, a, pk.N2), sbN)
 	u2.Mod(u2, pk.N2)
 	e := challenge(pk.N, c1.C, c2.C, c3.C, u1, u2)
 	z := new(big.Int).Mul(e, x)
@@ -189,12 +182,12 @@ func VerifyPOPCM(pk *paillier.PublicKey, c1, c2, c3 *paillier.Ciphertext, pr *PO
 // MulCommitted computes c3 = c2^x · rho^N together with the randomness, for
 // use with ProvePOPCM.  x is the ring-encoded plaintext.
 func MulCommitted(pk *paillier.PublicKey, c2 *paillier.Ciphertext, x *big.Int) (*paillier.Ciphertext, *big.Int, error) {
-	rho, err := randUnit(pk)
+	rho, rhoN, err := obfuscator(pk)
 	if err != nil {
 		return nil, nil, err
 	}
 	c3 := new(big.Int).Exp(c2.C, x, pk.N2)
-	c3.Mul(c3, new(big.Int).Exp(rho, pk.N, pk.N2))
+	c3.Mul(c3, rhoN)
 	c3.Mod(c3, pk.N2)
 	return &paillier.Ciphertext{C: c3}, rho, nil
 }

@@ -70,6 +70,9 @@ func TestFacadePredictSample(t *testing.T) {
 }
 
 func TestFacadeEnsembles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	ds := SyntheticClassification(24, 4, 2, 3.0, 7)
 	cfg := fastConfig()
 	fed, err := NewFederation(ds, 2, cfg)
@@ -90,6 +93,9 @@ func TestFacadeEnsembles(t *testing.T) {
 }
 
 func TestFacadeAlignedFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
 	// Three clients with overlapping row subsets of a common universe: the
 	// aligned federation must train on exactly the intersection, with every
 	// client's rows in the same (id-sorted) order.
