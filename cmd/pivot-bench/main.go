@@ -23,7 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "with -exp paillier or -exp levelwise: write the machine-readable perf baseline to this file")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +72,19 @@ func main() {
 		}
 		fmt.Printf("paillier baseline -> %s (enc speedup %.2fx, train speedup %.2fx) in %s\n",
 			*jsonOut, st.EncSpeedup, st.TrainSpeedup, experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "levelwise" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WriteLevelwiseBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("levelwise baseline -> %s (rounds %d -> %d, %.2fx; trees identical: %v) in %s\n",
+			*jsonOut, st.PerNodeRounds, st.LevelwiseRounds, st.RoundReduction,
+			st.TreesIdentical, experiments.Elapsed(start))
 		return
 	}
 

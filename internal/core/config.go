@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/mpc"
+	"repro/internal/transport"
 )
 
 // Protocol selects between the paper's two releases of the trained model.
@@ -111,6 +112,32 @@ func (h HideLevel) String() string {
 	}
 }
 
+// TrainMode selects the tree-training driver.
+type TrainMode int
+
+const (
+	// LevelWise (the default) trains breadth-first: all frontier nodes at a
+	// tree depth share one batched Paillier pass, one Algorithm-2 MPC
+	// conversion, one gain batch and one grouped oblivious argmax, so the
+	// synchronous MPC round cost scales with tree depth instead of node
+	// count.  It produces exactly the same tree as PerNode (same splits,
+	// same leaves) under fixed seeds.
+	LevelWise TrainMode = iota
+	// PerNode is the paper's Algorithm-3 depth-first recursion: one full
+	// conversion → gains → comparison → argmax round chain per node.  Kept
+	// as the equivalence-test reference; the malicious (§9.1) and DP (§9.2)
+	// extensions always use it because their proof and noise sub-protocols
+	// are specified per node.
+	PerNode
+)
+
+func (m TrainMode) String() string {
+	if m == PerNode {
+		return "per-node"
+	}
+	return "level-wise"
+}
+
 // DPConfig enables differentially private training (§9.2).
 type DPConfig struct {
 	// Epsilon is the per-query budget ε; the whole run satisfies
@@ -166,6 +193,11 @@ type Config struct {
 	// ArgmaxTournament replaces the paper's linear oblivious-max scan with
 	// a log-depth tournament (ablation; not part of the paper's protocol).
 	ArgmaxTournament bool
+
+	// TrainMode selects level-wise batched training (default) or the
+	// paper's per-node recursion.  Malicious and DP runs always train
+	// per-node regardless of this setting.
+	TrainMode TrainMode
 
 	// Ensemble parameters (§7).
 	NumTrees     int     // W
@@ -289,4 +321,11 @@ type RunStats struct {
 	MessagesSent int64
 	TreesTrained int
 	NodesTrained int
+
+	// Traffic is the endpoint's full traffic breakdown (messages and bytes,
+	// sent and received, totals plus per-peer), surfaced next to the MPC op
+	// counters so round-reduction claims are measurable on both the memory
+	// and TCP transports.  BytesSent/MessagesSent above are kept as the
+	// legacy aggregate view of the same counters.
+	Traffic transport.TrafficSnapshot
 }

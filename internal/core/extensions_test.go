@@ -75,6 +75,12 @@ func TestMaliciousMatchesSemiHonestShape(t *testing.T) {
 	base := testConfig()
 	base.Tree.MaxDepth = 2
 	base.Tree.MaxSplits = 2
+	// Malicious mode always trains per-node (its proofs are per-node), so
+	// pin the semi-honest reference to the same driver: the node-by-node
+	// comparison below assumes matching model array order (level-wise
+	// appends breadth-first; the trees themselves are identical either way,
+	// see TestLevelwiseEquivalence*).
+	base.TrainMode = PerNode
 
 	_, _, semiModel := trainSession(t, ds, 2, base)
 

@@ -37,10 +37,11 @@ func (p *Party) localFlatSplits() []flatSplit {
 	return out
 }
 
-// updateEnhancedHidden is the model update step for HideFeature (iStar >= 0)
-// and HideClient (iStar < 0).  flat is the shared PIR index: owner-local for
-// HideFeature, global for HideClient.
-func (p *Party) updateEnhancedHidden(model *Model, nd nodeData, iStar int, flat mpc.Share, depth int) (int, error) {
+// splitEnhancedHidden is the model update step for HideFeature (iStar >= 0)
+// and HideClient (iStar < 0) on a single node.  flat is the shared PIR
+// index: owner-local for HideFeature, global for HideClient.  Shared by the
+// per-node and level-wise drivers.
+func (p *Party) splitEnhancedHidden(nd nodeData, iStar int, flat mpc.Share) (Node, nodeData, nodeData, error) {
 	node := Node{Owner: iStar, Feature: -1}
 	n := len(nd.alpha)
 	nPrime := p.totalSplits()
@@ -49,52 +50,61 @@ func (p *Party) updateEnhancedHidden(model *Model, nd nodeData, iStar int, flat 
 	}
 
 	var left, right nodeData
+	// ⟨λ_t⟩ = ⟨1{flat == t}⟩ for t in [0, n').
+	diffs := make([]mpc.Share, nPrime)
+	for t := 0; t < nPrime; t++ {
+		diffs[t] = p.eng.AddConst(flat, big.NewInt(-int64(t)))
+	}
+	kEq := uint(bitsFor(nPrime)) + 3
+	lamShares := p.eng.EQZVec(diffs, kEq)
+
+	// [λ] must reach every contributing client: the owner under
+	// HideFeature, all clients under HideClient.  shareToEnc already
+	// broadcasts the combined ciphertexts to everyone.
+	combiner := iStar
+	if combiner < 0 {
+		combiner = p.Super
+	}
+	encLam, err := p.shareToEnc(lamShares, 4, combiner)
+	if err != nil {
+		return node, left, right, err
+	}
+
+	// Split-indicator and threshold selection.  Each contributing
+	// client computes the partial dot products over its own segment of
+	// [λ]; partials are broadcast and summed homomorphically, so the
+	// final [v] and [τ] are identical at every client.
+	encV, encTau, err := p.selectHidden(iStar, encLam, n)
+	if err != nil {
+		return node, left, right, err
+	}
+	node.EncThreshold = encTau
+
+	// Feature selectors are public functions of [λ] (split counts are
+	// public), so every client derives them locally, no messages.
+	node.EncFeatSel = p.featureSelectors(iStar, encLam)
+
+	// Encrypted mask vector update, Eqn (10).
+	left.alpha, err = p.encMaskedProduct(nd.alpha, encV, combiner)
+	if err != nil {
+		return node, left, right, err
+	}
+	right.alpha = make([]*paillier.Ciphertext, n)
+	for t := 0; t < n; t++ {
+		right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
+	}
+	p.Stats.HEOps += int64(n)
+	return node, left, right, nil
+}
+
+// updateEnhancedHidden wraps splitEnhancedHidden for the per-node recursion.
+func (p *Party) updateEnhancedHidden(model *Model, nd nodeData, iStar int, flat mpc.Share, depth int) (int, error) {
+	var node Node
+	var left, right nodeData
 	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
-		// ⟨λ_t⟩ = ⟨1{flat == t}⟩ for t in [0, n').
-		diffs := make([]mpc.Share, nPrime)
-		for t := 0; t < nPrime; t++ {
-			diffs[t] = p.eng.AddConst(flat, big.NewInt(-int64(t)))
-		}
-		kEq := uint(bitsFor(nPrime)) + 3
-		lamShares := p.eng.EQZVec(diffs, kEq)
-
-		// [λ] must reach every contributing client: the owner under
-		// HideFeature, all clients under HideClient.  shareToEnc already
-		// broadcasts the combined ciphertexts to everyone.
-		combiner := iStar
-		if combiner < 0 {
-			combiner = p.Super
-		}
-		encLam, err := p.shareToEnc(lamShares, 4, combiner)
-		if err != nil {
-			return err
-		}
-
-		// Split-indicator and threshold selection.  Each contributing
-		// client computes the partial dot products over its own segment of
-		// [λ]; partials are broadcast and summed homomorphically, so the
-		// final [v] and [τ] are identical at every client.
-		encV, encTau, err := p.selectHidden(iStar, encLam, n)
-		if err != nil {
-			return err
-		}
-		node.EncThreshold = encTau
-
-		// Feature selectors are public functions of [λ] (split counts are
-		// public), so every client derives them locally, no messages.
-		node.EncFeatSel = p.featureSelectors(iStar, encLam)
-
-		// Encrypted mask vector update, Eqn (10).
-		left.alpha, err = p.encMaskedProduct(nd.alpha, encV, combiner)
-		if err != nil {
-			return err
-		}
-		right.alpha = make([]*paillier.Ciphertext, n)
-		for t := 0; t < n; t++ {
-			right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
-		}
-		p.Stats.HEOps += int64(n)
-		return nil
+		var err error
+		node, left, right, err = p.splitEnhancedHidden(nd, iStar, flat)
+		return err
 	})
 	if err != nil {
 		return 0, p.errf("hidden model update (%s): %v", p.cfg.Hide, err)

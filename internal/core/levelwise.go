@@ -1,0 +1,643 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/mpc"
+	"repro/internal/paillier"
+)
+
+// Level-wise (breadth-first) training pipeline.  The paper's Algorithm 3 is
+// a per-node recursion: every node pays a full conversion → gains →
+// comparison → argmax chain of synchronous MPC rounds.  Once the local
+// Paillier work is accelerated, those rounds dominate latency — so this
+// driver collects the whole frontier of active nodes at a depth and runs
+// each stage once for all of them: one batched Paillier pass for the masked
+// label channels and split statistics, one Algorithm-2 conversion for the
+// concatenated statistics vector, one grouped gain evaluation, and one
+// grouped oblivious argmax whose comparison rounds are shared across nodes.
+// The round cost of a tree becomes O(depth) chains instead of O(nodes).
+//
+// The pipeline is exactly tree-equivalent to the per-node recursion (same
+// splits, same leaves under fixed seeds): every MPC primitive used here is a
+// deterministic function of its inputs — masks and Beaver triples cancel
+// exactly — so batching changes only the round structure, never the values.
+// Nodes are appended to the model in breadth-first order (the recursion
+// appends depth-first); the rendered tree is identical.
+
+// frontierNode is one active node awaiting training at the current depth.
+type frontierNode struct {
+	nd     nodeData
+	nShare mpc.Share // ⟨n⟩, filled by trainLevel's batched conversion
+	parent int       // model index of the parent; -1 at the root
+	left   bool      // whether this node is the parent's left child
+}
+
+// buildLevels trains the tree breadth-first from the root's nodeData.
+func (p *Party) buildLevels(model *Model, root nodeData) error {
+	frontier := []frontierNode{{nd: root, parent: -1}}
+	for depth := 0; len(frontier) > 0; depth++ {
+		next, err := p.trainLevel(model, frontier, depth)
+		if err != nil {
+			return err
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// trainLevel trains every frontier node at one depth and returns the next
+// frontier (the children of the nodes that split), in breadth-first order.
+func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]frontierNode, error) {
+	G := len(frontier)
+	p.Stats.NodesTrained += G
+
+	// ----- pruning conditions (Algorithm 3, lines 1-3), batched -----
+	nodeCts := make([]*paillier.Ciphertext, G)
+	for g := range frontier {
+		nodeCts[g] = p.foldAdd(frontier[g].nd.alpha)
+	}
+	err := timed(&p.Stats.Phases.Conversion, func() error {
+		shares, err := p.encToShares(nodeCts, G, p.w.count+2)
+		if err != nil {
+			return err
+		}
+		for g := range frontier {
+			frontier[g].nShare = shares[g]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, p.errf("level %d count conversion: %v", depth, err)
+	}
+
+	leaf := make([]bool, G)
+	if depth >= p.cfg.Tree.MaxDepth || p.totalSplits() == 0 {
+		for g := range leaf {
+			leaf[g] = true
+		}
+	} else {
+		err := timed(&p.Stats.Phases.MPCComputation, func() error {
+			threshold := p.eng.ConstInt64(int64(p.cfg.Tree.MinSamplesSplit))
+			width := p.w.count + 4
+			xs := make([]mpc.Share, G)
+			ys := make([]mpc.Share, G)
+			for g := range frontier {
+				xs[g] = frontier[g].nShare
+				ys[g] = threshold
+			}
+			for g, v := range p.eng.OpenVec(p.eng.LTVec(xs, ys, width)) {
+				leaf[g] = v.Sign() != 0
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var splitters []int // frontier indices that passed pruning
+	for g := range leaf {
+		if !leaf[g] {
+			splitters = append(splitters, g)
+		}
+	}
+
+	// ----- local computation + conversion + gains + grouped argmax -----
+	bests := make([]mpc.ArgmaxResult, G)
+	if len(splitters) > 0 {
+		splitNodes := make([]frontierNode, len(splitters))
+		for i, g := range splitters {
+			splitNodes[i] = frontier[g]
+		}
+		C := p.channels(splitNodes[0].nd)
+		statsPerSplit := 2 + 2*C
+		S := p.totalSplits()
+		totalPer := C + S*statsPerSplit
+
+		var gchs [][][]*paillier.Ciphertext
+		err = timed(&p.Stats.Phases.LocalComputation, func() error {
+			var err error
+			gchs, err = p.computeGammasLevel(splitNodes)
+			return err
+		})
+		if err != nil {
+			return nil, p.errf("level %d gamma computation: %v", depth, err)
+		}
+		var statCts [][]*paillier.Ciphertext
+		err = timed(&p.Stats.Phases.LocalComputation, func() error {
+			var err error
+			statCts, err = p.computeSplitStatsLevel(splitNodes, gchs)
+			return err
+		})
+		if err != nil {
+			return nil, p.errf("level %d split statistics: %v", depth, err)
+		}
+
+		// One Algorithm-2 conversion for the concatenated statistics of the
+		// whole frontier: per splitter, the C channel totals followed by the
+		// S·statsPerSplit statistics (only the super client's ciphertexts
+		// matter; the others contribute masks).
+		all := make([]*paillier.Ciphertext, 0, len(splitters)*totalPer)
+		for i := range splitNodes {
+			for k := 0; k < C; k++ {
+				all = append(all, p.foldAdd(gchs[i][k]))
+			}
+			if p.ID == p.Super {
+				all = append(all, statCts[i]...)
+			} else {
+				all = append(all, make([]*paillier.Ciphertext, S*statsPerSplit)...)
+			}
+		}
+		var shares []mpc.Share
+		err = timed(&p.Stats.Phases.Conversion, func() error {
+			var err error
+			shares, err = p.encToShares(all, len(splitters)*totalPer, p.w.stat)
+			return err
+		})
+		if err != nil {
+			return nil, p.errf("level %d statistics conversion: %v", depth, err)
+		}
+
+		err = timed(&p.Stats.Phases.MPCComputation, func() error {
+			totalsAll := make([]mpc.Share, 0, len(splitters)*C)
+			statsAll := make([]mpc.Share, 0, len(splitters)*S*statsPerSplit)
+			nShares := make([]mpc.Share, len(splitters))
+			for i, g := range splitters {
+				b := i * totalPer
+				totalsAll = append(totalsAll, shares[b:b+C]...)
+				statsAll = append(statsAll, shares[b+C:b+totalPer]...)
+				nShares[i] = frontier[g].nShare
+			}
+			gains, err := p.computeGains(totalsAll, statsAll, nShares, C, statsPerSplit, model.Classes > 0)
+			if err != nil {
+				return err
+			}
+			groups := make([]int, len(splitters))
+			ids := make([][]int64, 0, len(gains))
+			for i := range groups {
+				groups[i] = S
+				ids = append(ids, p.splitIDs...)
+			}
+			won := p.eng.ArgmaxGrouped(gains, groups, ids, p.w.gain+2, p.cfg.ArgmaxTournament)
+			for i, g := range splitters {
+				bests[g] = won[i]
+			}
+			if p.cfg.Tree.LeafOnZeroGain {
+				zeros := make([]mpc.Share, len(splitters))
+				maxs := make([]mpc.Share, len(splitters))
+				for i := range splitters {
+					zeros[i] = p.eng.ConstInt64(0)
+					maxs[i] = won[i].Max
+				}
+				gts := p.eng.LTVec(zeros, maxs, p.w.gain+2)
+				les := make([]mpc.Share, len(splitters))
+				for i := range les {
+					les[i] = p.eng.Sub(p.eng.ConstInt64(1), gts[i])
+				}
+				for i, v := range p.eng.OpenVec(les) {
+					if v.Sign() != 0 {
+						leaf[splitters[i]] = true
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, p.errf("level %d gain computation: %v", depth, err)
+		}
+	}
+
+	// ----- batched leaf resolution -----
+	var leafGs []int
+	for g := range leaf {
+		if leaf[g] {
+			leafGs = append(leafGs, g)
+		}
+	}
+	leafNodes := make(map[int]Node, len(leafGs))
+	if len(leafGs) > 0 {
+		entries := make([]frontierNode, len(leafGs))
+		for i, g := range leafGs {
+			entries[i] = frontier[g]
+		}
+		nodes, err := p.makeLeavesLevel(model, entries)
+		if err != nil {
+			return nil, p.errf("level %d leaves: %v", depth, err)
+		}
+		for i, g := range leafGs {
+			leafNodes[g] = nodes[i]
+		}
+	}
+
+	// ----- winner identifier opening, batched across the level -----
+	var splitGs []int
+	for g := range leaf {
+		if !leaf[g] {
+			splitGs = append(splitGs, g)
+		}
+	}
+	openCols := 0
+	if len(splitGs) > 0 && p.cfg.Protocol == Basic {
+		openCols = 3
+	} else if len(splitGs) > 0 {
+		switch p.cfg.Hide {
+		case HideFeature:
+			openCols = 1
+		case HideClient:
+			openCols = 0
+		default:
+			openCols = 2
+		}
+	}
+	var opened []*big.Int
+	if len(splitGs) > 0 && openCols > 0 {
+		openIn := make([]mpc.Share, 0, len(splitGs)*openCols)
+		for _, g := range splitGs {
+			openIn = append(openIn, bests[g].IDs[:openCols]...)
+		}
+		opened = p.eng.OpenVec(openIn)
+	}
+
+	// ----- model update + breadth-first materialization -----
+	var next []frontierNode
+	splitResults := make(map[int]struct {
+		node        Node
+		left, right nodeData
+	}, len(splitGs))
+	for i, g := range splitGs {
+		var node Node
+		var left, right nodeData
+		err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+			var err error
+			ids := opened[i*openCols : (i+1)*openCols]
+			switch {
+			case p.cfg.Protocol == Basic:
+				node, left, right, err = p.splitBasic(frontier[g].nd,
+					int(ids[0].Int64()), int(ids[1].Int64()), int(ids[2].Int64()))
+			case p.cfg.Hide == HideFeature:
+				// §5.2 discussion: only i* is revealed; the owner-local flat
+				// index is the shared global index minus the owner's public
+				// base offset.
+				iStar := int(ids[0].Int64())
+				flat := p.eng.AddConst(bests[g].IDs[3], big.NewInt(-int64(p.clientBase(iStar))))
+				node, left, right, err = p.splitEnhancedHidden(frontier[g].nd, iStar, flat)
+			case p.cfg.Hide == HideClient:
+				node, left, right, err = p.splitEnhancedHidden(frontier[g].nd, -1, bests[g].IDs[3])
+			default:
+				node, left, right, err = p.splitEnhanced(frontier[g].nd,
+					int(ids[0].Int64()), int(ids[1].Int64()), bests[g].IDs[2])
+			}
+			return err
+		})
+		if err != nil {
+			return nil, p.errf("level %d model update: %v", depth, err)
+		}
+		splitResults[g] = struct {
+			node        Node
+			left, right nodeData
+		}{node, left, right}
+	}
+
+	for g := range frontier {
+		idx := len(model.Nodes)
+		if n, ok := leafNodes[g]; ok {
+			model.Nodes = append(model.Nodes, n)
+		} else {
+			r := splitResults[g]
+			model.Nodes = append(model.Nodes, r.node)
+			next = append(next,
+				frontierNode{nd: r.left, parent: idx, left: true},
+				frontierNode{nd: r.right, parent: idx})
+		}
+		if fp := frontier[g].parent; fp >= 0 {
+			if frontier[g].left {
+				model.Nodes[fp].Left = idx
+			} else {
+				model.Nodes[fp].Right = idx
+			}
+		}
+	}
+	return next, nil
+}
+
+// computeGammasLevel is computeGammas for a whole frontier: the super client
+// derives every splitter's masked label channels in one parallel Paillier
+// batch and ships them in a single broadcast (the per-node path sends one
+// message per node and channel).  In encrypted-label mode the channels are
+// already maintained per node and nothing is sent.
+func (p *Party) computeGammasLevel(nodes []frontierNode) ([][][]*paillier.Ciphertext, error) {
+	out := make([][][]*paillier.Ciphertext, len(nodes))
+	if nodes[0].nd.gch != nil {
+		for i := range nodes {
+			out[i] = nodes[i].nd.gch
+		}
+		return out, nil
+	}
+	C := p.channels(nodes[0].nd)
+	n := p.part.N
+	if p.ID != p.Super {
+		masked, err := p.recvCtsChunked(p.Super, len(nodes)*C*n)
+		if err != nil {
+			return nil, err
+		}
+		for i := range nodes {
+			chs := make([][]*paillier.Ciphertext, C)
+			for k := 0; k < C; k++ {
+				off := (i*C + k) * n
+				chs[k] = masked[off : off+n]
+			}
+			out[i] = chs
+		}
+		return out, nil
+	}
+	// The label encodings are identical for every node of the level.
+	betas := make([][]*big.Int, C)
+	for k := 0; k < C; k++ {
+		beta := make([]*big.Int, n)
+		for t := 0; t < n; t++ {
+			if p.part.Classes > 0 {
+				if int(p.part.Y[t]) == k {
+					beta[t] = big.NewInt(1)
+				} else {
+					beta[t] = big.NewInt(0)
+				}
+			} else if k == 0 {
+				beta[t] = p.cod.Encode(p.part.Y[t])
+			} else {
+				y := p.cod.Encode(p.part.Y[t])
+				beta[t] = new(big.Int).Mul(y, y)
+			}
+		}
+		betas[k] = beta
+	}
+	flatCts := make([]*paillier.Ciphertext, 0, len(nodes)*C*n)
+	flatBetas := make([]*big.Int, 0, len(nodes)*C*n)
+	for i := range nodes {
+		for k := 0; k < C; k++ {
+			flatCts = append(flatCts, nodes[i].nd.alpha...)
+			flatBetas = append(flatBetas, betas[k]...)
+		}
+	}
+	p.poolReserve(len(flatCts))
+	masked, err := p.scalarMulRerandVec(flatCts, flatBetas)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.broadcastCtsChunked(masked); err != nil {
+		return nil, err
+	}
+	for i := range nodes {
+		chs := make([][]*paillier.Ciphertext, C)
+		for k := 0; k < C; k++ {
+			off := (i*C + k) * n
+			chs[k] = masked[off : off+n]
+		}
+		out[i] = chs
+	}
+	return out, nil
+}
+
+// computeSplitStatsLevel is computeSplitStats for a whole frontier: every
+// client computes all its (node, split, channel, side) dot products in one
+// parallel batch and ships them to the super client in a single message.
+// The returned per-splitter slices (canonical split order, as the
+// conversion expects) are non-nil only at the super client.
+func (p *Party) computeSplitStatsLevel(nodes []frontierNode, gchs [][][]*paillier.Ciphertext) ([][]*paillier.Ciphertext, error) {
+	K := len(nodes)
+	statsPerSplit := 2 * (1 + len(gchs[0]))
+	var xss [][]*big.Int
+	var chs [][]*paillier.Ciphertext
+	for i := range nodes {
+		channels := append([][]*paillier.Ciphertext{nodes[i].nd.alpha}, gchs[i]...)
+		for j := range p.indic {
+			for s := range p.indic[j] {
+				vl := p.indic[j][s]
+				vr := complement(vl)
+				for _, ch := range channels {
+					xss = append(xss, vl, vr)
+					chs = append(chs, ch, ch)
+				}
+			}
+		}
+	}
+	p.poolReserve(len(xss))
+	mine, err := p.dotRerandVec(xss, chs)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.ID != p.Super {
+		if len(mine) > 0 {
+			if err := p.sendCtsChunked(p.Super, mine); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	// Super: one chunked message per client, holding that client's
+	// statistics for every node of the level.
+	perClient := make([][]*paillier.Ciphertext, p.M)
+	perClient[p.ID] = mine
+	for c := 0; c < p.M; c++ {
+		if c == p.ID || p.clientSplits(c) == 0 {
+			continue
+		}
+		theirs, err := p.recvCtsChunked(c, K*p.clientSplits(c)*statsPerSplit)
+		if err != nil {
+			return nil, err
+		}
+		perClient[c] = theirs
+	}
+	out := make([][]*paillier.Ciphertext, K)
+	for i := 0; i < K; i++ {
+		all := make([]*paillier.Ciphertext, 0, p.totalSplits()*statsPerSplit)
+		for c := 0; c < p.M; c++ {
+			chunk := p.clientSplits(c) * statsPerSplit
+			if chunk == 0 {
+				continue
+			}
+			all = append(all, perClient[c][i*chunk:(i+1)*chunk]...)
+		}
+		out[i] = all
+	}
+	return out, nil
+}
+
+// makeLeavesLevel resolves all of a level's leaves in shared batches: one
+// conversion, one reciprocal/truncation chain (regression) or one grouped
+// argmax over the per-class counts (classification), and one batched
+// opening (basic) or share-to-ciphertext conversion (enhanced).  Leaf
+// positions are assigned in entry order, exactly as the per-node recursion
+// assigns them in visit order.
+func (p *Party) makeLeavesLevel(model *Model, entries []frontierNode) ([]Node, error) {
+	L := len(entries)
+	nodes := make([]Node, L)
+	for i := range entries {
+		if p.captureLeaves {
+			p.leafAlphas = append(p.leafAlphas, entries[i].nd.alpha)
+		}
+		nodes[i] = Node{Leaf: true, LeafPos: model.Leaves}
+		model.Leaves++
+	}
+	err := timed(&p.Stats.Phases.MPCComputation, func() error {
+		if model.Classes > 0 {
+			return p.leavesClassification(model, nodes, entries)
+		}
+		return p.leavesRegression(nodes, entries)
+	})
+	if err != nil {
+		return nil, p.errf("leaf: %v", err)
+	}
+	return nodes, nil
+}
+
+// leavesClassification picks every leaf's majority class obliviously, with
+// the per-leaf argmaxes grouped so their comparison rounds are shared.
+func (p *Party) leavesClassification(model *Model, nodes []Node, entries []frontierNode) error {
+	L := len(entries)
+	C := model.Classes
+	// Super computes the encrypted per-class counts [g_k] = β_k ⊙ [α] for
+	// every leaf, one parallel batch over (leaf, class).
+	counts := make([]*paillier.Ciphertext, L*C)
+	if p.ID == p.Super {
+		betas := make([][]*big.Int, L*C)
+		alphas := make([][]*paillier.Ciphertext, L*C)
+		for i := range entries {
+			for k := 0; k < C; k++ {
+				beta := make([]*big.Int, p.part.N)
+				for t := range beta {
+					if int(p.part.Y[t]) == k {
+						beta[t] = big.NewInt(1)
+					} else {
+						beta[t] = big.NewInt(0)
+					}
+				}
+				betas[i*C+k] = beta
+				alphas[i*C+k] = entries[i].nd.alpha
+			}
+		}
+		p.poolReserve(L * C)
+		var err error
+		counts, err = p.dotRerandVec(betas, alphas)
+		if err != nil {
+			return err
+		}
+	}
+	var shares []mpc.Share
+	err := timed(&p.Stats.Phases.Conversion, func() error {
+		var err error
+		shares, err = p.encToShares(counts, L*C, p.w.count+2)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	groups := make([]int, L)
+	ids := make([][]int64, L*C)
+	for i := range groups {
+		groups[i] = C
+		for k := 0; k < C; k++ {
+			ids[i*C+k] = []int64{int64(k)}
+		}
+	}
+	kCmp := p.w.count + p.cfg.F + 4
+	bests := p.eng.ArgmaxGrouped(shares, groups, ids, kCmp, p.cfg.ArgmaxTournament)
+	if p.cfg.Protocol == Basic {
+		labels := make([]mpc.Share, L)
+		for i := range bests {
+			labels[i] = bests[i].IDs[0]
+		}
+		for i, v := range p.eng.OpenVec(labels) {
+			nodes[i].Label = float64(mpc.Signed(v).Int64())
+		}
+		return nil
+	}
+	// Store the concealed labels at the common fixed-point scale so the
+	// shared-model prediction decodes uniformly.
+	scale := new(big.Int).Lsh(big.NewInt(1), p.cfg.F)
+	scaled := make([]mpc.Share, L)
+	for i := range bests {
+		scaled[i] = p.eng.MulPub(bests[i].IDs[0], scale)
+	}
+	cts, err := p.shareToEnc(scaled, p.cfg.F+10, p.Super)
+	if err != nil {
+		return err
+	}
+	for i := range nodes {
+		nodes[i].EncLabel = cts[i]
+	}
+	return nil
+}
+
+// leavesRegression computes every leaf's (possibly encrypted) mean label in
+// one reciprocal/truncation chain.
+func (p *Party) leavesRegression(nodes []Node, entries []frontierNode) error {
+	L := len(entries)
+	// Encrypted label sums: fold the maintained γ1 channels (encrypted-label
+	// mode) or let the super compute y ⊙ [α] for every leaf in one batch.
+	sumCts := make([]*paillier.Ciphertext, L)
+	if entries[0].nd.gch != nil {
+		for i := range entries {
+			sumCts[i] = p.foldAdd(entries[i].nd.gch[0])
+		}
+	} else if p.ID == p.Super {
+		y := make([]*big.Int, p.part.N)
+		for t := range y {
+			y[t] = p.cod.Encode(p.part.Y[t])
+		}
+		ys := make([][]*big.Int, L)
+		alphas := make([][]*paillier.Ciphertext, L)
+		for i := range entries {
+			ys[i] = y
+			alphas[i] = entries[i].nd.alpha
+		}
+		p.poolReserve(L)
+		var err error
+		sumCts, err = p.dotRerandVec(ys, alphas)
+		if err != nil {
+			return err
+		}
+	}
+	var sumShares []mpc.Share
+	err := timed(&p.Stats.Phases.Conversion, func() error {
+		var err error
+		sumShares, err = p.encToShares(sumCts, L, p.w.stat)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	nShares := make([]mpc.Share, L)
+	for i := range entries {
+		nShares[i] = entries[i].nShare
+	}
+	recips := p.eng.RecipVec(nShares, p.w.count+2)
+	raws := p.eng.MulVec(sumShares, recips) // 2f-scaled means
+	means := p.eng.TruncVec(raws, p.w.stat+p.cfg.F+4, p.cfg.F)
+	if p.cfg.Protocol == Basic {
+		for i, v := range p.eng.OpenVec(means) {
+			nodes[i].Label = p.eng.DecodeSigned(v)
+		}
+		return nil
+	}
+	cts, err := p.shareToEnc(means, p.w.value+2, p.Super)
+	if err != nil {
+		return err
+	}
+	for i := range nodes {
+		nodes[i].EncLabel = cts[i]
+	}
+	return nil
+}
+
+// poolReserve hints the shared randomness pool that `count` encryptions or
+// rerandomizations are imminent, letting it pre-generate obfuscators across
+// all configured workers so level-sized batches amortize the pool capacity
+// instead of draining it mid-batch.
+func (p *Party) poolReserve(count int) {
+	if pool := p.pk.Pool(); pool != nil {
+		pool.Reserve(count, p.cfg.Workers)
+	}
+}

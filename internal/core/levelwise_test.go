@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/paillier"
+)
+
+// Level-wise vs per-node equivalence: the batched pipeline must produce the
+// exact same tree as the paper's recursion — every MPC primitive is a
+// deterministic function of its inputs, so batching may only change round
+// structure, never values.  The rendered outline includes owners, features,
+// thresholds and leaf labels, so string equality is tree equality.
+
+func trainBothModes(t *testing.T, ds *dataset.Dataset, m int, cfg Config) (perNode, levelWise *Model, perNodeStats, levelWiseStats RunStats) {
+	t.Helper()
+	cfgPN := cfg
+	cfgPN.TrainMode = PerNode
+	sPN, _, mPN := trainSession(t, ds, m, cfgPN)
+	cfgLW := cfg
+	cfgLW.TrainMode = LevelWise
+	sLW, _, mLW := trainSession(t, ds, m, cfgLW)
+	return mPN, mLW, sPN.Stats(), sLW.Stats()
+}
+
+func TestLevelwiseEquivalenceClassification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	ds := smallClassification(40)
+	mPN, mLW, stPN, stLW := trainBothModes(t, ds, 2, testConfig())
+	if got, want := mLW.String(), mPN.String(); got != want {
+		t.Fatalf("level-wise tree differs from per-node tree:\nper-node:\n%s\nlevel-wise:\n%s", want, got)
+	}
+	if mLW.Leaves != mPN.Leaves || mLW.InternalNodes() != mPN.InternalNodes() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d leaves/internal",
+			mLW.Leaves, mLW.InternalNodes(), mPN.Leaves, mPN.InternalNodes())
+	}
+	if mPN.InternalNodes() == 0 {
+		t.Fatal("degenerate comparison: per-node tree did not split")
+	}
+	if stLW.MPC.Rounds >= stPN.MPC.Rounds {
+		t.Fatalf("level-wise rounds %d not below per-node rounds %d", stLW.MPC.Rounds, stPN.MPC.Rounds)
+	}
+	t.Logf("rounds: per-node %d, level-wise %d (%.2fx)",
+		stPN.MPC.Rounds, stLW.MPC.Rounds, float64(stPN.MPC.Rounds)/float64(stLW.MPC.Rounds))
+}
+
+func TestLevelwiseEquivalenceRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	ds := dataset.SyntheticRegression(40, 4, 0.2, 15)
+	mPN, mLW, stPN, stLW := trainBothModes(t, ds, 2, testConfig())
+	if got, want := mLW.String(), mPN.String(); got != want {
+		t.Fatalf("level-wise tree differs from per-node tree:\nper-node:\n%s\nlevel-wise:\n%s", want, got)
+	}
+	if mPN.InternalNodes() == 0 {
+		t.Fatal("degenerate comparison: per-node tree did not split")
+	}
+	if stLW.MPC.Rounds >= stPN.MPC.Rounds {
+		t.Fatalf("level-wise rounds %d not below per-node rounds %d", stLW.MPC.Rounds, stPN.MPC.Rounds)
+	}
+}
+
+func TestLevelwiseEnhancedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	ds := smallClassification(30)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Tree.MaxDepth = 2
+	mPN, mLW, _, _ := trainBothModes(t, ds, 2, cfg)
+	// Enhanced models conceal thresholds and labels, so compare the public
+	// structure: the rendered outline (owners/features/shape).
+	if got, want := mLW.String(), mPN.String(); got != want {
+		t.Fatalf("level-wise enhanced tree differs:\nper-node:\n%s\nlevel-wise:\n%s", want, got)
+	}
+	if mLW.Leaves != mPN.Leaves {
+		t.Fatalf("leaf count differs: %d vs %d", mLW.Leaves, mPN.Leaves)
+	}
+}
+
+func TestLevelwiseGBDTEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	// Encrypted-label mode (GBDT boosting rounds) routes through the
+	// level-wise driver's maintained-channel path; every tree of the
+	// ensemble must match the per-node recursion's.
+	ds := dataset.SyntheticRegression(24, 4, 0.2, 21)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	cfg.NumTrees = 2
+
+	trainGBDT := func(mode TrainMode) *BoostModel {
+		c := cfg
+		c.TrainMode = mode
+		parts, err := dataset.VerticalPartition(ds, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(parts, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		var bm *BoostModel
+		if err := s.Each(func(p *Party) error {
+			m, err := p.TrainGBDT()
+			if p.ID == 0 && err == nil {
+				bm = m
+			}
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return bm
+	}
+
+	pn := trainGBDT(PerNode)
+	lw := trainGBDT(LevelWise)
+	if len(pn.Forests[0]) != len(lw.Forests[0]) {
+		t.Fatalf("tree count differs: %d vs %d", len(pn.Forests[0]), len(lw.Forests[0]))
+	}
+	for w := range pn.Forests[0] {
+		if got, want := lw.Forests[0][w].String(), pn.Forests[0][w].String(); got != want {
+			t.Fatalf("GBDT round %d tree differs:\nper-node:\n%s\nlevel-wise:\n%s", w, want, got)
+		}
+	}
+}
+
+func TestChunkedCiphertextMessaging(t *testing.T) {
+	// Force tiny frames so the multi-chunk broadcast/receive paths run;
+	// values must survive the split-and-reassemble round trip.
+	ds := smallClassification(12)
+	parts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(parts, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2; i++ {
+		s.Party(i).testCtChunk = 3
+	}
+	const total = 10
+	err = s.Each(func(p *Party) error {
+		var cts []*paillier.Ciphertext
+		if p.ID == p.Super {
+			vals := make([]*big.Int, total)
+			for i := range vals {
+				vals[i] = big.NewInt(int64(i))
+			}
+			var err error
+			cts, err = p.encryptVec(vals)
+			if err != nil {
+				return err
+			}
+			if err := p.broadcastCtsChunked(cts); err != nil {
+				return err
+			}
+		} else {
+			var err error
+			cts, err = p.recvCtsChunked(p.Super, total)
+			if err != nil {
+				return err
+			}
+		}
+		got, err := p.jointDecryptAll(cts)
+		if err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v.Int64() != int64(i) {
+				return p.errf("chunked value %d decrypted to %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelwiseChunkedTraining(t *testing.T) {
+	// A whole level-wise training run under tiny frames: the gamma
+	// broadcast and split-statistics shipping cross chunk boundaries and
+	// the tree must come out the same as with unbounded frames.
+	ds := smallClassification(20)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+
+	train := func(chunk int) *Model {
+		parts, err := dataset.VerticalPartition(ds, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(parts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		for i := 0; i < 2; i++ {
+			s.Party(i).testCtChunk = chunk
+		}
+		models := make([]*Model, 2)
+		if err := s.Each(func(p *Party) error {
+			m, err := p.TrainDT()
+			if err == nil {
+				models[p.ID] = m
+			}
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return models[0]
+	}
+
+	whole := train(0)
+	chunked := train(5)
+	if got, want := chunked.String(), whole.String(); got != want {
+		t.Fatalf("chunked-frame training changed the tree:\nwhole:\n%s\nchunked:\n%s", want, got)
+	}
+}
+
+func TestLevelwiseTrafficSurfaced(t *testing.T) {
+	ds := smallClassification(24)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	s, _, _ := trainSession(t, ds, 2, cfg)
+	st := s.Stats()
+	if st.Traffic.MsgsSent == 0 || st.Traffic.BytesSent == 0 {
+		t.Fatalf("traffic totals not populated: %+v", st.Traffic)
+	}
+	if st.Traffic.MsgsRecv == 0 || st.Traffic.BytesRecv == 0 {
+		t.Fatalf("receive counters not populated: %+v", st.Traffic)
+	}
+	if len(st.Traffic.Peers) == 0 {
+		t.Fatal("per-peer traffic breakdown missing")
+	}
+	var peerMsgs int64
+	for _, pt := range st.Traffic.Peers {
+		peerMsgs += pt.MsgsSent
+	}
+	if peerMsgs != st.Traffic.MsgsSent {
+		t.Fatalf("per-peer sent messages %d do not sum to total %d", peerMsgs, st.Traffic.MsgsSent)
+	}
+	if st.Traffic.MsgsSent != st.MessagesSent || st.Traffic.BytesSent != st.BytesSent {
+		t.Fatalf("legacy counters diverge from snapshot: %+v vs msgs=%d bytes=%d",
+			st.Traffic, st.MessagesSent, st.BytesSent)
+	}
+}

@@ -55,6 +55,11 @@ type Party struct {
 	// vector; the GBDT extension uses them to form encrypted estimations.
 	captureLeaves bool
 	leafAlphas    [][]*paillier.Ciphertext
+
+	// testCtChunk overrides ctChunk in tests (0 = derive from KeyBits), so
+	// the multi-frame chunked messaging paths can be exercised without
+	// gigabyte-scale vectors.
+	testCtChunk int
 }
 
 // NewParty binds a client to the session.  parts is this client's vertical
@@ -209,6 +214,90 @@ func (p *Party) recvCts(from int) ([]*paillier.Ciphertext, error) {
 	return paillier.UnmarshalCiphertexts(xs), nil
 }
 
+// ctChunk is the number of ciphertexts that safely fit in one wire frame:
+// a ciphertext is a value mod N² (2·KeyBits bits), and the chunk budget is
+// half of transport.MaxFrameSize to leave headroom for varint overhead.
+// Deterministic in the public config, so sender and receiver agree on the
+// frame count without negotiation.
+func (p *Party) ctChunk() int {
+	if p.testCtChunk > 0 {
+		return p.testCtChunk
+	}
+	ctBytes := 2*p.cfg.KeyBits/8 + 16
+	chunk := transport.MaxFrameSize / 2 / ctBytes
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// chunked runs fn over [lo, hi) windows of at most ctChunk elements.
+func (p *Party) chunked(n int, fn func(lo, hi int) error) error {
+	chunk := p.ctChunk()
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The *Chunked helpers split big-integer vectors of any size into frames
+// below the transport's MaxFrameSize.  Level-wise training batches
+// whole-frontier vectors (nodes × channels × samples), which exceed a
+// single frame at the paper's scale; the chunk count is a deterministic
+// function of the public config and the (protocol-determined) vector
+// length, so sender and receiver agree without negotiation.
+
+func (p *Party) broadcastIntsChunked(xs []*big.Int) error {
+	return p.chunked(len(xs), func(lo, hi int) error { return p.broadcastInts(xs[lo:hi]) })
+}
+
+func (p *Party) sendIntsChunked(to int, xs []*big.Int) error {
+	return p.chunked(len(xs), func(lo, hi int) error { return transport.SendInts(p.ep, to, xs[lo:hi]) })
+}
+
+func (p *Party) recvIntsChunked(from, total int) ([]*big.Int, error) {
+	out := make([]*big.Int, 0, total)
+	err := p.chunked(total, func(lo, hi int) error {
+		xs, err := transport.RecvInts(p.ep, from)
+		if err != nil {
+			return err
+		}
+		out = append(out, xs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != total {
+		return nil, p.errf("chunked receive from %d: got %d values, want %d", from, len(out), total)
+	}
+	return out, nil
+}
+
+func (p *Party) broadcastCtsChunked(cts []*paillier.Ciphertext) error {
+	return p.broadcastIntsChunked(paillier.MarshalCiphertexts(cts))
+}
+
+func (p *Party) sendCtsChunked(to int, cts []*paillier.Ciphertext) error {
+	return p.sendIntsChunked(to, paillier.MarshalCiphertexts(cts))
+}
+
+// recvCtsChunked receives exactly `total` ciphertexts sent by the chunked
+// senders above.
+func (p *Party) recvCtsChunked(from, total int) ([]*paillier.Ciphertext, error) {
+	xs, err := p.recvIntsChunked(from, total)
+	if err != nil {
+		return nil, err
+	}
+	return paillier.UnmarshalCiphertexts(xs), nil
+}
+
 // encryptVec encrypts with stats accounting and the configured parallelism.
 func (p *Party) encryptVec(xs []*big.Int) ([]*paillier.Ciphertext, error) {
 	p.Stats.Encryptions += int64(len(xs))
@@ -262,7 +351,7 @@ func (p *Party) jointDecryptTo(to int, cts []*paillier.Ciphertext) ([]*big.Int, 
 	shares := p.key.PartialDecryptVec(p.pk, cts, p.cfg.Workers)
 	p.Stats.DecShares += int64(len(cts))
 	if p.ID != to {
-		return nil, transport.SendInts(p.ep, to, paillier.MarshalShares(shares))
+		return nil, p.sendIntsChunked(to, paillier.MarshalShares(shares))
 	}
 	byParty := make([][]*paillier.DecryptionShare, p.M)
 	byParty[p.ID] = shares
@@ -270,7 +359,7 @@ func (p *Party) jointDecryptTo(to int, cts []*paillier.Ciphertext) ([]*big.Int, 
 		if c == p.ID {
 			continue
 		}
-		xs, err := transport.RecvInts(p.ep, c)
+		xs, err := p.recvIntsChunked(c, len(cts))
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +373,7 @@ func (p *Party) jointDecryptTo(to int, cts []*paillier.Ciphertext) ([]*big.Int, 
 func (p *Party) jointDecryptAll(cts []*paillier.Ciphertext) ([]*big.Int, error) {
 	shares := p.key.PartialDecryptVec(p.pk, cts, p.cfg.Workers)
 	p.Stats.DecShares += int64(len(cts))
-	if err := p.broadcastInts(paillier.MarshalShares(shares)); err != nil {
+	if err := p.broadcastIntsChunked(paillier.MarshalShares(shares)); err != nil {
 		return nil, err
 	}
 	byParty := make([][]*paillier.DecryptionShare, p.M)
@@ -293,7 +382,7 @@ func (p *Party) jointDecryptAll(cts []*paillier.Ciphertext) ([]*big.Int, error) 
 		if c == p.ID {
 			continue
 		}
-		xs, err := transport.RecvInts(p.ep, c)
+		xs, err := p.recvIntsChunked(c, len(cts))
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +442,7 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 			if c == p.Super {
 				continue
 			}
-			theirs, err := p.recvCts(c)
+			theirs, err := p.recvCtsChunked(c, count)
 			if err != nil {
 				return nil, err
 			}
@@ -365,11 +454,11 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
 		}
 		p.Stats.HEOps += int64(count * p.M)
-		if err := p.broadcastCts(encE); err != nil {
+		if err := p.broadcastCtsChunked(encE); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := p.sendCts(p.Super, encMasks); err != nil {
+		if err := p.sendCtsChunked(p.Super, encMasks); err != nil {
 			return nil, err
 		}
 		if p.audit != nil {
@@ -377,7 +466,7 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 				return nil, err
 			}
 		}
-		encE, err = p.recvCts(p.Super)
+		encE, err = p.recvCtsChunked(p.Super, count)
 		if err != nil {
 			return nil, err
 		}
@@ -480,20 +569,20 @@ func (p *Party) encToIntShares(cts []*paillier.Ciphertext, kStat uint) ([]*big.I
 			if c == p.Super {
 				continue
 			}
-			theirs, err := p.recvCts(c)
+			theirs, err := p.recvCtsChunked(c, count)
 			if err != nil {
 				return nil, nil, err
 			}
 			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
 		}
-		if err := p.broadcastCts(encE); err != nil {
+		if err := p.broadcastCtsChunked(encE); err != nil {
 			return nil, nil, err
 		}
 	} else {
-		if err := p.sendCts(p.Super, encMasks); err != nil {
+		if err := p.sendCtsChunked(p.Super, encMasks); err != nil {
 			return nil, nil, err
 		}
-		encE, err = p.recvCts(p.Super)
+		encE, err = p.recvCtsChunked(p.Super, count)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -557,22 +646,22 @@ func (p *Party) shareToEnc(shares []mpc.Share, kStat uint, combiner int) ([]*pai
 			if c == combiner {
 				continue
 			}
-			theirs, err := p.recvCts(c)
+			theirs, err := p.recvCtsChunked(c, count)
 			if err != nil {
 				return nil, err
 			}
 			out = p.pk.SubVec(out, theirs, p.cfg.Workers)
 		}
 		p.Stats.HEOps += int64(count * p.M)
-		if err := p.broadcastCts(out); err != nil {
+		if err := p.broadcastCtsChunked(out); err != nil {
 			return nil, err
 		}
 		return out, nil
 	}
-	if err := p.sendCts(combiner, encMine); err != nil {
+	if err := p.sendCtsChunked(combiner, encMine); err != nil {
 		return nil, err
 	}
-	return p.recvCts(combiner)
+	return p.recvCtsChunked(combiner, count)
 }
 
 // ---------------------------------------------------------------------------
@@ -589,8 +678,9 @@ func timed(bucket *time.Duration, fn func() error) error {
 // gatherStats folds the transport and engine counters into p.Stats.
 func (p *Party) gatherStats() {
 	p.Stats.MPC = p.eng.Stats
-	p.Stats.BytesSent = p.ep.Stats().BytesSent.Load()
-	p.Stats.MessagesSent = p.ep.Stats().MsgsSent.Load()
+	p.Stats.Traffic = p.ep.Stats().Snapshot()
+	p.Stats.BytesSent = p.Stats.Traffic.BytesSent
+	p.Stats.MessagesSent = p.Stats.Traffic.MsgsSent
 }
 
 func (p *Party) errf(format string, args ...any) error {

@@ -163,6 +163,7 @@ func (s *Session) Stats() RunStats {
 		total.HEOps += p.Stats.HEOps
 		total.BytesSent += p.Stats.BytesSent
 		total.MessagesSent += p.Stats.MessagesSent
+		total.Traffic.Accumulate(p.Stats.Traffic)
 		total.MPC.Mults += p.Stats.MPC.Mults
 		total.MPC.Opens += p.Stats.MPC.Opens
 		total.MPC.OpenValues += p.Stats.MPC.OpenValues

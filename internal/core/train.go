@@ -57,7 +57,15 @@ func (p *Party) trainTree(rootCounts []int64, encY, encY2 []*paillier.Ciphertext
 	if encY != nil {
 		model.Classes = 0 // boosting rounds fit regression trees
 	}
-	if _, err := p.buildNode(model, nd, 0); err != nil {
+	// The malicious and DP extensions specify their proof and noise
+	// sub-protocols per node, so they always run the per-node recursion;
+	// everything else defaults to the level-wise pipeline (identical trees,
+	// far fewer synchronous MPC rounds).
+	if p.cfg.TrainMode == PerNode || p.cfg.Malicious || p.cfg.DP != nil {
+		if _, err := p.buildNode(model, nd, 0); err != nil {
+			return nil, err
+		}
+	} else if err := p.buildLevels(model, nd); err != nil {
 		return nil, err
 	}
 	if p.cfg.Malicious {
@@ -235,7 +243,7 @@ func (p *Party) buildNode(model *Model, nd nodeData, depth int) (int, error) {
 	var useDP = p.cfg.DP != nil
 	var leafByGain bool
 	err = timed(&p.Stats.Phases.MPCComputation, func() error {
-		gains, err := p.computeGains(shares[:C], shares[C:], nShare, C, statsPerSplit, model.Classes > 0)
+		gains, err := p.computeGains(shares[:C], shares[C:], []mpc.Share{nShare}, C, statsPerSplit, model.Classes > 0)
 		if err != nil {
 			return err
 		}
@@ -274,7 +282,7 @@ func (p *Party) buildNode(model *Model, nd nodeData, depth int) (int, error) {
 		iStar := int(ids[0].Int64())
 		jStar := int(ids[1].Int64())
 		sStar := int(ids[2].Int64())
-		return p.updateBasic(model, nd, gch, iStar, jStar, sStar, depth)
+		return p.updateBasic(model, nd, iStar, jStar, sStar, depth)
 	}
 	switch p.cfg.Hide {
 	case HideFeature:
@@ -512,143 +520,186 @@ func complement(v []*big.Int) []*big.Int {
 
 // computeGains turns the converted statistics into one secretly shared gain
 // per candidate split (Eqns 5, 6 and 8), entirely inside the MPC engine.
-// totals are ⟨Σ γ_k⟩ per channel; stats holds statsPerSplit values per split
-// laid out as [n_l, n_r, ch1_l, ch1_r, ...].
-func (p *Party) computeGains(totals, stats []mpc.Share, nNode mpc.Share, C, statsPerSplit int, classification bool) ([]mpc.Share, error) {
+// It is grouped over nodes: nNodes holds one node-count share per node
+// (group), totals holds C channel totals per node, and stats holds
+// statsPerSplit values per split laid out as [n_l, n_r, ch1_l, ch1_r, ...],
+// S splits per node, node-major.  The per-node recursion calls it with a
+// single group; the level-wise pipeline passes the whole frontier so every
+// reciprocal, multiplication and truncation round is shared across nodes.
+// The returned gains are node-major, S per node.
+func (p *Party) computeGains(totals, stats []mpc.Share, nNodes []mpc.Share, C, statsPerSplit int, classification bool) ([]mpc.Share, error) {
 	S := p.totalSplits()
+	G := len(nNodes)
 	eng := p.eng
 
-	// Reciprocals for every branch count and the node count, in one batch.
-	recipIn := make([]mpc.Share, 0, 2*S+1)
-	for s := 0; s < S; s++ {
-		recipIn = append(recipIn, stats[s*statsPerSplit], stats[s*statsPerSplit+1])
+	// Reciprocals for every branch count and every node count, in one
+	// batch: group g occupies [g·(2S+1), (g+1)·(2S+1)), node count last.
+	recipIn := make([]mpc.Share, 0, G*(2*S+1))
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			recipIn = append(recipIn, stats[base+s*statsPerSplit], stats[base+s*statsPerSplit+1])
+		}
+		recipIn = append(recipIn, nNodes[g])
 	}
-	recipIn = append(recipIn, nNode)
 	recips := eng.RecipVec(recipIn, p.w.count+2)
-	rn := recips[2*S]
+	rns := make([]mpc.Share, G) // per-node 1/n
+	for g := 0; g < G; g++ {
+		rns[g] = recips[g*(2*S+1)+2*S]
+	}
 
 	if classification {
 		switch p.cfg.Tree.Criterion {
 		case Entropy, GainRatio:
-			return p.entropyGains(totals, stats, recips, rn, C, statsPerSplit)
+			return p.entropyGains(totals, stats, recips, rns, C, statsPerSplit)
 		default:
-			return p.giniGains(totals, stats, recips, rn, C, statsPerSplit)
+			return p.giniGains(totals, stats, recips, rns, C, statsPerSplit)
 		}
 	}
-	return p.varianceGains(totals, stats, recips, rn, statsPerSplit)
+	return p.varianceGains(totals, stats, recips, rns, statsPerSplit)
 }
 
-// giniGains computes, per split τ, w_l·Σ_k p_{l,k}² + w_r·Σ_k p_{r,k}² −
-// Σ_k p_k² (Eqn 5), the quantity whose argmax is the best split.
-func (p *Party) giniGains(totals, stats, recips []mpc.Share, rn mpc.Share, C, statsPerSplit int) ([]mpc.Share, error) {
+// branchRecip returns the reciprocal share of node g's split s, side d from
+// the computeGains reciprocal layout.
+func branchRecip(recips []mpc.Share, S, g, s, d int) mpc.Share {
+	return recips[g*(2*S+1)+2*s+d]
+}
+
+// giniGains computes, per node and split τ, w_l·Σ_k p_{l,k}² +
+// w_r·Σ_k p_{r,k}² − Σ_k p_k² (Eqn 5), the quantity whose argmax is the
+// best split, for all groups in shared batches.
+func (p *Party) giniGains(totals, stats, recips []mpc.Share, rns []mpc.Share, C, statsPerSplit int) ([]mpc.Share, error) {
 	S := p.totalSplits()
+	G := len(rns)
 	eng := p.eng
 	kSq := 2*p.cfg.F + 4
 
-	// Fractions p_{side,k} = g_{side,k} · (1/n_side) for every split, side
-	// and class, in one multiplication batch.
+	// Fractions p_{side,k} = g_{side,k} · (1/n_side) for every node, split,
+	// side and class, in one multiplication batch.
 	var gs, rs []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		for k := 0; k < C; k++ {
-			gs = append(gs, stats[base+2+2*k], stats[base+2+2*k+1])
-			rs = append(rs, recips[2*s], recips[2*s+1])
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			for k := 0; k < C; k++ {
+				gs = append(gs, stats[sb+2+2*k], stats[sb+2+2*k+1])
+				rs = append(rs, branchRecip(recips, S, g, s, 0), branchRecip(recips, S, g, s, 1))
+			}
 		}
 	}
 	ps := eng.MulVec(gs, rs)         // f-scaled fractions
 	sqs := eng.FPMulVec(ps, ps, kSq) // p²
 
-	// Node impurity term Σ_k p_k².
+	// Node impurity terms Σ_k p_k², one per node.
 	var ng, nr []mpc.Share
-	for k := 0; k < C; k++ {
-		ng = append(ng, totals[k])
-		nr = append(nr, rn)
+	for g := 0; g < G; g++ {
+		for k := 0; k < C; k++ {
+			ng = append(ng, totals[g*C+k])
+			nr = append(nr, rns[g])
+		}
 	}
 	nps := eng.MulVec(ng, nr)
 	nsqs := eng.FPMulVec(nps, nps, kSq)
-	nodeImp := eng.Sum(nsqs)
+	nodeImps := make([]mpc.Share, G)
+	for g := 0; g < G; g++ {
+		nodeImps[g] = eng.Sum(nsqs[g*C : (g+1)*C])
+	}
 
 	// Branch weights w_side = n_side · (1/n), then the weighted sums.
-	var ws, sums []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		wl := eng.Mul(stats[base], rn)
-		wr := eng.Mul(stats[base+1], rn)
-		var sl, sr mpc.Share
-		sl = eng.ConstInt64(0)
-		sr = eng.ConstInt64(0)
-		for k := 0; k < C; k++ {
-			idx := (s*C + k) * 2
-			sl = eng.Add(sl, sqs[idx])
-			sr = eng.Add(sr, sqs[idx+1])
+	var wn, wr, sums []mpc.Share
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			wn = append(wn, stats[sb], stats[sb+1])
+			wr = append(wr, rns[g], rns[g])
+			sl := eng.ConstInt64(0)
+			sr := eng.ConstInt64(0)
+			for k := 0; k < C; k++ {
+				idx := ((g*S+s)*C + k) * 2
+				sl = eng.Add(sl, sqs[idx])
+				sr = eng.Add(sr, sqs[idx+1])
+			}
+			sums = append(sums, sl, sr)
 		}
-		ws = append(ws, wl, wr)
-		sums = append(sums, sl, sr)
 	}
+	ws := eng.MulVec(wn, wr)
 	terms := eng.FPMulVec(ws, sums, kSq)
-	gains := make([]mpc.Share, S)
-	for s := 0; s < S; s++ {
-		gains[s] = eng.Sub(eng.Add(terms[2*s], terms[2*s+1]), nodeImp)
+	gains := make([]mpc.Share, G*S)
+	for g := 0; g < G; g++ {
+		for s := 0; s < S; s++ {
+			i := g*S + s
+			gains[i] = eng.Sub(eng.Add(terms[2*i], terms[2*i+1]), nodeImps[g])
+		}
 	}
 	return gains, nil
 }
 
-// entropyGains computes, per split τ, the information gain
+// entropyGains computes, per node and split τ, the information gain
 // IE(D) − (w_l·IE(D_l) + w_r·IE(D_r)) with IE = −Σ_k p_k ln p_k, entirely
 // under MPC (the ID3/C4.5 generalization of §2.3).  It mirrors giniGains but
 // replaces p² with p·ln p via the engine's secure logarithm.  Empty-branch
 // classes have an exactly-zero fraction share, so their (undefined) log term
 // is annihilated by the multiplication, matching the 0·ln 0 := 0 convention.
-func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rn mpc.Share, C, statsPerSplit int) ([]mpc.Share, error) {
+func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rns []mpc.Share, C, statsPerSplit int) ([]mpc.Share, error) {
 	S := p.totalSplits()
+	G := len(rns)
 	eng := p.eng
 	kSq := 2*p.cfg.F + 4
 
-	// Fractions for every split/side/class, with the node's fractions
-	// appended so one batch covers all logarithm evaluations.
+	// Fractions for every node/split/side/class, with each node's own
+	// fractions appended to its block so one batch covers all logarithm
+	// evaluations.  Node g's block spans [g·(2SC+C), (g+1)·(2SC+C)).
+	blk := 2*S*C + C
 	var gs, rs []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		for k := 0; k < C; k++ {
-			gs = append(gs, stats[base+2+2*k], stats[base+2+2*k+1])
-			rs = append(rs, recips[2*s], recips[2*s+1])
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			for k := 0; k < C; k++ {
+				gs = append(gs, stats[sb+2+2*k], stats[sb+2+2*k+1])
+				rs = append(rs, branchRecip(recips, S, g, s, 0), branchRecip(recips, S, g, s, 1))
+			}
 		}
-	}
-	for k := 0; k < C; k++ {
-		gs = append(gs, totals[k])
-		rs = append(rs, rn)
+		for k := 0; k < C; k++ {
+			gs = append(gs, totals[g*C+k])
+			rs = append(rs, rns[g])
+		}
 	}
 	ps := eng.MulVec(gs, rs)            // f-scaled fractions
 	lns := eng.LnVec(ps)                // f-scaled ln p (garbage when p = 0)
 	terms := eng.FPMulVec(ps, lns, kSq) // p·ln p ∈ (−1/e·…, 0]; exact 0 when p = 0
 
-	// Node purity term Σ_k p_k ln p_k (= −IE(D)).
-	nodeTerm := eng.ConstInt64(0)
-	for k := 0; k < C; k++ {
-		nodeTerm = eng.Add(nodeTerm, terms[2*S*C+k])
+	// Node purity terms Σ_k p_k ln p_k (= −IE(D)), one per node.
+	nodeTerms := make([]mpc.Share, G)
+	for g := 0; g < G; g++ {
+		nodeTerms[g] = eng.Sum(terms[g*blk+2*S*C : g*blk+2*S*C+C])
 	}
 
 	// Branch weights and the weighted purity sums.
-	var ws, sums []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		wl := eng.Mul(stats[base], rn)
-		wr := eng.Mul(stats[base+1], rn)
-		sl := eng.ConstInt64(0)
-		sr := eng.ConstInt64(0)
-		for k := 0; k < C; k++ {
-			idx := (s*C + k) * 2
-			sl = eng.Add(sl, terms[idx])
-			sr = eng.Add(sr, terms[idx+1])
+	var wn, wrc, sums []mpc.Share
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			wn = append(wn, stats[sb], stats[sb+1])
+			wrc = append(wrc, rns[g], rns[g])
+			sl := eng.ConstInt64(0)
+			sr := eng.ConstInt64(0)
+			for k := 0; k < C; k++ {
+				idx := g*blk + (s*C+k)*2
+				sl = eng.Add(sl, terms[idx])
+				sr = eng.Add(sr, terms[idx+1])
+			}
+			sums = append(sums, sl, sr)
 		}
-		ws = append(ws, wl, wr)
-		sums = append(sums, sl, sr)
 	}
+	ws := eng.MulVec(wn, wrc)
 	weighted := eng.FPMulVec(ws, sums, kSq)
-	gains := make([]mpc.Share, S)
-	for s := 0; s < S; s++ {
+	gains := make([]mpc.Share, G*S)
+	for i := range gains {
 		// gain = IE(D) − Σ w·IE(branch) = Σ w·(p ln p) − node(p ln p).
-		gains[s] = eng.Sub(eng.Add(weighted[2*s], weighted[2*s+1]), nodeTerm)
+		gains[i] = eng.Sub(eng.Add(weighted[2*i], weighted[2*i+1]), nodeTerms[i/S])
 	}
 
 	if p.cfg.Tree.Criterion == GainRatio {
@@ -659,37 +710,44 @@ func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rn mpc.Share, C,
 		lnw := eng.LnVec(ws)
 		winfo := eng.FPMulVec(ws, lnw, kSq) // w·ln w ≤ 0
 		eps := eng.EncodeConst(1.0 / 256)
-		infos := make([]mpc.Share, S)
-		for s := 0; s < S; s++ {
-			si := eng.Neg(eng.Add(winfo[2*s], winfo[2*s+1]))
-			infos[s] = eng.AddConst(si, eps)
+		infos := make([]mpc.Share, G*S)
+		for i := range infos {
+			si := eng.Neg(eng.Add(winfo[2*i], winfo[2*i+1]))
+			infos[i] = eng.AddConst(si, eps)
 		}
 		gains = eng.FPDivVec(gains, infos, p.cfg.F+2)
 	}
 	return gains, nil
 }
 
-// varianceGains computes, per split, IV(D) − (w_l·IV(D_l) + w_r·IV(D_r))
-// with IV from Eqn 6, using the label-sum and label-square-sum channels.
-func (p *Party) varianceGains(totals, stats, recips []mpc.Share, rn mpc.Share, statsPerSplit int) ([]mpc.Share, error) {
+// varianceGains computes, per node and split, IV(D) − (w_l·IV(D_l) +
+// w_r·IV(D_r)) with IV from Eqn 6, using the label-sum and label-square-sum
+// channels.
+func (p *Party) varianceGains(totals, stats, recips []mpc.Share, rns []mpc.Share, statsPerSplit int) ([]mpc.Share, error) {
 	S := p.totalSplits()
+	G := len(rns)
 	eng := p.eng
 	f := p.cfg.F
 	kBig := p.w.stat + f + 4
 	kSq := 2*(p.cfg.LabelBits+f) + 4
 
-	// Per branch: mean = u·(1/n_b); E[Y²] = trunc(q)·(1/n_b).
+	// Per branch: mean = u·(1/n_b); E[Y²] = trunc(q)·(1/n_b).  Node g's
+	// block spans [g·(2S+1), (g+1)·(2S+1)), its own totals last.
+	blk := 2*S + 1
 	var us, qs, rsU []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		us = append(us, stats[base+2], stats[base+3]) // Σy (f-scaled)
-		qs = append(qs, stats[base+4], stats[base+5]) // Σy² (2f-scaled)
-		rsU = append(rsU, recips[2*s], recips[2*s+1])
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			us = append(us, stats[sb+2], stats[sb+3]) // Σy (f-scaled)
+			qs = append(qs, stats[sb+4], stats[sb+5]) // Σy² (2f-scaled)
+			rsU = append(rsU, branchRecip(recips, S, g, s, 0), branchRecip(recips, S, g, s, 1))
+		}
+		// Node totals travel through the same pipeline.
+		us = append(us, totals[g*2])
+		qs = append(qs, totals[g*2+1])
+		rsU = append(rsU, rns[g])
 	}
-	// Node totals travel through the same pipeline.
-	us = append(us, totals[0])
-	qs = append(qs, totals[1])
-	rsU = append(rsU, rn)
 
 	qTr := eng.TruncVec(qs, p.w.stat+2, f) // back to f scale
 	means := eng.FPMulVec(us, rsU, kBig)
@@ -699,18 +757,23 @@ func (p *Party) varianceGains(totals, stats, recips []mpc.Share, rn mpc.Share, s
 	for i := range ivs {
 		ivs[i] = eng.Sub(ey2s[i], meanSqs[i])
 	}
-	nodeIV := ivs[2*S]
 
-	var ws, branchIVs []mpc.Share
-	for s := 0; s < S; s++ {
-		base := s * statsPerSplit
-		ws = append(ws, eng.Mul(stats[base], rn), eng.Mul(stats[base+1], rn))
-		branchIVs = append(branchIVs, ivs[2*s], ivs[2*s+1])
+	var wn, wrc, branchIVs []mpc.Share
+	for g := 0; g < G; g++ {
+		base := g * S * statsPerSplit
+		for s := 0; s < S; s++ {
+			sb := base + s*statsPerSplit
+			wn = append(wn, stats[sb], stats[sb+1])
+			wrc = append(wrc, rns[g], rns[g])
+			branchIVs = append(branchIVs, ivs[g*blk+2*s], ivs[g*blk+2*s+1])
+		}
 	}
+	ws := eng.MulVec(wn, wrc)
 	terms := eng.FPMulVec(ws, branchIVs, kSq+f)
-	gains := make([]mpc.Share, S)
-	for s := 0; s < S; s++ {
-		gains[s] = eng.Sub(nodeIV, eng.Add(terms[2*s], terms[2*s+1]))
+	gains := make([]mpc.Share, G*S)
+	for i := range gains {
+		nodeIV := ivs[(i/S)*blk+2*S]
+		gains[i] = eng.Sub(nodeIV, eng.Add(terms[2*i], terms[2*i+1]))
 	}
 	return gains, nil
 }

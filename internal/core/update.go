@@ -12,82 +12,91 @@ import (
 
 func cryptoRand() io.Reader { return rand.Reader }
 
-// updateBasic is the basic protocol's model update step (§4.1): the best
-// split identifier is public, the owner announces the plaintext threshold,
-// computes the children's encrypted mask vectors [α_l], [α_r] (and, in
-// encrypted-label mode, the masked label channels) and broadcasts them.
-func (p *Party) updateBasic(model *Model, nd nodeData, gch [][]*paillier.Ciphertext,
-	iStar, jStar, sStar, depth int) (int, error) {
-
+// splitBasic is the basic protocol's model update step (§4.1) for a single
+// node: the best split identifier is public, the owner announces the
+// plaintext threshold, computes the children's encrypted mask vectors
+// [α_l], [α_r] (and, in encrypted-label mode, the masked label channels)
+// and broadcasts them.  Shared by the per-node and level-wise drivers.
+func (p *Party) splitBasic(nd nodeData, iStar, jStar, sStar int) (Node, nodeData, nodeData, error) {
 	node := Node{Owner: iStar, Feature: jStar, SplitIndex: sStar}
 	me := iStar == p.ID
 
+	// Threshold announcement (part of the public model).
+	if me {
+		tau := p.cands[jStar][sStar]
+		encoded := p.cod.Encode(tau)
+		// Store the fixed-point-rounded value so every client holds a
+		// bit-identical model.
+		node.Threshold = p.cod.Decode(encoded)
+		if err := p.broadcastInts([]*big.Int{mpc.ToField(encoded)}); err != nil {
+			return node, nodeData{}, nodeData{}, err
+		}
+	} else {
+		xs, err := transport.RecvInts(p.ep, iStar)
+		if err != nil {
+			return node, nodeData{}, nodeData{}, err
+		}
+		node.Threshold = p.cod.Decode(mpc.Signed(xs[0]))
+	}
+
+	// Child mask vectors (and label channels in encrypted-label mode).
+	vectors := append([][]*paillier.Ciphertext{nd.alpha}, nd.gch...)
+	var lefts, rights [][]*paillier.Ciphertext
+	if me {
+		vl := p.indic[jStar][sStar]
+		flat := p.flatIndex(jStar, sStar)
+		for _, vec := range vectors {
+			l, err := p.maskVector(vec, vl, flat)
+			if err != nil {
+				return node, nodeData{}, nodeData{}, err
+			}
+			r := p.pk.SubVec(vec, l, p.cfg.Workers)
+			p.Stats.HEOps += int64(len(vec))
+			lefts = append(lefts, l)
+			rights = append(rights, r)
+			if p.audit == nil {
+				if err := p.broadcastCts(l); err != nil {
+					return node, nodeData{}, nodeData{}, err
+				}
+			}
+			if err := p.broadcastCts(r); err != nil {
+				return node, nodeData{}, nodeData{}, err
+			}
+		}
+	} else {
+		flat := p.flatIndexFor(iStar, jStar, sStar)
+		for _, vec := range vectors {
+			l, err := p.recvMasked(iStar, flat, vec)
+			if err != nil {
+				return node, nodeData{}, nodeData{}, err
+			}
+			r, err := p.recvCts(iStar)
+			if err != nil {
+				return node, nodeData{}, nodeData{}, err
+			}
+			lefts = append(lefts, l)
+			rights = append(rights, r)
+		}
+	}
+	left := nodeData{alpha: lefts[0]}
+	right := nodeData{alpha: rights[0]}
+	if nd.gch != nil {
+		left.gch = lefts[1:]
+		right.gch = rights[1:]
+	}
+	return node, left, right, nil
+}
+
+// updateBasic wraps splitBasic for the per-node recursion.
+func (p *Party) updateBasic(model *Model, nd nodeData,
+	iStar, jStar, sStar, depth int) (int, error) {
+
+	var node Node
 	var left, right nodeData
 	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
-		// Threshold announcement (part of the public model).
-		if me {
-			tau := p.cands[jStar][sStar]
-			encoded := p.cod.Encode(tau)
-			// Store the fixed-point-rounded value so every client holds a
-			// bit-identical model.
-			node.Threshold = p.cod.Decode(encoded)
-			if err := p.broadcastInts([]*big.Int{mpc.ToField(encoded)}); err != nil {
-				return err
-			}
-		} else {
-			xs, err := transport.RecvInts(p.ep, iStar)
-			if err != nil {
-				return err
-			}
-			node.Threshold = p.cod.Decode(mpc.Signed(xs[0]))
-		}
-
-		// Child mask vectors (and label channels in encrypted-label mode).
-		vectors := append([][]*paillier.Ciphertext{nd.alpha}, nd.gch...)
-		var lefts, rights [][]*paillier.Ciphertext
-		if me {
-			vl := p.indic[jStar][sStar]
-			flat := p.flatIndex(jStar, sStar)
-			for _, vec := range vectors {
-				l, err := p.maskVector(vec, vl, flat)
-				if err != nil {
-					return err
-				}
-				r := p.pk.SubVec(vec, l, p.cfg.Workers)
-				p.Stats.HEOps += int64(len(vec))
-				lefts = append(lefts, l)
-				rights = append(rights, r)
-				if p.audit == nil {
-					if err := p.broadcastCts(l); err != nil {
-						return err
-					}
-				}
-				if err := p.broadcastCts(r); err != nil {
-					return err
-				}
-			}
-		} else {
-			flat := p.flatIndexFor(iStar, jStar, sStar)
-			for _, vec := range vectors {
-				l, err := p.recvMasked(iStar, flat, vec)
-				if err != nil {
-					return err
-				}
-				r, err := p.recvCts(iStar)
-				if err != nil {
-					return err
-				}
-				lefts = append(lefts, l)
-				rights = append(rights, r)
-			}
-		}
-		left = nodeData{alpha: lefts[0]}
-		right = nodeData{alpha: rights[0]}
-		if nd.gch != nil {
-			left.gch = lefts[1:]
-			right.gch = rights[1:]
-		}
-		return nil
+		var err error
+		node, left, right, err = p.splitBasic(nd, iStar, jStar, sStar)
+		return err
 	})
 	if err != nil {
 		return 0, p.errf("model update: %v", err)
@@ -148,85 +157,95 @@ func (p *Party) flatIndexFor(client, j, s int) int {
 	return flat + s
 }
 
-// updateEnhanced is the enhanced protocol's model update step (§5.2): s*
-// stays secret.  The clients convert ⟨s*⟩ into the encrypted PIR vector [λ]
-// via an oblivious equality ladder, the owner privately selects the split
-// indicator [v] = V ⊗ [λ] and the encrypted threshold, and the encrypted
-// mask vector is updated by Eqn (10) using integer conversion shares.
-func (p *Party) updateEnhanced(model *Model, nd nodeData, iStar, jStar int, sStar mpc.Share, depth int) (int, error) {
+// splitEnhanced is the enhanced protocol's model update step (§5.2) for a
+// single node: s* stays secret.  The clients convert ⟨s*⟩ into the encrypted
+// PIR vector [λ] via an oblivious equality ladder, the owner privately
+// selects the split indicator [v] = V ⊗ [λ] and the encrypted threshold, and
+// the encrypted mask vector is updated by Eqn (10) using integer conversion
+// shares.  Shared by the per-node and level-wise drivers.
+func (p *Party) splitEnhanced(nd nodeData, iStar, jStar int, sStar mpc.Share) (Node, nodeData, nodeData, error) {
 	node := Node{Owner: iStar, Feature: jStar}
 	me := iStar == p.ID
 	n := len(nd.alpha)
 	nPrime := p.splitCounts[iStar][jStar]
 
 	var left, right nodeData
-	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
-		// ⟨λ_t⟩ = ⟨1{s* == t}⟩ for t in [0, n').
-		diffs := make([]mpc.Share, nPrime)
-		for t := 0; t < nPrime; t++ {
-			diffs[t] = p.eng.AddConst(sStar, big.NewInt(-int64(t)))
-		}
-		kEq := uint(bitsFor(nPrime)) + 3
-		lamShares := p.eng.EQZVec(diffs, kEq)
+	// ⟨λ_t⟩ = ⟨1{s* == t}⟩ for t in [0, n').
+	diffs := make([]mpc.Share, nPrime)
+	for t := 0; t < nPrime; t++ {
+		diffs[t] = p.eng.AddConst(sStar, big.NewInt(-int64(t)))
+	}
+	kEq := uint(bitsFor(nPrime)) + 3
+	lamShares := p.eng.EQZVec(diffs, kEq)
 
-		// Private split selection: [λ] goes to the owner (Theorem 2).
-		encLam, err := p.shareToEnc(lamShares, 4, iStar)
-		if err != nil {
-			return err
-		}
+	// Private split selection: [λ] goes to the owner (Theorem 2).
+	encLam, err := p.shareToEnc(lamShares, 4, iStar)
+	if err != nil {
+		return node, left, right, err
+	}
 
-		// Owner selects [v] = V ⊗ [λ] and the encrypted threshold, then
-		// broadcasts both ([v] stays encrypted; nothing about s* leaks).
-		var encV []*paillier.Ciphertext
-		var encTau *paillier.Ciphertext
-		if me {
-			rows := make([][]*big.Int, n)
-			lams := make([][]*paillier.Ciphertext, n)
-			for t := 0; t < n; t++ {
-				row := make([]*big.Int, nPrime)
-				for s := 0; s < nPrime; s++ {
-					row[s] = p.indic[jStar][s][t]
-				}
-				rows[t] = row
-				lams[t] = encLam
-			}
-			encV, err = p.dotRerandVec(rows, lams)
-			if err != nil {
-				return err
-			}
-			taus := make([]*big.Int, nPrime)
-			for s := 0; s < nPrime; s++ {
-				taus[s] = p.cod.Encode(p.cands[jStar][s])
-			}
-			encTau, err = p.dotRerand(taus, encLam)
-			if err != nil {
-				return err
-			}
-			if err := p.broadcastCts(append(append([]*paillier.Ciphertext{}, encV...), encTau)); err != nil {
-				return err
-			}
-		} else {
-			cts, err := p.recvCts(iStar)
-			if err != nil {
-				return err
-			}
-			encV = cts[:n]
-			encTau = cts[n]
-		}
-		node.EncThreshold = encTau
-
-		// Encrypted mask vector update, Eqn (10): convert [α] to integer
-		// shares, exponentiate [v] by each share, recombine at the owner.
-		left.alpha, err = p.encMaskedProduct(nd.alpha, encV, iStar)
-		if err != nil {
-			return err
-		}
-		right.alpha = make([]*paillier.Ciphertext, n)
+	// Owner selects [v] = V ⊗ [λ] and the encrypted threshold, then
+	// broadcasts both ([v] stays encrypted; nothing about s* leaks).
+	var encV []*paillier.Ciphertext
+	var encTau *paillier.Ciphertext
+	if me {
+		rows := make([][]*big.Int, n)
+		lams := make([][]*paillier.Ciphertext, n)
 		for t := 0; t < n; t++ {
-			right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
+			row := make([]*big.Int, nPrime)
+			for s := 0; s < nPrime; s++ {
+				row[s] = p.indic[jStar][s][t]
+			}
+			rows[t] = row
+			lams[t] = encLam
 		}
-		p.Stats.HEOps += int64(n)
-		return nil
+		encV, err = p.dotRerandVec(rows, lams)
+		if err != nil {
+			return node, left, right, err
+		}
+		taus := make([]*big.Int, nPrime)
+		for s := 0; s < nPrime; s++ {
+			taus[s] = p.cod.Encode(p.cands[jStar][s])
+		}
+		encTau, err = p.dotRerand(taus, encLam)
+		if err != nil {
+			return node, left, right, err
+		}
+		if err := p.broadcastCts(append(append([]*paillier.Ciphertext{}, encV...), encTau)); err != nil {
+			return node, left, right, err
+		}
+	} else {
+		cts, err := p.recvCts(iStar)
+		if err != nil {
+			return node, left, right, err
+		}
+		encV = cts[:n]
+		encTau = cts[n]
+	}
+	node.EncThreshold = encTau
+
+	// Encrypted mask vector update, Eqn (10): convert [α] to integer
+	// shares, exponentiate [v] by each share, recombine at the owner.
+	left.alpha, err = p.encMaskedProduct(nd.alpha, encV, iStar)
+	if err != nil {
+		return node, left, right, err
+	}
+	right.alpha = make([]*paillier.Ciphertext, n)
+	for t := 0; t < n; t++ {
+		right.alpha[t] = p.pk.Sub(nd.alpha[t], left.alpha[t])
+	}
+	p.Stats.HEOps += int64(n)
+	return node, left, right, nil
+}
+
+// updateEnhanced wraps splitEnhanced for the per-node recursion.
+func (p *Party) updateEnhanced(model *Model, nd nodeData, iStar, jStar int, sStar mpc.Share, depth int) (int, error) {
+	var node Node
+	var left, right nodeData
+	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		var err error
+		node, left, right, err = p.splitEnhanced(nd, iStar, jStar, sStar)
+		return err
 	})
 	if err != nil {
 		return 0, p.errf("enhanced model update: %v", err)

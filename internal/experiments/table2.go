@@ -117,6 +117,7 @@ func All(p Preset) ([]*Result, error) {
 		{"psi", PSIAlignment},
 		{"phases", PhaseBreakdown},
 		{"paillier", PaillierBench},
+		{"levelwise", LevelwiseBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -137,9 +138,10 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"fig5a": Fig5a, "fig5b": Fig5b,
 	"ablation-argmax": AblationArgmax, "ablation-pp": AblationParallelDecrypt,
 	"ablation-hide": AblationHideLevels, "ablation-criterion": AblationCriterion,
-	"psi":      PSIAlignment,
-	"phases":   PhaseBreakdown,
-	"paillier": PaillierBench,
+	"psi":       PSIAlignment,
+	"phases":    PhaseBreakdown,
+	"paillier":  PaillierBench,
+	"levelwise": LevelwiseBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

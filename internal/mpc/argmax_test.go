@@ -1,0 +1,75 @@
+package mpc
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property test: for random group shapes and values, ArgmaxGrouped must
+// return, per group, exactly what the ungrouped Argmax returns on that
+// group's slice — same maximum, same identifier, same tie-breaking — for
+// both the linear scan and the tournament.  Small sizes keep it
+// -short-friendly; it is the unit contract the level-wise training
+// pipeline relies on.
+func TestArgmaxGroupedMatchesPerGroup(t *testing.T) {
+	runParties(t, 2, DefaultConfig(), func(e *Engine) error {
+		// Per-party RNG with identical seed: every party draws the same
+		// deterministic sequence without sharing state across goroutines.
+		rng := rand.New(rand.NewPCG(11, 13))
+		for trial := 0; trial < 4; trial++ {
+			G := 1 + rng.IntN(4)
+			groups := make([]int, G)
+			var vals []Share
+			var plain []int64
+			var ids [][]int64
+			for g := 0; g < G; g++ {
+				groups[g] = 1 + rng.IntN(5)
+				for t := 0; t < groups[g]; t++ {
+					// Duplicates are likely at this range, exercising ties.
+					v := int64(rng.IntN(7)) - 3
+					plain = append(plain, v)
+					vals = append(vals, e.ConstInt64(v))
+					ids = append(ids, []int64{int64(g), int64(t)})
+				}
+			}
+			for _, tournament := range []bool{false, true} {
+				got := e.ArgmaxGrouped(vals, groups, ids, 16, tournament)
+				if len(got) != G {
+					return fmt.Errorf("trial %d: %d results for %d groups", trial, len(got), G)
+				}
+				off := 0
+				for g := 0; g < G; g++ {
+					want := e.Argmax(vals[off:off+groups[g]], ids[off:off+groups[g]], 16, tournament)
+					wm := e.OpenSigned(want.Max).Int64()
+					gm := e.OpenSigned(got[g].Max).Int64()
+					if wm != gm {
+						return fmt.Errorf("trial %d group %d (tournament=%v): max %d, want %d", trial, g, tournament, gm, wm)
+					}
+					for c := range want.IDs {
+						wi := e.OpenSigned(want.IDs[c]).Int64()
+						gi := e.OpenSigned(got[g].IDs[c]).Int64()
+						if wi != gi {
+							return fmt.Errorf("trial %d group %d col %d (tournament=%v): id %d, want %d",
+								trial, g, c, tournament, gi, wi)
+						}
+					}
+					// Cross-check the winner against the plaintext values.
+					pos := int(e.OpenSigned(got[g].IDs[1]).Int64())
+					best := plain[off]
+					for t := 1; t < groups[g]; t++ {
+						if plain[off+t] > best {
+							best = plain[off+t]
+						}
+					}
+					if plain[off+pos] != best || gm != best {
+						return fmt.Errorf("trial %d group %d: winner %d at %d, plaintext max %d",
+							trial, g, gm, pos, best)
+					}
+					off += groups[g]
+				}
+			}
+		}
+		return nil
+	})
+}

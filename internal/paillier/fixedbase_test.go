@@ -88,10 +88,10 @@ func TestPooledEncryptionEquation(t *testing.T) {
 		big.NewInt(0),
 		big.NewInt(1),
 		big.NewInt(-1),
-		new(big.Int).Set(half),                       // maximum positive plaintext
-		new(big.Int).Neg(half),                       // most negative plaintext
-		new(big.Int).Lsh(big.NewInt(3), 16),          // fixed-point 3.0 at f=16
-		new(big.Int).Neg(new(big.Int).Lsh(one, 16)),  // fixed-point -1.0 at f=16
+		new(big.Int).Set(half),                      // maximum positive plaintext
+		new(big.Int).Neg(half),                      // most negative plaintext
+		new(big.Int).Lsh(big.NewInt(3), 16),         // fixed-point 3.0 at f=16
+		new(big.Int).Neg(new(big.Int).Lsh(one, 16)), // fixed-point -1.0 at f=16
 		new(big.Int).Sub(big.NewInt(0), big.NewInt(123456789)),
 	}
 	var ms []*big.Int

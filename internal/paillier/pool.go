@@ -65,15 +65,21 @@ type obf struct {
 // Pool precomputes encryption obfuscators for one public key.  It is safe
 // for concurrent use by any number of consumers.
 type Pool struct {
-	pk      *PublicKey
-	cfg     PoolConfig
-	tblN    *FixedBaseTable // ρ^e mod N  (the nonce)
-	tblN2   *FixedBaseTable // (ρ^N)^e mod N²  (the obfuscator)
-	ch      chan obf
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	closed  sync.Once
-	expMax  *big.Int
+	pk     *PublicKey
+	cfg    PoolConfig
+	tblN   *FixedBaseTable // ρ^e mod N  (the nonce)
+	tblN2  *FixedBaseTable // (ρ^N)^e mod N²  (the obfuscator)
+	ch     chan obf
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+	expMax *big.Int
+
+	// extra is the overflow buffer filled by Reserve for batches larger
+	// than the channel capacity; it is drained before the channel.
+	extraMu sync.Mutex
+	extra   []obf
+
 	// Hits counts hot-path requests served from the buffer; Misses counts
 	// requests that had to generate inline (still fixed-base, still fast).
 	Hits, Misses atomic.Int64
@@ -133,9 +139,13 @@ func (p *Pool) generate() (obf, error) {
 	return obf{r: p.tblN.Exp(e), rn: p.tblN2.Exp(e)}, nil
 }
 
-// Obfuscator returns a fresh (r, r^N mod N²) pair: buffered if available,
-// generated inline through the fixed-base tables otherwise.
+// Obfuscator returns a fresh (r, r^N mod N²) pair: reserved if available,
+// then buffered, then generated inline through the fixed-base tables.
 func (p *Pool) Obfuscator() (*big.Int, *big.Int, error) {
+	if o, ok := p.takeExtra(); ok {
+		p.Hits.Add(1)
+		return o.r, o.rn, nil
+	}
 	select {
 	case o := <-p.ch:
 		p.Hits.Add(1)
@@ -148,6 +158,67 @@ func (p *Pool) Obfuscator() (*big.Int, *big.Int, error) {
 		return nil, nil, err
 	}
 	return o.r, o.rn, nil
+}
+
+func (p *Pool) takeExtra() (obf, bool) {
+	p.extraMu.Lock()
+	defer p.extraMu.Unlock()
+	if len(p.extra) == 0 {
+		return obf{}, false
+	}
+	o := p.extra[len(p.extra)-1]
+	p.extra = p.extra[:len(p.extra)-1]
+	return o, true
+}
+
+// Reserve pre-generates obfuscator pairs for an imminent batch of `size`
+// consumptions, using up to `workers` goroutines.  The steady-state channel
+// capacity is sized for per-node traffic; a level-wise training batch needs
+// size ≈ nodes·channels·samples pairs at once, so callers announce the
+// batch and the cost is amortized across all cores instead of being paid
+// inline, one miss at a time.  Pairs already buffered count toward the
+// target; surplus pairs are kept for later batches.
+func (p *Pool) Reserve(size, workers int) {
+	p.extraMu.Lock()
+	need := size - len(p.extra) - len(p.ch)
+	p.extraMu.Unlock()
+	if need <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fresh := make([]obf, need)
+	var wg sync.WaitGroup
+	chunk := (need + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > need {
+			hi = need
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				o, err := p.generate()
+				if err != nil {
+					return // crypto/rand failure; consumers fall back inline
+				}
+				fresh[i] = o
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	p.extraMu.Lock()
+	for _, o := range fresh {
+		if o.r != nil {
+			p.extra = append(p.extra, o)
+		}
+	}
+	p.extraMu.Unlock()
 }
 
 // Buffered reports how many obfuscator pairs are currently ready.

@@ -33,6 +33,7 @@ func NewMemoryNetwork(n, bufferedMessages int) []Endpoint {
 			inbox[j] = []chan []byte{make(chan []byte, bufferedMessages)}
 		}
 		eps[i] = &memEndpoint{id: i, n: n, inbox: inbox, done: make(chan struct{})}
+		eps[i].stats.TrackPeers(n)
 	}
 	for i := range eps {
 		eps[i].outbox = eps
@@ -63,8 +64,7 @@ func (e *memEndpoint) Send(to int, b []byte) error {
 	case <-e.done:
 		return ErrClosed
 	}
-	e.stats.MsgsSent.Add(1)
-	e.stats.BytesSent.Add(int64(len(b)))
+	e.stats.CountSent(to, len(b))
 	return nil
 }
 
@@ -74,15 +74,13 @@ func (e *memEndpoint) Recv(from int) ([]byte, error) {
 	}
 	select {
 	case msg := <-e.inbox[from][0]:
-		e.stats.MsgsRecv.Add(1)
-		e.stats.BytesRecv.Add(int64(len(msg)))
+		e.stats.CountRecv(from, len(msg))
 		return msg, nil
 	case <-e.done:
 		// Drain anything already queued before reporting closure.
 		select {
 		case msg := <-e.inbox[from][0]:
-			e.stats.MsgsRecv.Add(1)
-			e.stats.BytesRecv.Add(int64(len(msg)))
+			e.stats.CountRecv(from, len(msg))
 			return msg, nil
 		default:
 		}

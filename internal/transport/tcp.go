@@ -44,6 +44,7 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 		wr:    make([]*bufio.Writer, n),
 		wrMu:  make([]sync.Mutex, n),
 	}
+	e.stats.TrackPeers(n)
 	ln, err := net.Listen("tcp", cfg.Addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[id], err)
@@ -148,8 +149,7 @@ func (e *tcpEndpoint) Send(to int, b []byte) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	e.stats.MsgsSent.Add(1)
-	e.stats.BytesSent.Add(int64(len(b)))
+	e.stats.CountSent(to, len(b))
 	return nil
 }
 
@@ -166,12 +166,16 @@ func (e *tcpEndpoint) Recv(from int) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		// A corrupt or hostile length prefix must error out instead of
+		// triggering an unbounded allocation.
+		return nil, fmt.Errorf("transport: frame of %d bytes from party %d exceeds the %d-byte limit", n, from, MaxFrameSize)
+	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return nil, err
 	}
-	e.stats.MsgsRecv.Add(1)
-	e.stats.BytesRecv.Add(int64(n))
+	e.stats.CountRecv(from, int(n))
 	return msg, nil
 }
 

@@ -36,12 +36,49 @@ type Endpoint interface {
 }
 
 // Stats counts traffic through one endpoint.  All fields are updated
-// atomically and may be read while the protocol is running.
+// atomically and may be read while the protocol is running.  Endpoints
+// that know their mesh size additionally keep a per-peer breakdown (see
+// TrackPeers / Snapshot).
 type Stats struct {
 	MsgsSent  atomic.Int64
 	MsgsRecv  atomic.Int64
 	BytesSent atomic.Int64
 	BytesRecv atomic.Int64
+
+	peers []PeerStats
+}
+
+// PeerStats counts one endpoint's traffic with a single peer.
+type PeerStats struct {
+	MsgsSent  atomic.Int64
+	MsgsRecv  atomic.Int64
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+}
+
+// TrackPeers sizes the per-peer counter table.  Endpoints call it once at
+// construction, before any traffic flows; without it only the totals are
+// kept.
+func (s *Stats) TrackPeers(n int) { s.peers = make([]PeerStats, n) }
+
+// CountSent records one outgoing message of nbytes to peer `to`.
+func (s *Stats) CountSent(to, nbytes int) {
+	s.MsgsSent.Add(1)
+	s.BytesSent.Add(int64(nbytes))
+	if to >= 0 && to < len(s.peers) {
+		s.peers[to].MsgsSent.Add(1)
+		s.peers[to].BytesSent.Add(int64(nbytes))
+	}
+}
+
+// CountRecv records one incoming message of nbytes from peer `from`.
+func (s *Stats) CountRecv(from, nbytes int) {
+	s.MsgsRecv.Add(1)
+	s.BytesRecv.Add(int64(nbytes))
+	if from >= 0 && from < len(s.peers) {
+		s.peers[from].MsgsRecv.Add(1)
+		s.peers[from].BytesRecv.Add(int64(nbytes))
+	}
 }
 
 // Add accumulates other into s.
@@ -55,6 +92,67 @@ func (s *Stats) Add(other *Stats) {
 func (s *Stats) String() string {
 	return fmt.Sprintf("sent %d msgs / %d bytes, recv %d msgs / %d bytes",
 		s.MsgsSent.Load(), s.BytesSent.Load(), s.MsgsRecv.Load(), s.BytesRecv.Load())
+}
+
+// PeerTraffic is a plain-integer copy of one peer's counters.
+type PeerTraffic struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// TrafficSnapshot is a point-in-time, plain-integer copy of an endpoint's
+// traffic counters, suitable for embedding in reports and JSON baselines.
+// Peers is indexed by peer id and nil when the endpoint does not track a
+// per-peer breakdown.
+type TrafficSnapshot struct {
+	MsgsSent  int64         `json:"msgs_sent"`
+	MsgsRecv  int64         `json:"msgs_recv"`
+	BytesSent int64         `json:"bytes_sent"`
+	BytesRecv int64         `json:"bytes_recv"`
+	Peers     []PeerTraffic `json:"peers,omitempty"`
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() TrafficSnapshot {
+	out := TrafficSnapshot{
+		MsgsSent:  s.MsgsSent.Load(),
+		MsgsRecv:  s.MsgsRecv.Load(),
+		BytesSent: s.BytesSent.Load(),
+		BytesRecv: s.BytesRecv.Load(),
+	}
+	if s.peers != nil {
+		out.Peers = make([]PeerTraffic, len(s.peers))
+		for i := range s.peers {
+			out.Peers[i] = PeerTraffic{
+				MsgsSent:  s.peers[i].MsgsSent.Load(),
+				MsgsRecv:  s.peers[i].MsgsRecv.Load(),
+				BytesSent: s.peers[i].BytesSent.Load(),
+				BytesRecv: s.peers[i].BytesRecv.Load(),
+			}
+		}
+	}
+	return out
+}
+
+// Accumulate adds other's counters into t, merging per-peer rows by index.
+func (t *TrafficSnapshot) Accumulate(other TrafficSnapshot) {
+	t.MsgsSent += other.MsgsSent
+	t.MsgsRecv += other.MsgsRecv
+	t.BytesSent += other.BytesSent
+	t.BytesRecv += other.BytesRecv
+	if len(other.Peers) > len(t.Peers) {
+		grown := make([]PeerTraffic, len(other.Peers))
+		copy(grown, t.Peers)
+		t.Peers = grown
+	}
+	for i, p := range other.Peers {
+		t.Peers[i].MsgsSent += p.MsgsSent
+		t.Peers[i].MsgsRecv += p.MsgsRecv
+		t.Peers[i].BytesSent += p.BytesSent
+		t.Peers[i].BytesRecv += p.BytesRecv
+	}
 }
 
 // ErrClosed is returned by operations on a closed endpoint.

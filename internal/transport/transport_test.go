@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/big"
 	"sync"
@@ -227,5 +228,100 @@ func TestTCPMesh(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+func TestWireHostileElementCount(t *testing.T) {
+	// A forged header claiming 2^40 elements in a short payload must be
+	// rejected before the output slice is allocated.
+	var b []byte
+	b = binary.AppendUvarint(b, 1<<40)
+	b = append(b, 0x01, 0x05)
+	if _, _, err := UnmarshalInts(b); err == nil {
+		t.Fatal("expected error on hostile element count")
+	}
+	// A legitimate empty vector still decodes.
+	if xs, _, err := UnmarshalInts(MarshalInts(nil)); err != nil || len(xs) != 0 {
+		t.Fatalf("empty vector: %v, %v", xs, err)
+	}
+}
+
+func TestMemoryPerPeerStats(t *testing.T) {
+	eps := NewMemoryNetwork(3, 8)
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	if err := eps[0].Send(1, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(2, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[1].Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	snap := eps[0].Stats().Snapshot()
+	if snap.MsgsSent != 2 || snap.BytesSent != 6 {
+		t.Fatalf("totals: %+v", snap)
+	}
+	if len(snap.Peers) != 3 {
+		t.Fatalf("want 3 peer rows, got %d", len(snap.Peers))
+	}
+	if snap.Peers[1].MsgsSent != 1 || snap.Peers[1].BytesSent != 4 {
+		t.Fatalf("peer 1 row: %+v", snap.Peers[1])
+	}
+	if snap.Peers[2].MsgsSent != 1 || snap.Peers[2].BytesSent != 2 {
+		t.Fatalf("peer 2 row: %+v", snap.Peers[2])
+	}
+	rsnap := eps[1].Stats().Snapshot()
+	if rsnap.Peers[0].MsgsRecv != 1 || rsnap.Peers[0].BytesRecv != 4 {
+		t.Fatalf("receiver peer row: %+v", rsnap.Peers[0])
+	}
+	var agg TrafficSnapshot
+	agg.Accumulate(snap)
+	agg.Accumulate(rsnap)
+	if agg.MsgsSent != 2 || agg.MsgsRecv != 1 {
+		t.Fatalf("accumulate: %+v", agg)
+	}
+}
+
+func TestTCPHostileFramePrefix(t *testing.T) {
+	cfg := TCPConfig{Addrs: []string{"127.0.0.1:39141", "127.0.0.1:39142"}}
+	epc := make(chan Endpoint, 1)
+	errc := make(chan error, 1)
+	go func() {
+		ep, err := NewTCPEndpoint(cfg, 0)
+		if err != nil {
+			errc <- err
+			return
+		}
+		epc <- ep
+	}()
+	// Pose as party 1: complete the mesh handshake manually, then send a
+	// frame whose length prefix claims far more than MaxFrameSize.
+	conn, err := dialRetry(cfg.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := binary.Write(conn, binary.BigEndian, uint32(1)); err != nil {
+		t.Fatal(err)
+	}
+	var ep Endpoint
+	select {
+	case ep = <-epc:
+	case err := <-errc:
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrameSize+1))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Recv(1); err == nil {
+		t.Fatal("expected error on hostile frame length")
 	}
 }

@@ -12,6 +12,14 @@ import (
 // byte-length followed by big-endian magnitude bytes.  Signed values are
 // mapped into a ring by the caller before marshalling.
 
+// MaxFrameSize bounds a single wire frame (256 MiB), keeping a corrupt or
+// hostile length prefix from driving an unbounded allocation.  Honest
+// senders stay below it: per-node ciphertext vectors span at most all
+// samples (tens of megabytes at the paper's scale), and the level-wise
+// training pipeline splits its frontier-sized batches into frames under
+// this limit (core.Party's chunked ciphertext messaging).
+const MaxFrameSize = 1 << 28
+
 // AppendInts appends the wire encoding of xs to dst and returns it.
 func AppendInts(dst []byte, xs []*big.Int) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(xs)))
@@ -44,6 +52,12 @@ func UnmarshalInts(b []byte) ([]*big.Int, []byte, error) {
 		return nil, nil, fmt.Errorf("transport: bad vector header")
 	}
 	b = b[k:]
+	// Every element takes at least one length byte, so a count beyond the
+	// remaining payload is a corrupt (or hostile) header; reject it before
+	// allocating the output slice.
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("transport: vector header claims %d elements in %d bytes", n, len(b))
+	}
 	out := make([]*big.Int, n)
 	for i := range out {
 		l, k := binary.Uvarint(b)

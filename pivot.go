@@ -50,6 +50,9 @@ type (
 	HideLevel = core.HideLevel
 	// SplitCriterion selects gini or entropy classification gains.
 	SplitCriterion = core.SplitCriterion
+	// TrainMode selects the level-wise batched pipeline or the paper's
+	// per-node recursion.
+	TrainMode = core.TrainMode
 )
 
 // Protocol values.
@@ -70,6 +73,12 @@ const (
 	Gini      = core.Gini
 	Entropy   = core.Entropy
 	GainRatio = core.GainRatio
+)
+
+// Training pipelines.
+const (
+	LevelWise = core.LevelWise
+	PerNode   = core.PerNode
 )
 
 // DefaultConfig returns the paper's protocol parameters at laptop scale.
