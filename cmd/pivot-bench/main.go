@@ -23,7 +23,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier or -exp levelwise: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "with -exp paillier, levelwise or predict: write the machine-readable perf baseline to this file")
+	latency := flag.Duration("latency", 0, "simulated WAN one-way delay per message for -exp predict (0 = experiment default)")
+	jitter := flag.Duration("jitter", 0, "simulated WAN jitter bound per message for -exp predict (0 = experiment default)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +50,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pivot-bench: unknown preset %q\n", *preset)
 		os.Exit(2)
 	}
+	p.NetDelay = *latency
+	p.NetJitter = *jitter
 
 	if *exp == "all" {
 		start := time.Now()
@@ -85,6 +89,19 @@ func main() {
 		fmt.Printf("levelwise baseline -> %s (rounds %d -> %d, %.2fx; trees identical: %v) in %s\n",
 			*jsonOut, st.PerNodeRounds, st.LevelwiseRounds, st.RoundReduction,
 			st.TreesIdentical, experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "predict" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WritePredictBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("predict baseline -> %s (rounds %d -> %d, %.2fx; msgs %.2fx; WAN wall %.2fx; identical: %v) in %s\n",
+			*jsonOut, st.PerSampleRounds, st.BatchRounds, st.RoundReduction,
+			st.MsgReduction, st.WANSpeedup, st.PredictionsIdentical, experiments.Elapsed(start))
 		return
 	}
 

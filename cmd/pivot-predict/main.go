@@ -23,6 +23,7 @@ func main() {
 	m := flag.Int("m", 3, "number of clients (must match training)")
 	limit := flag.Int("limit", 0, "predict only the first N samples (0 = all)")
 	keyBits := flag.Int("keybits", 512, "threshold Paillier key size")
+	batch := flag.Int("batch", 0, "samples per batched prediction round chain (0 = all at once)")
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -53,19 +54,22 @@ func main() {
 
 	cfg := pivot.DefaultConfig()
 	cfg.KeyBits = *keyBits
+	cfg.PredictBatch = *batch
 	fed, err := pivot.NewFederation(ds, *m, cfg)
 	if err != nil {
 		fail(err)
 	}
 	defer fed.Close()
 
+	// Batched pipeline: one MPC round chain per batch of samples, with
+	// leaf paths derived once per model instead of once per sample.
+	preds, err := fed.PredictDataset(model)
+	if err != nil {
+		fail(err)
+	}
 	var correct int
 	var sqErr float64
-	for i := 0; i < ds.N(); i++ {
-		pred, err := fed.Predict(model, i)
-		if err != nil {
-			fail(err)
-		}
+	for i, pred := range preds {
 		if *classes > 0 {
 			if pred == ds.Y[i] {
 				correct++

@@ -199,6 +199,20 @@ type Config struct {
 	// per-node regardless of this setting.
 	TrainMode TrainMode
 
+	// PredictBatch caps how many samples the batched prediction pipeline
+	// amortizes one MPC round chain over (0 = the whole dataset in one
+	// batch).  The per-sample protocol stays in use for malicious mode and
+	// as the equivalence oracle (PredictDatasetPerSample).
+	PredictBatch int
+
+	// NetDelay / NetJitter enable the WAN latency simulation: every
+	// protocol message is delivered NetDelay + U[0, NetJitter) after it was
+	// sent, on an asynchronous FIFO wire (transport.WithLatency), so round
+	// reductions translate into wall-clock speedups without real network
+	// hardware.  Zero disables the wrapper.
+	NetDelay  time.Duration
+	NetJitter time.Duration
+
 	// Ensemble parameters (§7).
 	NumTrees     int     // W
 	LearningRate float64 // GBDT shrinkage

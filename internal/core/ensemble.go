@@ -67,6 +67,7 @@ func bootstrapCounts(n int, frac float64, seed uint64) []int64 {
 // encrypted per-tree predictions via secure maximum (classification) or a
 // homomorphic mean (regression) — §7.1.
 func (p *Party) PredictRF(fm *ForestModel, x []float64) (float64, error) {
+	defer p.gatherStats()
 	encPreds := make([]*paillier.Ciphertext, len(fm.Trees))
 	for w, tree := range fm.Trees {
 		ct, err := p.predictBasicEnc(tree, x)
@@ -382,6 +383,7 @@ func (p *Party) softmaxPerSample(scoreShares []mpc.Share, c, n int) []mpc.Share 
 
 // PredictGBDT predicts one sample (§7.2 model prediction).
 func (p *Party) PredictGBDT(bm *BoostModel, x []float64) (float64, error) {
+	defer p.gatherStats()
 	if bm.Classes == 0 {
 		var acc *paillier.Ciphertext
 		for _, tree := range bm.Forests[0] {

@@ -16,6 +16,7 @@ import (
 // Predict produces the prediction for one sample.  x is this client's local
 // feature values for the sample; all clients call concurrently.
 func (p *Party) Predict(model *Model, x []float64) (float64, error) {
+	defer p.gatherStats()
 	if model.Protocol == Basic {
 		ct, err := p.predictBasicEnc(model, x)
 		if err != nil {

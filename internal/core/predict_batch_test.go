@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// Equivalence tests for the batched prediction pipeline: batching shares
+// rounds, never changes values, so batched predictions must be
+// bit-identical to the per-sample protocol's on the same fixed-seed model.
+
+func assertSamePreds(t *testing.T, name string, batched, perSample []float64) {
+	t.Helper()
+	if len(batched) != len(perSample) {
+		t.Fatalf("%s: batched returned %d predictions, per-sample %d", name, len(batched), len(perSample))
+	}
+	for i := range batched {
+		if batched[i] != perSample[i] {
+			t.Fatalf("%s: sample %d: batched %v != per-sample %v", name, i, batched[i], perSample[i])
+		}
+	}
+}
+
+func TestPredictBatchMatchesPerSampleBasic(t *testing.T) {
+	ds := smallClassification(24)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	s, parts, model := trainSession(t, ds, 2, cfg)
+
+	perSample, err := PredictDatasetPerSample(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := PredictDataset(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePreds(t, "basic", batched, perSample)
+}
+
+func TestPredictBatchMatchesPerSampleEnhanced(t *testing.T) {
+	ds := smallClassification(16)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Tree.MaxDepth = 2
+	s, parts, model := trainSession(t, ds, 2, cfg)
+
+	perSample, err := PredictDatasetPerSample(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := PredictDataset(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePreds(t, "enhanced", batched, perSample)
+}
+
+func TestPredictBatchMatchesPerSampleEnhancedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	ds := dataset.SyntheticRegression(20, 4, 0.2, 17)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Tree.MaxDepth = 2
+	s, parts, model := trainSession(t, ds, 2, cfg)
+
+	perSample, err := PredictDatasetPerSample(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := PredictDataset(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePreds(t, "enhanced-regression", batched, perSample)
+}
+
+func TestPredictBatchMatchesPerSampleHidden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	ds := smallClassification(16)
+	for _, level := range []HideLevel{HideFeature, HideClient} {
+		cfg := testConfig()
+		cfg.Protocol = Enhanced
+		cfg.Hide = level
+		cfg.Tree.MaxDepth = 2
+		s, parts, model := trainSession(t, ds, 3, cfg)
+
+		perSample, err := PredictDatasetPerSample(s, model, parts)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		batched, err := PredictDataset(s, model, parts)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		assertSamePreds(t, level.String(), batched, perSample)
+	}
+}
+
+// TestPredictBatchChunking exercises the Cfg.PredictBatch knob with a
+// window that does not divide the dataset size: chunked batches must stitch
+// to the same predictions as one whole-dataset batch.
+func TestPredictBatchChunking(t *testing.T) {
+	ds := smallClassification(23)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	s, parts, model := trainSession(t, ds, 2, cfg)
+
+	whole, err := PredictDataset(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cfg.PredictBatch = 5
+	chunked, err := PredictDataset(s, model, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePreds(t, "chunked", chunked, whole)
+}
+
+func TestPredictRFBatchMatchesPerSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	for _, tc := range []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"classification", smallClassification(14)},
+		{"regression", dataset.SyntheticRegression(14, 4, 0.2, 23)},
+	} {
+		cfg := testConfig()
+		cfg.NumTrees = 2
+		cfg.Tree.MaxDepth = 2
+		parts, _ := dataset.VerticalPartition(tc.ds, 2, 0)
+		s, err := NewSession(parts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fm *ForestModel
+		err = s.Each(func(p *Party) error {
+			m, err := p.TrainRF()
+			if p.ID == 0 && err == nil {
+				fm = m
+			}
+			return err
+		})
+		if err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		perSample, err := PredictDatasetForestPerSample(s, fm, parts)
+		if err != nil {
+			s.Close()
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		batched, err := PredictDatasetForest(s, fm, parts)
+		if err != nil {
+			s.Close()
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertSamePreds(t, "rf-"+tc.name, batched, perSample)
+		s.Close()
+	}
+}
+
+// TestPredictGBDTBatchMatchesPerSample covers both GBDT flavors — the
+// regression sequence keeps residual labels encrypted between rounds, and
+// the classification forests release encrypted per-class scores — so the
+// batch path's encrypted-label handling is exercised end to end.
+func TestPredictGBDTBatchMatchesPerSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow protocol run")
+	}
+	for _, tc := range []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"regression", dataset.SyntheticRegression(14, 4, 0.1, 33)},
+		{"classification", smallClassification(14)},
+	} {
+		cfg := testConfig()
+		cfg.NumTrees = 2
+		cfg.LearningRate = 0.5
+		cfg.Tree.MaxDepth = 2
+		parts, _ := dataset.VerticalPartition(tc.ds, 2, 0)
+		s, err := NewSession(parts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bm *BoostModel
+		err = s.Each(func(p *Party) error {
+			m, err := p.TrainGBDT()
+			if p.ID == 0 && err == nil {
+				bm = m
+			}
+			return err
+		})
+		if err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		perSample, err := PredictDatasetBoostPerSample(s, bm, parts)
+		if err != nil {
+			s.Close()
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		batched, err := PredictDatasetBoost(s, bm, parts)
+		if err != nil {
+			s.Close()
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		assertSamePreds(t, "gbdt-"+tc.name, batched, perSample)
+		s.Close()
+	}
+}
+
+// TestPredictBatchFewerRounds asserts the point of the pipeline: an
+// enhanced-protocol batch must cost far fewer MPC rounds than the
+// per-sample loop over the same samples.
+func TestPredictBatchFewerRounds(t *testing.T) {
+	ds := smallClassification(16)
+	cfg := testConfig()
+	cfg.Protocol = Enhanced
+	cfg.Tree.MaxDepth = 2
+	s, parts, model := trainSession(t, ds, 2, cfg)
+
+	base := s.Stats().MPC.Rounds
+	if _, err := PredictDatasetPerSample(s, model, parts); err != nil {
+		t.Fatal(err)
+	}
+	perSample := s.Stats().MPC.Rounds - base
+
+	base = s.Stats().MPC.Rounds
+	if _, err := PredictDataset(s, model, parts); err != nil {
+		t.Fatal(err)
+	}
+	batched := s.Stats().MPC.Rounds - base
+
+	if batched <= 0 || perSample <= 0 {
+		t.Fatalf("round counters not moving: per-sample %d, batched %d", perSample, batched)
+	}
+	if perSample < 3*batched {
+		t.Fatalf("batched prediction saved too little: per-sample %d rounds vs batched %d", perSample, batched)
+	}
+}

@@ -40,6 +40,15 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 	s := &Session{M: m, Cfg: cfg}
 	s.eps = transport.NewMemoryNetwork(m+1, 8192)
 
+	// WAN latency simulation: every endpoint's sends ride an asynchronous
+	// FIFO wire with the configured delay and jitter, so the protocols'
+	// synchronous round counts become measurable wall-clock latency.
+	if cfg.NetDelay > 0 || cfg.NetJitter > 0 {
+		for i := range s.eps {
+			s.eps[i] = transport.WithLatency(s.eps[i], cfg.NetDelay, cfg.NetJitter, cfg.Seed+int64(i)+1)
+		}
+	}
+
 	// Offline dealer (its traffic is excluded from measured phases).
 	go func() {
 		_ = mpc.RunDealer(s.eps[m], mpc.DealerConfig{Seed: cfg.Seed, Authenticated: cfg.Malicious})
@@ -50,6 +59,7 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 	// measured phases.
 	pk, _, pkeys, err := paillier.KeyGen(rand.Reader, cfg.KeyBits, m)
 	if err != nil {
+		s.shutdown()
 		return nil, err
 	}
 	s.PK = pk
@@ -62,6 +72,7 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 			Workers:  cfg.PoolWorkers,
 			Capacity: cfg.PoolCapacity,
 		}); err != nil {
+			s.shutdown()
 			return nil, err
 		}
 	}
@@ -235,14 +246,105 @@ func TrainDecisionTree(ds *dataset.Dataset, m int, cfg Config) (*Model, RunStats
 }
 
 // PredictDataset evaluates a trained model on every sample of the vertical
-// test partitions (parts[i].X holds client i's columns).
+// test partitions (parts[i].X holds client i's columns) through the
+// batched prediction pipeline: each slice of Cfg.PredictBatch samples
+// (0 = the whole dataset in one batch) pays a single MPC round chain
+// instead of one per sample.  Malicious mode keeps the audited per-sample
+// protocol (§9.1's proofs are per prediction).
 func PredictDataset(s *Session, model *Model, parts []*dataset.Partition) ([]float64, error) {
+	if s.Cfg.Malicious {
+		return PredictDatasetPerSample(s, model, parts)
+	}
+	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
+		return p.PredictBatch(model, X)
+	})
+}
+
+// PredictDatasetPerSample runs the paper's per-sample prediction protocol
+// for every sample — the driver for malicious mode and the equivalence
+// oracle the batched pipeline is tested against.
+func PredictDatasetPerSample(s *Session, model *Model, parts []*dataset.Partition) ([]float64, error) {
+	return predictPerSample(s, parts, func(p *Party, x []float64) (float64, error) {
+		return p.Predict(model, x)
+	})
+}
+
+// PredictDatasetForest evaluates a trained forest on every sample, batching
+// across both samples and trees (per-sample under malicious mode).
+func PredictDatasetForest(s *Session, fm *ForestModel, parts []*dataset.Partition) ([]float64, error) {
+	if s.Cfg.Malicious {
+		return PredictDatasetForestPerSample(s, fm, parts)
+	}
+	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
+		return p.PredictRFBatch(fm, X)
+	})
+}
+
+// PredictDatasetForestPerSample is the per-sample forest oracle.
+func PredictDatasetForestPerSample(s *Session, fm *ForestModel, parts []*dataset.Partition) ([]float64, error) {
+	return predictPerSample(s, parts, func(p *Party, x []float64) (float64, error) {
+		return p.PredictRF(fm, x)
+	})
+}
+
+// PredictDatasetBoost evaluates a trained GBDT on every sample, batching
+// across samples and all class forests' trees (per-sample under malicious
+// mode).
+func PredictDatasetBoost(s *Session, bm *BoostModel, parts []*dataset.Partition) ([]float64, error) {
+	if s.Cfg.Malicious {
+		return PredictDatasetBoostPerSample(s, bm, parts)
+	}
+	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
+		return p.PredictGBDTBatch(bm, X)
+	})
+}
+
+// PredictDatasetBoostPerSample is the per-sample GBDT oracle.
+func PredictDatasetBoostPerSample(s *Session, bm *BoostModel, parts []*dataset.Partition) ([]float64, error) {
+	return predictPerSample(s, parts, func(p *Party, x []float64) (float64, error) {
+		return p.PredictGBDT(bm, x)
+	})
+}
+
+// predictBatches drives fn over Cfg.PredictBatch-sized sample windows.
+func predictBatches(s *Session, parts []*dataset.Partition, fn func(*Party, [][]float64) ([]float64, error)) ([]float64, error) {
+	n := parts[0].N
+	if n == 0 {
+		return nil, nil
+	}
+	batch := s.Cfg.PredictBatch
+	if batch <= 0 || batch > n {
+		batch = n
+	}
+	out := make([]float64, 0, n)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		preds := make([]float64, hi-lo)
+		err := s.Each(func(p *Party) error {
+			ps, err := fn(p, parts[p.ID].X[lo:hi])
+			if p.ID == 0 && err == nil {
+				copy(preds, ps)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, preds...)
+	}
+	return out, nil
+}
+
+// predictPerSample drives fn one sample at a time (the paper's protocol).
+func predictPerSample(s *Session, parts []*dataset.Partition, fn func(*Party, []float64) (float64, error)) ([]float64, error) {
 	n := parts[0].N
 	out := make([]float64, n)
 	for t := 0; t < n; t++ {
-		t := t
 		err := s.Each(func(p *Party) error {
-			pred, err := p.Predict(model, parts[p.ID].X[t])
+			pred, err := fn(p, parts[p.ID].X[t])
 			if p.ID == 0 && err == nil {
 				out[t] = pred
 			}

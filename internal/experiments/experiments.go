@@ -40,6 +40,12 @@ type Preset struct {
 	Ws        []int
 	Trials    int // accuracy trials (paper: 10)
 	AccuracyN int // samples for Table 3 stand-ins
+
+	// NetDelay / NetJitter parameterize the WAN latency simulation used by
+	// the predict experiment (zero = the experiment's defaults); set from
+	// cmd/pivot-bench's -latency / -jitter flags.
+	NetDelay  time.Duration
+	NetJitter time.Duration
 }
 
 // Quick returns a laptop-scale preset preserving every protocol shape.
@@ -269,7 +275,6 @@ func predictionPoint(ds *dataset.Dataset, m int, cfg core.Config, samples int) (
 	}
 	start := time.Now()
 	for t := 0; t < samples; t++ {
-		t := t
 		if err := s.Each(func(p *core.Party) error {
 			_, err := p.Predict(models[p.ID], parts[p.ID].X[t%parts[p.ID].N])
 			return err

@@ -118,6 +118,7 @@ func All(p Preset) ([]*Result, error) {
 		{"phases", PhaseBreakdown},
 		{"paillier", PaillierBench},
 		{"levelwise", LevelwiseBench},
+		{"predict", PredictBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -142,6 +143,7 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"phases":    PhaseBreakdown,
 	"paillier":  PaillierBench,
 	"levelwise": LevelwiseBench,
+	"predict":   PredictBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

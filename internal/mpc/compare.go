@@ -159,10 +159,23 @@ func (e *Engine) LT(x, y Share, k uint) Share {
 	return e.LTVec([]Share{x}, []Share{y}, k)[0]
 }
 
+// LEVec computes ⟨1{x <= y}⟩ = 1 - 1{y < x} elementwise.  Like LTVec, every
+// masked opening and bit-comparison round is shared across the whole batch,
+// so the round cost of comparing all (node × sample) pairs of a prediction
+// level equals that of a single comparison — the counterpart of
+// ArgmaxGrouped for the batched prediction pipeline.
+func (e *Engine) LEVec(xs, ys []Share, k uint) []Share {
+	gts := e.LTVec(ys, xs, k)
+	out := make([]Share, len(xs))
+	for i := range gts {
+		out[i] = e.Sub(e.ConstInt64(1), gts[i])
+	}
+	return out
+}
+
 // LE computes ⟨1{x <= y}⟩ = 1 - 1{y < x}.
 func (e *Engine) LE(x, y Share, k uint) Share {
-	gt := e.LT(y, x, k)
-	return e.Sub(e.ConstInt64(1), gt)
+	return e.LEVec([]Share{x}, []Share{y}, k)[0]
 }
 
 // EQZVec computes ⟨1{a == 0}⟩ for signed a with |a| < 2^(k-1).

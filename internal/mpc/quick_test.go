@@ -80,6 +80,42 @@ func TestLTTotalOrderProperty(t *testing.T) {
 	})
 }
 
+func TestLEVecMatchesScalarLEProperty(t *testing.T) {
+	runParties(t, 2, DefaultConfig(), func(e *Engine) error {
+		// Per-party RNG with identical seed: every party draws the same
+		// deterministic sequence without sharing state across goroutines.
+		rng := rand.New(rand.NewPCG(13, 14))
+		var xs, ys []Share
+		var as, bs []int64
+		for i := 0; i < 24; i++ {
+			a := int64(rng.Uint64()>>36) - (1 << 27)
+			b := int64(rng.Uint64()>>36) - (1 << 27)
+			if i%5 == 0 {
+				b = a // exercise the boundary: LE must be 1 on equality
+			}
+			as = append(as, a)
+			bs = append(bs, b)
+			xs = append(xs, e.ConstInt64(a))
+			ys = append(ys, e.ConstInt64(b))
+		}
+		le := e.LEVec(xs, ys, 30)
+		for i := range le {
+			want := int64(0)
+			if as[i] <= bs[i] {
+				want = 1
+			}
+			if got := e.OpenSigned(le[i]); got.Int64() != want {
+				return fmt.Errorf("LEVec(%d,%d) = %v", as[i], bs[i], got)
+			}
+			scalar := e.LE(xs[i], ys[i], 30)
+			if got := e.OpenSigned(scalar); got.Int64() != want {
+				return fmt.Errorf("LE(%d,%d) = %v disagrees with LEVec", as[i], bs[i], got)
+			}
+		}
+		return nil
+	})
+}
+
 func TestEQZOnlyZeroProperty(t *testing.T) {
 	runParties(t, 2, DefaultConfig(), func(e *Engine) error {
 		// Per-party RNG with identical seed: every party draws the same

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WAN latency simulation: a wrapper endpoint that holds every outgoing
+// message on a simulated wire for a configurable one-way delay (plus
+// uniform jitter) before delivering it.  Delivery is asynchronous — the
+// sender never blocks on the wire — and strictly FIFO per destination, so
+// back-to-back messages of one protocol round pipeline the way they would
+// on a real link: a round of any width pays ~one latency, and round-count
+// reductions (level-wise training, batched prediction) show up as
+// wall-clock speedups without real network hardware.
+
+// delayedMsg is one in-flight message with its delivery deadline.
+type delayedMsg struct {
+	b   []byte
+	due time.Time
+}
+
+// LatencyEndpoint wraps an Endpoint, delaying every Send by delay plus a
+// uniform random jitter in [0, jitter).  Recv is pass-through: the latency
+// is paid on the wire, not at the receiver.
+type LatencyEndpoint struct {
+	inner  Endpoint
+	delay  time.Duration
+	jitter time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	qs      []chan delayedMsg
+	done    chan struct{}
+	once    sync.Once
+	sendErr atomic.Value // sendFailure from an async delivery, surfaced on later Sends
+}
+
+// sendFailure boxes delivery errors in one concrete type: atomic.Value
+// requires every store to carry the same dynamic type, and different
+// Endpoint implementations fail with different error types.
+type sendFailure struct{ err error }
+
+// WithLatency wraps ep so that every message is delivered delay + U[0,
+// jitter) after it was sent.  The jitter stream is deterministic in seed.
+// Zero delay and jitter still route through the queues (useful for tests);
+// callers normally skip wrapping entirely in that case.
+func WithLatency(ep Endpoint, delay, jitter time.Duration, seed int64) *LatencyEndpoint {
+	l := &LatencyEndpoint{
+		inner:  ep,
+		delay:  delay,
+		jitter: jitter,
+		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15)),
+		qs:     make([]chan delayedMsg, ep.N()),
+		done:   make(chan struct{}),
+	}
+	for to := range l.qs {
+		if to == ep.ID() {
+			continue
+		}
+		q := make(chan delayedMsg, 4096)
+		l.qs[to] = q
+		go l.deliver(to, q)
+	}
+	return l
+}
+
+// deliver is the per-destination wire: it pops messages in send order and
+// forwards each once its deadline passes.  Deadlines are non-decreasing in
+// intent but jitter can invert them; processing strictly in FIFO order
+// means a late predecessor simply absorbs its successor's wait.
+func (l *LatencyEndpoint) deliver(to int, q chan delayedMsg) {
+	for {
+		select {
+		case <-l.done:
+			return
+		case m := <-q:
+			if d := time.Until(m.due); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-l.done:
+					t.Stop()
+					return
+				}
+			}
+			if err := l.inner.Send(to, m.b); err != nil {
+				l.sendErr.CompareAndSwap(nil, sendFailure{err})
+				return
+			}
+		}
+	}
+}
+
+func (l *LatencyEndpoint) sample() time.Duration {
+	d := l.delay
+	if l.jitter > 0 {
+		l.rngMu.Lock()
+		d += time.Duration(l.rng.Int64N(int64(l.jitter)))
+		l.rngMu.Unlock()
+	}
+	return d
+}
+
+// ID returns the wrapped endpoint's party index.
+func (l *LatencyEndpoint) ID() int { return l.inner.ID() }
+
+// N returns the mesh size.
+func (l *LatencyEndpoint) N() int { return l.inner.N() }
+
+// Stats returns the wrapped endpoint's traffic counters.
+func (l *LatencyEndpoint) Stats() *Stats { return l.inner.Stats() }
+
+// Send enqueues b on the simulated wire to party `to` and returns
+// immediately.  A delivery failure on the wire surfaces on the next Send.
+func (l *LatencyEndpoint) Send(to int, b []byte) error {
+	if f, ok := l.sendErr.Load().(sendFailure); ok {
+		return f.err
+	}
+	if to < 0 || to >= len(l.qs) || l.qs[to] == nil {
+		return l.inner.Send(to, b) // delegate the error for bad destinations
+	}
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	// Copy: the caller may reuse b, and the wire retains it until delivery.
+	msg := delayedMsg{b: append([]byte(nil), b...), due: time.Now().Add(l.sample())}
+	select {
+	case l.qs[to] <- msg:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// Recv blocks for the next delivered message from `from`.
+func (l *LatencyEndpoint) Recv(from int) ([]byte, error) {
+	return l.inner.Recv(from)
+}
+
+// Close drops any undelivered messages and closes the wrapped endpoint.
+func (l *LatencyEndpoint) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return l.inner.Close()
+}

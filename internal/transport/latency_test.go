@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	eps := NewMemoryNetwork(2, 16)
+	a := WithLatency(eps[0], 30*time.Millisecond, 0, 1)
+	defer a.Close()
+	defer eps[1].Close()
+
+	start := time.Now()
+	if err := a.Send(1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[1].Recv(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("message arrived after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestLatencyPipelinesABurst(t *testing.T) {
+	// A burst of messages sent back-to-back must all arrive ~one latency
+	// after the burst, not one latency each: that is the property that
+	// makes round reductions visible as wall-clock speedups.
+	eps := NewMemoryNetwork(2, 64)
+	a := WithLatency(eps[0], 40*time.Millisecond, 0, 2)
+	defer a.Close()
+	defer eps[1].Close()
+
+	const burst = 20
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < burst; i++ {
+		b, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order (got %d)", i, b[0])
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 35*time.Millisecond {
+		t.Fatalf("burst arrived after %v, want >= ~40ms", elapsed)
+	}
+	if elapsed > time.Duration(burst)*40*time.Millisecond/2 {
+		t.Fatalf("burst took %v — messages serialized instead of pipelined", elapsed)
+	}
+}
+
+func TestLatencyJitterKeepsFIFO(t *testing.T) {
+	eps := NewMemoryNetwork(2, 64)
+	a := WithLatency(eps[0], time.Millisecond, 5*time.Millisecond, 3)
+	defer a.Close()
+	defer eps[1].Close()
+
+	const msgs = 30
+	for i := 0; i < msgs; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		b, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("m%02d", i); string(b) != want {
+			t.Fatalf("got %q, want %q: jitter reordered the wire", b, want)
+		}
+	}
+}
+
+func TestLatencySendAfterCloseFails(t *testing.T) {
+	eps := NewMemoryNetwork(2, 16)
+	a := WithLatency(eps[0], time.Millisecond, 0, 4)
+	eps[1].Close()
+	a.Close()
+	if err := a.Send(1, []byte("late")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

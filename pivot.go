@@ -266,6 +266,27 @@ func (f *Federation) PredictSample(model *Model, featuresByClient [][]float64) (
 	return out, err
 }
 
+// PredictDataset evaluates the model on every sample of the federation's
+// partitions through the batched prediction pipeline: one MPC round chain
+// per Config.PredictBatch samples (0 = the whole dataset in one batch)
+// instead of one per sample.  Malicious mode falls back to the audited
+// per-sample protocol.
+func (f *Federation) PredictDataset(model *Model) ([]float64, error) {
+	return core.PredictDataset(f.session, model, f.parts)
+}
+
+// PredictForestDataset evaluates a Pivot-RF on every sample, batching
+// across samples and trees.
+func (f *Federation) PredictForestDataset(fm *ForestModel) ([]float64, error) {
+	return core.PredictDatasetForest(f.session, fm, f.parts)
+}
+
+// PredictBoostDataset evaluates a Pivot-GBDT on every sample, batching
+// across samples and all class forests' trees.
+func (f *Federation) PredictBoostDataset(bm *BoostModel) ([]float64, error) {
+	return core.PredictDatasetBoost(f.session, bm, f.parts)
+}
+
 // PredictForest votes the Pivot-RF prediction for training sample i.
 func (f *Federation) PredictForest(fm *ForestModel, i int) (float64, error) {
 	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
