@@ -122,6 +122,12 @@ func BenchmarkPhaseBreakdown(b *testing.B) { runExperiment(b, experiments.PhaseB
 // BENCH_paillier.json` persists the same numbers as the perf baseline.
 func BenchmarkPaillierAcceleration(b *testing.B) { runExperiment(b, experiments.PaillierBench) }
 
+// BenchmarkServe replays the serving layer's concurrent request stream
+// against per-request and micro-batched configurations under simulated
+// WAN latency; `pivot-bench -exp serve -json BENCH_serve.json` persists
+// the same numbers as the perf baseline.
+func BenchmarkServe(b *testing.B) { runExperiment(b, experiments.ServeBench) }
+
 // benchTrainDT measures one end-to-end TrainDecisionTree run per iteration.
 func benchTrainDT(b *testing.B, workers, poolCapacity int) {
 	b.Helper()

@@ -23,7 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier, levelwise or predict: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict or serve: write the machine-readable perf baseline to this file")
 	latency := flag.Duration("latency", 0, "simulated WAN one-way delay per message for -exp predict (0 = experiment default)")
 	jitter := flag.Duration("jitter", 0, "simulated WAN jitter bound per message for -exp predict (0 = experiment default)")
 	flag.Parse()
@@ -102,6 +102,18 @@ func main() {
 		fmt.Printf("predict baseline -> %s (rounds %d -> %d, %.2fx; msgs %.2fx; WAN wall %.2fx; identical: %v) in %s\n",
 			*jsonOut, st.PerSampleRounds, st.BatchRounds, st.RoundReduction,
 			st.MsgReduction, st.WANSpeedup, st.PredictionsIdentical, experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "serve" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WriteServeBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serve baseline -> %s (micro-batch speedup %.2fx at %gms WAN; identical: %v) in %s\n",
+			*jsonOut, st.MicroBatchSpeedup, st.NetDelayMs, st.ResultsIdentical, experiments.Elapsed(start))
 		return
 	}
 

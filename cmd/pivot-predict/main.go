@@ -5,42 +5,41 @@
 // Usage:
 //
 //	pivot-predict -model model.json -data test.csv -classes 2 -m 3
+//
+// With -remote it instead submits the samples to a running pivot-serve
+// daemon over the wire protocol — one connection per -conns, one sample
+// per request, so concurrent requests exercise the daemon's micro-batch
+// coalescing:
+//
+//	pivot-predict -remote 127.0.0.1:9100 -name dt -data test.csv -classes 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	pivot "repro"
 	"repro/internal/core"
 )
 
 func main() {
-	modelPath := flag.String("model", "model.json", "model JSON from pivot-train")
+	modelPath := flag.String("model", "model.json", "model JSON from pivot-train (local mode)")
 	dataPath := flag.String("data", "", "CSV with samples to predict")
 	classes := flag.Int("classes", 0, "number of classes (0 = regression)")
 	m := flag.Int("m", 3, "number of clients (must match training)")
 	limit := flag.Int("limit", 0, "predict only the first N samples (0 = all)")
 	keyBits := flag.Int("keybits", 512, "threshold Paillier key size")
 	batch := flag.Int("batch", 0, "samples per batched prediction round chain (0 = all at once)")
+	remote := flag.String("remote", "", "pivot-serve address; predict over the wire instead of locally")
+	name := flag.String("name", "dt", "registry model name (with -remote)")
+	conns := flag.Int("conns", 8, "concurrent daemon connections (with -remote)")
+	shutdown := flag.Bool("shutdown", false, "ask the daemon to drain and exit afterwards (with -remote)")
 	flag.Parse()
 
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "pivot-predict: -data is required")
-		os.Exit(2)
-	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		fail(err)
-	}
-	model, err := core.LoadModel(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
-	if model.Protocol == core.Enhanced {
-		fmt.Fprintln(os.Stderr, "pivot-predict: enhanced models are bound to their training session's keys; predict inside pivot-train or the library API")
 		os.Exit(2)
 	}
 	ds, err := pivot.LoadCSVFile(*dataPath, *classes)
@@ -52,21 +51,16 @@ func main() {
 		ds.Y = ds.Y[:*limit]
 	}
 
-	cfg := pivot.DefaultConfig()
-	cfg.KeyBits = *keyBits
-	cfg.PredictBatch = *batch
-	fed, err := pivot.NewFederation(ds, *m, cfg)
+	var preds []float64
+	if *remote != "" {
+		preds, err = predictRemote(*remote, *name, *conns, *shutdown, ds.X)
+	} else {
+		preds, err = predictLocal(*modelPath, ds, *m, *keyBits, *batch)
+	}
 	if err != nil {
 		fail(err)
 	}
-	defer fed.Close()
 
-	// Batched pipeline: one MPC round chain per batch of samples, with
-	// leaf paths derived once per model instead of once per sample.
-	preds, err := fed.PredictDataset(model)
-	if err != nil {
-		fail(err)
-	}
 	var correct int
 	var sqErr float64
 	for i, pred := range preds {
@@ -84,6 +78,103 @@ func main() {
 	} else {
 		fmt.Printf("mse: %.6f over %d samples\n", sqErr/float64(ds.N()), ds.N())
 	}
+}
+
+// predictLocal brings up an in-process federation and evaluates the model
+// through the unified batched pipeline (one MPC round chain per -batch
+// samples).
+func predictLocal(modelPath string, ds *pivot.Dataset, m, keyBits, batch int) ([]float64, error) {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if model.Protocol == core.Enhanced {
+		return nil, fmt.Errorf("enhanced models are bound to their training session's keys; predict inside pivot-train or the library API")
+	}
+	cfg := pivot.DefaultConfig()
+	cfg.KeyBits = keyBits
+	cfg.PredictBatch = batch
+	fed, err := pivot.NewFederation(ds, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fed.Close()
+	return fed.PredictAll(model)
+}
+
+// predictRemote fans the samples out over conns connections, one sample
+// per request, so the daemon's micro-batching coalesces them into shared
+// round chains; it prints the daemon's serving stats afterwards.
+func predictRemote(addr, name string, conns int, shutdown bool, rows [][]float64) ([]float64, error) {
+	n := len(rows)
+	if conns < 1 {
+		conns = 1
+	}
+	if conns > n {
+		conns = n
+	}
+	preds := make([]float64, n)
+	errs := make([]error, conns)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := pivot.Dial(addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cli.Close()
+			for i := range next {
+				ps, err := cli.Predict(name, [][]float64{rows[i]})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				preds[i] = ps[0]
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cli, err := pivot.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	st, err := cli.Stats()
+	if err != nil {
+		return nil, err
+	}
+	if st.Serve != nil {
+		fmt.Printf("server stats: requests=%d batches=%d coalesced=%d max_batch=%d rejected=%d expired=%d\n",
+			st.Serve.Requests, st.Serve.Batches, st.Serve.Coalesced, st.Serve.MaxBatch,
+			st.Serve.Rejected, st.Serve.Expired)
+	}
+	if shutdown {
+		if err := cli.Shutdown(); err != nil {
+			return nil, err
+		}
+		fmt.Println("daemon draining")
+	}
+	return preds, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,163 @@
+// pivot-serve is the long-lived prediction daemon: it brings up a
+// federation, trains (or loads) models into a named registry, and then
+// keeps answering prediction queries over a small length-prefixed TCP
+// protocol — the paper's end-state of a deployed federation.  Concurrent
+// single-sample requests are coalesced into shared batched MPC round
+// chains (micro-batching), so serving throughput scales with the batch
+// pipeline instead of paying one round chain per request.
+//
+// Usage:
+//
+//	pivot-serve -data train.csv -classes 2 -m 3 -train dt,rf -addr 127.0.0.1:9100
+//	pivot-serve -synth 64 -classes 2 -train dt     # synthetic data, smoke tests
+//
+// Talk to it with pivot.Dial (see cmd/pivot-predict -remote), which can
+// submit samples, list models, fetch stats and request a graceful drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	pivot "repro"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
+	dataPath := flag.String("data", "", "training CSV (empty = synthetic, see -synth)")
+	synthN := flag.Int("synth", 64, "synthetic samples when -data is empty")
+	synthD := flag.Int("synthd", 6, "synthetic features when -data is empty")
+	classes := flag.Int("classes", 2, "number of classes (0 = regression)")
+	m := flag.Int("m", 3, "number of clients")
+	train := flag.String("train", "dt", "comma-separated model kinds to train and register: dt,rf,gbdt")
+	models := flag.String("model", "", "comma-separated name=path pairs of model JSONs (pivot-train output) to register")
+	protocol := flag.String("protocol", "basic", "basic | enhanced")
+	keyBits := flag.Int("keybits", 512, "threshold Paillier key size")
+	seed := flag.Int64("seed", 7, "protocol seed")
+	depth := flag.Int("depth", 4, "max tree depth")
+	splits := flag.Int("splits", 8, "max splits per feature")
+	trees := flag.Int("trees", 4, "ensemble size for rf/gbdt")
+	window := flag.Duration("window", 2*time.Millisecond, "micro-batch coalescing window")
+	maxBatch := flag.Int("maxbatch", 256, "max samples per coalesced round chain")
+	maxQueue := flag.Int("queue", 1024, "admission bound on queued samples")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	flag.Parse()
+
+	var ds *pivot.Dataset
+	var err error
+	if *dataPath != "" {
+		ds, err = pivot.LoadCSVFile(*dataPath, *classes)
+	} else {
+		ds = pivot.SyntheticClassification(*synthN, *synthD, *classes, 2.0, uint64(*seed))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := pivot.DefaultConfig()
+	cfg.KeyBits = *keyBits
+	cfg.Seed = *seed
+	cfg.Tree.MaxDepth = *depth
+	cfg.Tree.MaxSplits = *splits
+	cfg.NumTrees = *trees
+	if *protocol == "enhanced" {
+		cfg.Protocol = pivot.Enhanced
+	}
+
+	fed, err := pivot.NewFederation(ds, *m, cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer fed.Close()
+
+	svc, err := serve.New(fed.Session(), fed.Parts(), serve.Config{
+		Window:          *window,
+		MaxBatch:        *maxBatch,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Registry: freshly trained models under their kind name, plus any
+	// model JSONs (basic protocol — enhanced models are bound to their
+	// training session's keys and must be trained here).
+	for _, kind := range strings.Split(*train, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" {
+			continue
+		}
+		start := time.Now()
+		mdl, err := fed.Train(pivot.TrainSpec{Model: pivot.ModelKind(kind)})
+		if err != nil {
+			fail(fmt.Errorf("training %s: %w", kind, err))
+		}
+		entry, err := svc.Register(kind, mdl)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained and registered %s v%d in %s\n", entry.Name, entry.Version, time.Since(start).Round(time.Millisecond))
+	}
+	for _, pair := range strings.Split(*models, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(pair, "=")
+		if !ok {
+			fail(fmt.Errorf("-model wants name=path, got %q", pair))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		mdl, err := core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if mdl.Protocol == core.Enhanced {
+			fail(fmt.Errorf("model %q: enhanced models are bound to their training session's keys; train them in-daemon with -train", name))
+		}
+		entry, err := svc.Register(name, mdl)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded and registered %s v%d from %s\n", entry.Name, entry.Version, path)
+	}
+
+	srv, err := serve.NewServer(svc, *addr)
+	if err != nil {
+		fail(err)
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("signal received, draining")
+		srv.Shutdown()
+	}()
+
+	fmt.Printf("pivot-serve listening on %s (m=%d, window=%s, maxbatch=%d)\n", srv.Addr(), *m, *window, *maxBatch)
+	if err := srv.Serve(); err != nil {
+		fail(err)
+	}
+	st := svc.Stats()
+	if st.Serve != nil {
+		fmt.Printf("served %d samples in %d batches (max batch %d, rejected %d, expired %d)\n",
+			st.Serve.Coalesced, st.Serve.Batches, st.Serve.MaxBatch, st.Serve.Rejected, st.Serve.Expired)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pivot-serve:", err)
+	os.Exit(1)
+}

@@ -28,28 +28,31 @@ func main() {
 	}
 	defer fed.Close()
 
-	rf, err := fed.TrainRandomForest()
+	// Both ensembles train through the same unified call; the returned
+	// Predictors evaluate through the same PredictAt/PredictAll.
+	rfMdl, err := fed.Train(pivot.TrainSpec{Model: pivot.KindRF})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gb, err := fed.TrainGBDT()
+	gbMdl, err := fed.Train(pivot.TrainSpec{Model: pivot.KindGBDT})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rf, gb := rfMdl.(*pivot.ForestModel), gbMdl.(*pivot.BoostModel)
 	fmt.Printf("random forest: %d trees | gbdt: %d one-vs-rest forests x %d rounds\n",
 		len(rf.Trees), len(gb.Forests), len(gb.Forests[0]))
 
 	const nEval = 10
 	rfHits, gbHits := 0, 0
 	for i := 0; i < nEval; i++ {
-		v, err := fed.PredictForest(rf, i)
+		v, err := fed.PredictAt(rfMdl, i)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if v == full.Y[i] {
 			rfHits++
 		}
-		v, err = fed.PredictBoost(gb, i)
+		v, err = fed.PredictAt(gbMdl, i)
 		if err != nil {
 			log.Fatal(err)
 		}

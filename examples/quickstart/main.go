@@ -24,23 +24,27 @@ func main() {
 	}
 	defer fed.Close()
 
-	model, err := fed.TrainDecisionTree()
+	// The unified API: Train takes a TrainSpec picking the model family
+	// and returns a Predictor (here concretely a *pivot.Model).
+	mdl, err := fed.Train(pivot.TrainSpec{Model: pivot.KindDT})
 	if err != nil {
 		log.Fatal(err)
 	}
+	model := mdl.(*pivot.Model)
 	fmt.Printf("trained a tree with %d internal nodes and %d leaves\n",
 		model.InternalNodes(), model.Leaves)
 
 	// Privacy-preserving prediction: the clients jointly evaluate without
-	// any of them seeing the others' feature values.
+	// any of them seeing the others' feature values — PredictAll batches
+	// the whole dataset into one MPC round chain.
+	preds, err := fed.PredictAll(mdl)
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
 	const nEval = 20
 	for i := 0; i < nEval; i++ {
-		pred, err := fed.Predict(model, i)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if pred == ds.Y[i] {
+		if preds[i] == ds.Y[i] {
 			correct++
 		}
 	}

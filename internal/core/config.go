@@ -342,4 +342,62 @@ type RunStats struct {
 	// and TCP transports.  BytesSent/MessagesSent above are kept as the
 	// legacy aggregate view of the same counters.
 	Traffic transport.TrafficSnapshot
+
+	// Serve carries the serving-layer counters when the session is owned
+	// by an internal/serve Service (nil otherwise).
+	Serve *ServeStats `json:",omitempty"`
+}
+
+// ServeHistBuckets are the upper bounds (inclusive) of the serving
+// histograms' buckets; each histogram carries one extra overflow bucket.
+// Batch-size and rounds-per-batch histograms use the values as counts,
+// the latency histogram as milliseconds.
+var ServeHistBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// ServeHist is a fixed-bucket histogram over ServeHistBuckets (the last
+// bucket counts observations above the largest bound).
+type ServeHist struct {
+	Counts [11]int64 // len(ServeHistBuckets) buckets + overflow
+}
+
+// Observe counts v into its bucket.
+func (h *ServeHist) Observe(v int64) {
+	for i, ub := range ServeHistBuckets {
+		if v <= ub {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(ServeHistBuckets)]++
+}
+
+// Total returns the number of observations.
+func (h *ServeHist) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// ServeStats are the prediction-serving counters (queue, admission,
+// micro-batching) a Service surfaces through RunStats.Serve.
+type ServeStats struct {
+	// Admission and queue counters.
+	Requests   int64 // samples accepted into the queue
+	Rejected   int64 // samples refused by admission control (queue full / draining)
+	Expired    int64 // samples dropped because their deadline passed in the queue
+	QueueDepth int   // samples queued right now (gauge)
+
+	// Micro-batching counters: one "batch" is one coalesced MPC round
+	// chain; Coalesced sums the samples those chains served.
+	Batches   int64
+	Coalesced int64
+	MaxBatch  int
+
+	// Histograms: coalesced batch sizes (samples), MPC rounds per batch,
+	// and request latency in milliseconds (queue wait + round chain).
+	BatchSizes ServeHist
+	Rounds     ServeHist
+	LatencyMs  ServeHist
 }

@@ -48,8 +48,10 @@ type Party struct {
 	// Malicious-model state (nil when cfg.Malicious is false).
 	audit *auditor
 
-	// shared caches the converted enhanced model for prediction.
-	shared *SharedModel
+	// shared caches the converted enhanced models for prediction, keyed
+	// by model identity: a serving registry holds many live Predictors and
+	// each must pay its Algorithm-2 conversion only once per session.
+	shared map[*Model]*SharedModel
 
 	// captureLeaves makes training record each leaf's encrypted mask
 	// vector; the GBDT extension uses them to form encrypted estimations.

@@ -164,8 +164,8 @@ type SharedModel struct {
 
 // sharedModel converts (and caches) the encrypted model parts into shares.
 func (p *Party) sharedModel(model *Model) (*SharedModel, error) {
-	if p.shared != nil && p.shared.model == model {
-		return p.shared, nil
+	if sm, ok := p.shared[model]; ok {
+		return sm, nil
 	}
 	var cts []*paillier.Ciphertext
 	var internals []int
@@ -191,7 +191,10 @@ func (p *Party) sharedModel(model *Model) (*SharedModel, error) {
 		sm.thr[i] = shares[k]
 	}
 	sm.labels = shares[len(internals):]
-	p.shared = sm
+	if p.shared == nil {
+		p.shared = make(map[*Model]*SharedModel)
+	}
+	p.shared[model] = sm
 	return sm, nil
 }
 

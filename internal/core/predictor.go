@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// The unified model-facing API.  Every trained Pivot model family —
+// single tree, random forest, GBDT — satisfies Predictor, and every
+// training flow is described by a Trainer; Train / PredictOne /
+// PredictAll drive them over a live Session without the caller ever
+// naming the concrete model type.  The serving layer (internal/serve)
+// stores Predictors in its registry and pivot.Federation's typed
+// methods are thin wrappers over these drivers.
+
+// ModelKind tags the model families the unified API dispatches on.
+type ModelKind string
+
+const (
+	// KindDT is a single Pivot decision tree (Algorithm 3).
+	KindDT ModelKind = "dt"
+	// KindRF is a Pivot-RF random forest (§7.1).
+	KindRF ModelKind = "rf"
+	// KindGBDT is a Pivot-GBDT boosted ensemble (§7.2).
+	KindGBDT ModelKind = "gbdt"
+)
+
+// Predictor is a trained model the federation can evaluate through the
+// privacy-preserving prediction protocols.  *Model, *ForestModel and
+// *BoostModel satisfy it; the protocol entry points stay unexported so
+// every evaluation goes through the Session drivers below, which keep
+// the SPMD discipline (all clients run the same call sequence).
+type Predictor interface {
+	// Kind reports the model family.
+	Kind() ModelKind
+	// NumClasses returns the number of classes (0 for regression).
+	NumClasses() int
+
+	// predictOne runs the per-sample protocol SPMD at party p
+	// (x is p's local columns of the sample).
+	predictOne(p *Party, x []float64) (float64, error)
+	// predictBatch runs the batched pipeline SPMD at party p
+	// (X[t] is p's local columns of sample t).
+	predictBatch(p *Party, X [][]float64) ([]float64, error)
+}
+
+// Trainer produces a trained Predictor over a live Session.  TrainSpec is
+// the standard implementation; the interface exists so richer flows
+// (hyper-parameter sweeps, warm starts) can plug into Session Train and
+// the serving layer unchanged.
+type Trainer interface {
+	// Kind reports the model family the trainer produces.
+	Kind() ModelKind
+
+	// train runs the training protocol SPMD at party p.
+	train(p *Party) (Predictor, error)
+}
+
+// TrainSpec selects a model family to train; every protocol knob
+// (hyper-parameters, ensemble size, protocol, hide level, …) comes from
+// the session's Config, exactly as with the typed Train* methods.
+type TrainSpec struct {
+	// Model picks the family; empty defaults to KindDT.
+	Model ModelKind
+}
+
+// Kind implements Trainer.
+func (t TrainSpec) Kind() ModelKind {
+	if t.Model == "" {
+		return KindDT
+	}
+	return t.Model
+}
+
+func (t TrainSpec) train(p *Party) (Predictor, error) {
+	switch t.Kind() {
+	case KindDT:
+		m, err := p.TrainDT()
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindRF:
+		m, err := p.TrainRF()
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindGBDT:
+		m, err := p.TrainGBDT()
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %q", t.Model)
+	}
+}
+
+// --- Predictor implementations -------------------------------------------
+
+// Kind implements Predictor.
+func (m *Model) Kind() ModelKind { return KindDT }
+
+// NumClasses implements Predictor (0 for regression).
+func (m *Model) NumClasses() int { return m.Classes }
+
+func (m *Model) predictOne(p *Party, x []float64) (float64, error) {
+	return p.Predict(m, x)
+}
+
+func (m *Model) predictBatch(p *Party, X [][]float64) ([]float64, error) {
+	return p.PredictBatch(m, X)
+}
+
+// Kind implements Predictor.
+func (fm *ForestModel) Kind() ModelKind { return KindRF }
+
+// NumClasses implements Predictor (0 for regression).
+func (fm *ForestModel) NumClasses() int { return fm.Classes }
+
+func (fm *ForestModel) predictOne(p *Party, x []float64) (float64, error) {
+	return p.PredictRF(fm, x)
+}
+
+func (fm *ForestModel) predictBatch(p *Party, X [][]float64) ([]float64, error) {
+	return p.PredictRFBatch(fm, X)
+}
+
+// Kind implements Predictor.
+func (bm *BoostModel) Kind() ModelKind { return KindGBDT }
+
+// NumClasses implements Predictor (0 for regression).
+func (bm *BoostModel) NumClasses() int { return bm.Classes }
+
+func (bm *BoostModel) predictOne(p *Party, x []float64) (float64, error) {
+	return p.PredictGBDT(bm, x)
+}
+
+func (bm *BoostModel) predictBatch(p *Party, X [][]float64) ([]float64, error) {
+	return p.PredictGBDTBatch(bm, X)
+}
+
+// --- Session drivers ------------------------------------------------------
+
+// Train runs t's training protocol across the session's clients and
+// returns the super client's view of the trained model.
+func Train(s *Session, t Trainer) (Predictor, error) {
+	out := make([]Predictor, s.M)
+	err := s.Each(func(p *Party) error {
+		mdl, err := t.train(p)
+		if err == nil {
+			out[p.ID] = mdl
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// PredictOne evaluates one out-of-training sample through the per-sample
+// protocol; featuresByClient[c] holds client c's columns of the sample.
+func PredictOne(s *Session, mdl Predictor, featuresByClient [][]float64) (float64, error) {
+	if len(featuresByClient) != s.M {
+		return 0, fmt.Errorf("core: sample has %d client slices, session has %d clients", len(featuresByClient), s.M)
+	}
+	var out float64
+	err := s.Each(func(p *Party) error {
+		v, err := mdl.predictOne(p, featuresByClient[p.ID])
+		if p.ID == 0 && err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}
+
+// PredictAll evaluates mdl on every sample of the vertical partitions
+// through the batched pipeline: one MPC round chain per Cfg.PredictBatch
+// samples (0 = the whole dataset in one batch).  Malicious mode keeps the
+// audited per-sample protocol (§9.1's proofs are per prediction).
+func PredictAll(s *Session, mdl Predictor, parts []*dataset.Partition) ([]float64, error) {
+	if s.Cfg.Malicious {
+		return predictPerSample(s, parts, mdl.predictOne)
+	}
+	return predictBatches(s, parts, mdl.predictBatch)
+}
+
+// PredictSamples evaluates a batch of out-of-training samples in one
+// batched round chain (the serving layer's entry point): X[c][t] is client
+// c's columns of sample t.  Malicious mode runs the per-sample protocol.
+// The second return value is the number of MPC rounds the batch consumed,
+// measured at the super client inside the phase itself, so concurrent
+// session users' phases are never miscounted into it.
+func PredictSamples(s *Session, mdl Predictor, X [][][]float64) ([]float64, int64, error) {
+	if len(X) != s.M {
+		return nil, 0, fmt.Errorf("core: batch has %d client slices, session has %d clients", len(X), s.M)
+	}
+	n := len(X[0])
+	for c := range X {
+		if len(X[c]) != n {
+			return nil, 0, fmt.Errorf("core: client %d holds %d samples, client 0 holds %d", c, len(X[c]), n)
+		}
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	var rounds int64
+	countRounds := func(p *Party, fn func() error) error {
+		if p.ID != 0 {
+			return fn()
+		}
+		r0 := p.Stats.MPC.Rounds
+		err := fn()
+		rounds += p.Stats.MPC.Rounds - r0
+		return err
+	}
+	if s.Cfg.Malicious {
+		out := make([]float64, n)
+		for t := 0; t < n; t++ {
+			by := sampleAt(X, t)
+			err := s.Each(func(p *Party) error {
+				return countRounds(p, func() error {
+					v, err := mdl.predictOne(p, by[p.ID])
+					if p.ID == 0 && err == nil {
+						out[t] = v
+					}
+					return err
+				})
+			})
+			if err != nil {
+				return nil, rounds, err
+			}
+		}
+		return out, rounds, nil
+	}
+	preds := make([]float64, n)
+	err := s.Each(func(p *Party) error {
+		return countRounds(p, func() error {
+			ps, err := mdl.predictBatch(p, X[p.ID])
+			if p.ID == 0 && err == nil {
+				copy(preds, ps)
+			}
+			return err
+		})
+	})
+	if err != nil {
+		return nil, rounds, err
+	}
+	return preds, rounds, nil
+}
+
+// EvictShared drops every party's cached secret-shared conversion of
+// mdl's trees.  The serving layer calls it when a registry entry is
+// replaced, so a long-lived session doesn't accumulate dead models'
+// share vectors; a request already in flight with the old model simply
+// re-converts (and re-caches) on its next use.
+func (s *Session) EvictShared(mdl Predictor) {
+	var trees []*Model
+	switch m := mdl.(type) {
+	case *Model:
+		trees = []*Model{m}
+	case *ForestModel:
+		trees = m.Trees
+	case *BoostModel:
+		for _, f := range m.Forests {
+			trees = append(trees, f...)
+		}
+	}
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
+	for _, p := range s.parties {
+		if p == nil {
+			continue
+		}
+		for _, t := range trees {
+			delete(p.shared, t)
+		}
+	}
+}
+
+func sampleAt(X [][][]float64, t int) [][]float64 {
+	by := make([][]float64, len(X))
+	for c := range X {
+		by[c] = X[c][t]
+	}
+	return by
+}

@@ -25,9 +25,21 @@ type Session struct {
 	eps     []transport.Endpoint
 	cmds    []chan func(*Party)
 	wg      sync.WaitGroup
-	closed  bool
 	abort   sync.Once
+
+	// phaseMu serializes protocol phases: Each holds it for the whole
+	// phase, so concurrent callers (e.g. the serving layer's queue
+	// workers) interleave at phase granularity instead of corrupting the
+	// SPMD message schedule.  Close takes it too, so shutdown waits for
+	// the in-flight phase and no phase can start on a closed session.
+	phaseMu   sync.Mutex
+	closed    bool
+	closeOnce sync.Once
 }
+
+// ErrSessionClosed is returned by Each (and everything built on it) once
+// Close has begun.
+var ErrSessionClosed = fmt.Errorf("core: session closed")
 
 // NewSession builds the federation over vertical partitions (one per
 // client; partition i must have Client == i, labels only at client 0).
@@ -121,7 +133,16 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 // network is torn down so the other clients — possibly blocked on a Recv
 // from the failed one — fail fast instead of hanging.  A session that has
 // aborted this way cannot run further phases.
+//
+// Each is safe for concurrent use: phases from concurrent callers are
+// serialized (whole-phase granularity), and Each on a closed session
+// returns ErrSessionClosed instead of panicking.
 func (s *Session) Each(fn func(*Party) error) error {
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
 	errs := make([]error, s.M)
 	var wg sync.WaitGroup
 	for i := 0; i < s.M; i++ {
@@ -162,8 +183,13 @@ func (s *Session) abortNetwork() {
 // Party returns client i's context (for inspecting stats).
 func (s *Session) Party(i int) *Party { return s.parties[i] }
 
-// Stats aggregates all clients' run statistics.
+// Stats aggregates all clients' run statistics.  It serializes against
+// protocol phases (a phase's parties bump their counters lock-free), so
+// a caller racing an in-flight phase blocks until the phase completes
+// rather than reading torn counters.
 func (s *Session) Stats() RunStats {
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
 	var total RunStats
 	for _, p := range s.parties {
 		if p == nil {
@@ -191,17 +217,22 @@ func (s *Session) Stats() RunStats {
 	return total
 }
 
-// Close stops the client goroutines, the dealer and the network.
+// Close stops the client goroutines, the dealer and the network.  It is
+// idempotent and safe under concurrent callers (a daemon's shutdown path
+// double-closes): the first caller tears the session down after any
+// in-flight phase finishes, every other caller blocks until that teardown
+// has completed and then returns.
 func (s *Session) Close() {
-	if s.closed {
-		return
-	}
-	s.closed = true
-	for i := range s.cmds {
-		close(s.cmds[i])
-	}
-	s.wg.Wait()
-	s.shutdown()
+	s.closeOnce.Do(func() {
+		s.phaseMu.Lock()
+		s.closed = true
+		for i := range s.cmds {
+			close(s.cmds[i])
+		}
+		s.phaseMu.Unlock()
+		s.wg.Wait()
+		s.shutdown()
+	})
 }
 
 func (s *Session) shutdown() {
@@ -252,12 +283,7 @@ func TrainDecisionTree(ds *dataset.Dataset, m int, cfg Config) (*Model, RunStats
 // instead of one per sample.  Malicious mode keeps the audited per-sample
 // protocol (§9.1's proofs are per prediction).
 func PredictDataset(s *Session, model *Model, parts []*dataset.Partition) ([]float64, error) {
-	if s.Cfg.Malicious {
-		return PredictDatasetPerSample(s, model, parts)
-	}
-	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
-		return p.PredictBatch(model, X)
-	})
+	return PredictAll(s, model, parts)
 }
 
 // PredictDatasetPerSample runs the paper's per-sample prediction protocol
@@ -272,12 +298,7 @@ func PredictDatasetPerSample(s *Session, model *Model, parts []*dataset.Partitio
 // PredictDatasetForest evaluates a trained forest on every sample, batching
 // across both samples and trees (per-sample under malicious mode).
 func PredictDatasetForest(s *Session, fm *ForestModel, parts []*dataset.Partition) ([]float64, error) {
-	if s.Cfg.Malicious {
-		return PredictDatasetForestPerSample(s, fm, parts)
-	}
-	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
-		return p.PredictRFBatch(fm, X)
-	})
+	return PredictAll(s, fm, parts)
 }
 
 // PredictDatasetForestPerSample is the per-sample forest oracle.
@@ -291,12 +312,7 @@ func PredictDatasetForestPerSample(s *Session, fm *ForestModel, parts []*dataset
 // across samples and all class forests' trees (per-sample under malicious
 // mode).
 func PredictDatasetBoost(s *Session, bm *BoostModel, parts []*dataset.Partition) ([]float64, error) {
-	if s.Cfg.Malicious {
-		return PredictDatasetBoostPerSample(s, bm, parts)
-	}
-	return predictBatches(s, parts, func(p *Party, X [][]float64) ([]float64, error) {
-		return p.PredictGBDTBatch(bm, X)
-	})
+	return PredictAll(s, bm, parts)
 }
 
 // PredictDatasetBoostPerSample is the per-sample GBDT oracle.

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestSessionCloseIdempotent exercises the daemon shutdown path: Close
+// must be safe under concurrent callers and repeated calls, phases must
+// serialize with concurrent Each users, and a closed session must refuse
+// further phases instead of panicking.
+func TestSessionCloseIdempotent(t *testing.T) {
+	ds := dataset.SyntheticClassification(8, 4, 2, 3.0, 3)
+	parts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.KeyBits = 256
+	s, err := NewSession(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent Each callers must interleave at phase granularity.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Each(func(p *Party) error {
+				p.Stats.TreesTrained += 0
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+
+	// A stampede of concurrent closers: every call must return only after
+	// the teardown has completed, and none may panic or double-close.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close() // and once more for good measure
+
+	if err := s.Each(func(p *Party) error { return nil }); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Each on closed session returned %v, want ErrSessionClosed", err)
+	}
+}

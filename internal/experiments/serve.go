@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+// ServeBenchStats is the machine-readable baseline for the prediction
+// serving layer (written to BENCH_serve.json by cmd/pivot-bench -exp
+// serve -json): wall time and throughput for a fixed stream of concurrent
+// single-sample requests against a Service, per-request round chains vs
+// micro-batched coalescing at several windows, under 2 ms simulated WAN
+// latency per message.  Future PRs diff against this file.
+type ServeBenchStats struct {
+	KeyBits     int     `json:"key_bits"`
+	M           int     `json:"m"`
+	Requests    int     `json:"requests"`
+	Clients     int     `json:"clients"`
+	NetDelayMs  float64 `json:"net_delay_ms"`
+	NetJitterMs float64 `json:"net_jitter_ms"`
+	Seed        int     `json:"seed"`
+
+	Points []ServePoint `json:"points"`
+
+	// MicroBatchSpeedup is per-request wall time divided by the best
+	// micro-batched point's wall time.
+	MicroBatchSpeedup float64 `json:"micro_batch_speedup"`
+	// ResultsIdentical asserts every point's served predictions matched
+	// the offline batched pipeline bit-for-bit.
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// ServePoint is one serving configuration's measurement.
+type ServePoint struct {
+	// Label is "per-request" (MaxBatch=1) or "window-<ms>ms".
+	Label      string  `json:"label"`
+	WindowMs   float64 `json:"window_ms"`
+	MaxBatch   int     `json:"max_batch"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"throughput_rps"`
+	Batches    int64   `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	MaxSeen    int     `json:"max_batch_seen"`
+}
+
+// ServeBenchRaw brings one federation up under simulated WAN latency,
+// trains a tree, and replays the same concurrent request stream through
+// serving Services with different micro-batch windows.
+func ServeBenchRaw(p Preset) (*ServeBenchStats, error) {
+	delay, jitter := p.NetDelay, p.NetJitter
+	if delay == 0 {
+		delay = 2 * time.Millisecond
+	}
+
+	requests, clients := 32, 8
+	ds := dataset.SyntheticClassification(requests, p.DBar*p.M, p.Classes, 2.0, 99)
+	parts, err := dataset.VerticalPartition(ds, p.M, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cfgFor(p, core.Basic, 0)
+	cfg.Tree.MaxDepth = 3
+	cfg.NetDelay = delay
+	cfg.NetJitter = jitter
+	sess, err := core.NewSession(parts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	mdl, err := core.Train(sess, core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := core.PredictAll(sess, mdl, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flat global-column rows, as the wire would carry them.
+	width := 0
+	for _, pt := range parts {
+		for _, f := range pt.Features {
+			if f+1 > width {
+				width = f + 1
+			}
+		}
+	}
+	rows := make([][]float64, requests)
+	for t := range rows {
+		row := make([]float64, width)
+		for _, pt := range parts {
+			for j, f := range pt.Features {
+				row[f] = pt.X[t][j]
+			}
+		}
+		rows[t] = row
+	}
+
+	st := &ServeBenchStats{
+		KeyBits: p.KeyBits, M: p.M, Requests: requests, Clients: clients,
+		NetDelayMs:  float64(delay) / float64(time.Millisecond),
+		NetJitterMs: float64(jitter) / float64(time.Millisecond),
+		Seed:        99, ResultsIdentical: true,
+	}
+
+	type point struct {
+		label    string
+		window   time.Duration
+		maxBatch int
+	}
+	points := []point{
+		{"per-request", 0, 1},
+		{"window-0ms", 0, 256},
+		{"window-2ms", 2 * time.Millisecond, 256},
+		{"window-5ms", 5 * time.Millisecond, 256},
+	}
+	for _, pt := range points {
+		svc, err := serve.New(sess, parts, serve.Config{Window: pt.window, MaxBatch: pt.maxBatch, MaxQueue: 4096})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := svc.Register("dt", mdl); err != nil {
+			return nil, err
+		}
+
+		// The request stream: `clients` concurrent submitters draining a
+		// shared work list of single-sample requests — the daemon's
+		// steady-state shape.
+		preds := make([]float64, requests)
+		errs := make([]error, clients)
+		work := make(chan int, requests)
+		for i := 0; i < requests; i++ {
+			work <- i
+		}
+		close(work)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range work {
+					v, err := svc.Predict("dt", rows[i])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					preds[i] = v
+				}
+			}(w)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		svc.Drain() // flush, keep the shared session alive for the next point
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("experiments: serve point %s: %w", pt.label, err)
+			}
+		}
+		for i := range preds {
+			if preds[i] != oracle[i] {
+				st.ResultsIdentical = false
+			}
+		}
+
+		sv := svc.Stats().Serve
+		avg := 0.0
+		if sv.Batches > 0 {
+			avg = float64(sv.Coalesced) / float64(sv.Batches)
+		}
+		st.Points = append(st.Points, ServePoint{
+			Label:      pt.label,
+			WindowMs:   float64(pt.window) / float64(time.Millisecond),
+			MaxBatch:   pt.maxBatch,
+			Seconds:    secs,
+			Throughput: float64(requests) / secs,
+			Batches:    sv.Batches,
+			AvgBatch:   avg,
+			MaxSeen:    sv.MaxBatch,
+		})
+	}
+
+	best := st.Points[0].Seconds
+	for _, pt := range st.Points[1:] {
+		if pt.Seconds < best {
+			best = pt.Seconds
+		}
+	}
+	if best > 0 {
+		st.MicroBatchSpeedup = st.Points[0].Seconds / best
+	}
+	return st, nil
+}
+
+// ServeBench adapts the raw bench to the experiment Result table.
+func ServeBench(p Preset) (*Result, error) {
+	st, err := ServeBenchRaw(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "serve", Title: "prediction serving: per-request vs micro-batched round chains (2ms WAN)",
+		XLabel: "point index (see labels)", Unit: "seconds / rps / batch size"}
+	for i, pt := range st.Points {
+		res.Rows = append(res.Rows, Row{X: float64(i), Series: map[string]float64{
+			"seconds":   pt.Seconds,
+			"rps":       pt.Throughput,
+			"avg-batch": pt.AvgBatch,
+		}})
+	}
+	return res, nil
+}
+
+// WriteServeBenchJSON runs the bench and writes the JSON baseline.
+func WriteServeBenchJSON(path string, p Preset) (*ServeBenchStats, error) {
+	st, err := ServeBenchRaw(p)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return nil, fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return st, nil
+}

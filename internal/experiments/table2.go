@@ -119,6 +119,7 @@ func All(p Preset) ([]*Result, error) {
 		{"paillier", PaillierBench},
 		{"levelwise", LevelwiseBench},
 		{"predict", PredictBench},
+		{"serve", ServeBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -144,6 +145,7 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"paillier":  PaillierBench,
 	"levelwise": LevelwiseBench,
 	"predict":   PredictBench,
+	"serve":     ServeBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Client is a connection to a pivot-serve daemon.  A Client serializes
+// its own requests (one in flight per connection); open several clients
+// for concurrent load — their requests coalesce in the daemon's
+// micro-batch queue.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a pivot-serve daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request frame and decodes the OK response into out.
+func (c *Client) roundTrip(op byte, req, out any) error {
+	if err := writeFrame(c.conn, op, req); err != nil {
+		return err
+	}
+	rop, body, err := readFrame(c.r)
+	if err != nil {
+		return err
+	}
+	if rop == opErr {
+		var msg string
+		if json.Unmarshal(body, &msg) == nil && msg != "" {
+			return fmt.Errorf("%s", msg)
+		}
+		return fmt.Errorf("serve: remote error")
+	}
+	if rop != opOK {
+		return fmt.Errorf("serve: unexpected response opcode %q", rop)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Predict evaluates samples (flat feature rows in global column order)
+// against the named registry model and returns the predictions.
+func (c *Client) Predict(model string, samples [][]float64) ([]float64, error) {
+	preds, _, err := c.PredictVersioned(model, samples, 0)
+	return preds, err
+}
+
+// PredictVersioned is Predict with a per-request deadline (0 = none) and
+// the serving model version echoed back.
+func (c *Client) PredictVersioned(model string, samples [][]float64, deadline time.Duration) ([]float64, int, error) {
+	req := predictReq{Model: model, Samples: samples}
+	if deadline > 0 {
+		req.DeadlineMs = deadline.Milliseconds()
+	}
+	var resp predictResp
+	if err := c.roundTrip(opPredict, req, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Predictions, resp.Version, nil
+}
+
+// Models lists the daemon's registry.
+func (c *Client) Models() ([]Info, error) {
+	var out []Info
+	if err := c.roundTrip(opModels, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the daemon's protocol + serving statistics.
+func (c *Client) Stats() (core.RunStats, error) {
+	var out core.RunStats
+	err := c.roundTrip(opStats, struct{}{}, &out)
+	return out, err
+}
+
+// Shutdown asks the daemon to drain and exit; the daemon finishes queued
+// work before its Serve loop returns.
+func (c *Client) Shutdown() error {
+	return c.roundTrip(opDrain, struct{}{}, nil)
+}

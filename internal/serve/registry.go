@@ -1,0 +1,92 @@
+// Package serve is the prediction-serving layer: a long-lived Service
+// that owns a live core.Session plus a registry of named, versioned
+// Predictors, coalesces concurrent single-sample requests into shared
+// batched MPC round chains (micro-batching), applies admission control,
+// and exposes the whole thing over a small length-prefixed TCP wire
+// protocol (Server / Dial) for the pivot-serve daemon.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Entry is one registry slot: a named, versioned Predictor.  Entries are
+// immutable once registered; re-registering a name creates a new Entry
+// with a bumped Version, and in-flight requests keep serving the Entry
+// they were admitted under.
+type Entry struct {
+	Name    string
+	Version int
+	Model   core.Predictor
+}
+
+// Info is the wire-friendly view of an Entry.
+type Info struct {
+	Name    string         `json:"name"`
+	Version int            `json:"version"`
+	Kind    core.ModelKind `json:"kind"`
+	Classes int            `json:"classes"`
+}
+
+// Info returns the entry's wire-friendly view.
+func (e *Entry) Info() Info {
+	return Info{Name: e.Name, Version: e.Version, Kind: e.Model.Kind(), Classes: e.Model.NumClasses()}
+}
+
+// Registry maps model names to their current Entry.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Register installs mdl under name and returns its Entry; registering an
+// existing name replaces the served model and bumps the version.
+func (r *Registry) Register(name string, mdl core.Predictor) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must not be empty")
+	}
+	if mdl == nil {
+		return nil, fmt.Errorf("serve: model %q is nil", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := 1
+	if old, ok := r.entries[name]; ok {
+		v = old.Version + 1
+	}
+	e := &Entry{Name: name, Version: v, Model: mdl}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Lookup returns the current entry for name.
+func (r *Registry) Lookup(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no model registered as %q", name)
+	}
+	return e, nil
+}
+
+// List returns every entry's info, sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func fixtureConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.KeyBits = 256
+	cfg.Tree = core.TreeHyper{MaxDepth: 2, MaxSplits: 3, MinSamplesSplit: 2, LeafOnZeroGain: true}
+	cfg.NumTrees = 2
+	cfg.Seed = 11
+	return cfg
+}
+
+// flatRows reconstructs the global-column-order rows the wire carries
+// from the vertical partitions.
+func flatRows(parts []*dataset.Partition, width int) [][]float64 {
+	rows := make([][]float64, parts[0].N)
+	for t := range rows {
+		row := make([]float64, width)
+		for _, p := range parts {
+			for j, f := range p.Features {
+				row[f] = p.X[t][j]
+			}
+		}
+		rows[t] = row
+	}
+	return rows
+}
+
+// TestService drives the whole serving stack on one fixed-seed session:
+// registry, micro-batch equivalence against the offline batched pipeline
+// for all three model families, coalescing stats, deadlines, admission
+// control, and the wire protocol end-to-end.
+func TestService(t *testing.T) {
+	ds := dataset.SyntheticClassification(16, 6, 2, 3.0, 9)
+	parts, err := dataset.VerticalPartition(ds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(parts, fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	svc, err := New(sess, parts, Config{Window: 25 * time.Millisecond, MaxBatch: 64, MaxQueue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := []core.ModelKind{core.KindDT, core.KindRF, core.KindGBDT}
+	oracles := map[core.ModelKind][]float64{}
+	for _, kind := range kinds {
+		mdl, err := core.Train(sess, core.TrainSpec{Model: kind})
+		if err != nil {
+			t.Fatalf("train %s: %v", kind, err)
+		}
+		entry, err := svc.Register(string(kind), mdl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entry.Version != 1 || entry.Info().Kind != kind {
+			t.Fatalf("entry %+v", entry.Info())
+		}
+		// The offline batched pipeline (one chain for the whole dataset)
+		// is the equivalence oracle for the micro-batched serving path.
+		oracle, err := core.PredictAll(sess, mdl, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[kind] = oracle
+	}
+	rows := flatRows(parts, svc.Width())
+
+	t.Run("registry", func(t *testing.T) {
+		if _, err := svc.Lookup("nope"); err == nil {
+			t.Fatal("expected lookup error")
+		}
+		e2, err := svc.Register("dt", svc.mustModel(t, "dt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2.Version != 2 {
+			t.Fatalf("re-registering must bump version, got %d", e2.Version)
+		}
+		if got := len(svc.List()); got != 3 {
+			t.Fatalf("registry lists %d entries", got)
+		}
+	})
+
+	// Micro-batch equivalence: N concurrent single-sample requests must
+	// return bit-identical results to the offline batched pipeline, for
+	// every registered family.
+	for _, kind := range kinds {
+		kind := kind
+		t.Run("equivalence-"+string(kind), func(t *testing.T) {
+			got := make([]float64, len(rows))
+			errs := make([]error, len(rows))
+			var wg sync.WaitGroup
+			for i := range rows {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got[i], errs[i] = svc.Predict(string(kind), rows[i])
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("sample %d: %v", i, err)
+				}
+			}
+			for i := range got {
+				if got[i] != oracles[kind][i] {
+					t.Fatalf("%s sample %d: served %v, oracle %v", kind, i, got[i], oracles[kind][i])
+				}
+			}
+		})
+	}
+
+	t.Run("coalescing-stats", func(t *testing.T) {
+		st := svc.Stats()
+		if st.Serve == nil {
+			t.Fatal("RunStats.Serve not populated")
+		}
+		if st.Serve.MaxBatch < 2 {
+			t.Fatalf("concurrent requests never coalesced: max batch %d", st.Serve.MaxBatch)
+		}
+		if st.Serve.Coalesced != int64(3*len(rows)) || st.Serve.Requests != st.Serve.Coalesced {
+			t.Fatalf("coalesced %d requests %d, want %d", st.Serve.Coalesced, st.Serve.Requests, 3*len(rows))
+		}
+		if st.Serve.Batches >= st.Serve.Coalesced {
+			t.Fatalf("micro-batching served every sample its own chain (%d batches for %d samples)", st.Serve.Batches, st.Serve.Coalesced)
+		}
+		if st.Serve.BatchSizes.Total() != st.Serve.Batches || st.Serve.Rounds.Total() != st.Serve.Batches {
+			t.Fatal("batch-size/rounds histograms out of sync with batch counter")
+		}
+		if st.Serve.LatencyMs.Total() != st.Serve.Coalesced {
+			t.Fatal("latency histogram out of sync with served samples")
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		_, err := svc.PredictDeadline("dt", rows[0], time.Now().Add(-time.Millisecond))
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("expired request returned %v", err)
+		}
+		if svc.Stats().Serve.Expired == 0 {
+			t.Fatal("expired counter not bumped")
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		if _, err := svc.Predict("dt", rows[0][:2]); err == nil {
+			t.Fatal("expected width validation error")
+		}
+		if _, err := svc.Predict("nope", rows[0]); err == nil {
+			t.Fatal("expected unknown-model error")
+		}
+	})
+
+	// Admission control on a second service over the same session (phases
+	// interleave safely at whole-phase granularity): a long window piles
+	// the queue up, MaxQueue bounds it.
+	t.Run("admission", func(t *testing.T) {
+		svcB, err := New(sess, parts, Config{Window: 400 * time.Millisecond, MaxBatch: 64, MaxQueue: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svcB.Register("dt", svc.mustModel(t, "dt")); err != nil {
+			t.Fatal(err)
+		}
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = svcB.Predict("dt", rows[i])
+			}(i)
+		}
+		wg.Wait()
+		rejected := 0
+		for _, err := range errs {
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				rejected++
+			case err != nil:
+				t.Fatal(err)
+			}
+		}
+		if rejected != 1 {
+			t.Fatalf("MaxQueue=2 with 3 concurrent samples rejected %d", rejected)
+		}
+		svcB.Drain()
+		if _, err := svcB.Predict("dt", rows[0]); !errors.Is(err, ErrDraining) {
+			t.Fatalf("post-drain submit returned %v", err)
+		}
+		if svcB.Stats().Serve.Rejected < 2 { // 1 overload + ≥1 draining
+			t.Fatalf("rejected counter %d", svcB.Stats().Serve.Rejected)
+		}
+	})
+
+	// Wire protocol end-to-end over loopback, then graceful drain: the
+	// server must flush queued work, close the service, and Serve must
+	// return nil.
+	t.Run("wire", func(t *testing.T) {
+		srv, err := NewServer(svc, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve() }()
+
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+
+		models, err := cli.Models()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(models) != 3 {
+			t.Fatalf("daemon lists %d models", len(models))
+		}
+		preds, version, err := cli.PredictVersioned("dt", rows, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if version != 2 {
+			t.Fatalf("served version %d", version)
+		}
+		for i := range preds {
+			if preds[i] != oracles[core.KindDT][i] {
+				t.Fatalf("wire sample %d: %v != %v", i, preds[i], oracles[core.KindDT][i])
+			}
+		}
+		if _, err := cli.Predict("nope", rows[:1]); err == nil {
+			t.Fatal("expected remote error for unknown model")
+		}
+		st, err := cli.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Serve == nil || st.Serve.Coalesced == 0 || st.MPC.Rounds == 0 {
+			t.Fatalf("remote stats missing counters: %+v", st.Serve)
+		}
+		if err := cli.Shutdown(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+		if _, err := svc.Predict("dt", rows[0]); !errors.Is(err, ErrDraining) {
+			t.Fatalf("post-shutdown submit returned %v", err)
+		}
+		svc.Close() // idempotent with the server's close
+	})
+}
+
+// mustModel fetches a registered Predictor for re-registration tests.
+func (s *Service) mustModel(t *testing.T, name string) core.Predictor {
+	t.Helper()
+	e, err := s.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Model
+}

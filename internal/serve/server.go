@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server exposes a Service over the wire protocol.  Each connection gets
+// its own goroutine; predict requests from all connections coalesce in
+// the Service queue, which is the whole point of serving them from one
+// long-lived daemon.
+type Server struct {
+	svc *Service
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	connWG   sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:9100").
+func NewServer(svc *Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the bound listen address.
+func (srv *Server) Addr() string { return srv.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown; it returns nil on a graceful
+// shutdown.  The Service is drained and closed before Serve returns, so
+// a daemon can simply `defer os.Exit` semantics on it.
+func (srv *Server) Serve() error {
+	failures := 0
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			stopped := srv.shutdown
+			srv.mu.Unlock()
+			// An Accept failure while the listener is open (fd
+			// exhaustion, aborted handshake) must not tear down a
+			// session whose keys cannot be rebuilt — keep accepting
+			// with a capped backoff until Shutdown closes the listener.
+			if !stopped && !errors.Is(err, net.ErrClosed) {
+				if failures++; failures < 10 {
+					time.Sleep(time.Duration(failures) * 100 * time.Millisecond)
+				} else {
+					time.Sleep(time.Second)
+				}
+				continue
+			}
+			srv.drain()
+			return nil
+		}
+		failures = 0
+		srv.mu.Lock()
+		if srv.shutdown {
+			srv.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		srv.conns[conn] = struct{}{}
+		srv.mu.Unlock()
+		srv.connWG.Add(1)
+		go srv.handle(conn)
+	}
+}
+
+// Shutdown begins a graceful stop: no new connections, existing requests
+// drain.  It returns immediately; Serve returns once the drain is done.
+func (srv *Server) Shutdown() {
+	srv.stopOnce.Do(func() {
+		srv.mu.Lock()
+		srv.shutdown = true
+		srv.mu.Unlock()
+		srv.ln.Close()
+	})
+}
+
+// drain finishes a stop: queued samples flush first (so handlers blocked
+// on PredictMany can still write their responses), then connections that
+// linger idle past a grace period are force-closed to unblock their
+// readFrame loops, and finally the Service is torn down.
+func (srv *Server) drain() {
+	srv.svc.Drain()
+	done := make(chan struct{})
+	go func() { srv.connWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		srv.mu.Lock()
+		for conn := range srv.conns {
+			conn.Close()
+		}
+		srv.mu.Unlock()
+		<-done
+	}
+	srv.svc.Close()
+}
+
+func (srv *Server) handle(conn net.Conn) {
+	defer srv.connWG.Done()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, conn)
+		srv.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		op, body, err := readFrame(conn)
+		if err != nil {
+			return // disconnect or malformed framing
+		}
+		if !srv.serveOp(conn, op, body) {
+			return
+		}
+	}
+}
+
+// serveOp answers one request frame; it reports whether the connection
+// should keep being served.
+func (srv *Server) serveOp(conn net.Conn, op byte, body []byte) bool {
+	switch op {
+	case opPredict:
+		var req predictReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return writeFrame(conn, opErr, err.Error()) == nil
+		}
+		entry, err := srv.svc.Lookup(req.Model)
+		if err != nil {
+			return writeFrame(conn, opErr, err.Error()) == nil
+		}
+		var deadline time.Time
+		if req.DeadlineMs > 0 {
+			deadline = time.Now().Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+		}
+		preds, err := srv.svc.PredictManyEntry(entry, req.Samples, deadline)
+		if err != nil {
+			return writeFrame(conn, opErr, err.Error()) == nil
+		}
+		if preds == nil {
+			preds = []float64{}
+		}
+		return writeFrame(conn, opOK, predictResp{Predictions: preds, Version: entry.Version}) == nil
+
+	case opModels:
+		return writeFrame(conn, opOK, srv.svc.List()) == nil
+
+	case opStats:
+		return writeFrame(conn, opOK, srv.svc.Stats()) == nil
+
+	case opDrain:
+		if err := writeFrame(conn, opOK, "draining"); err != nil {
+			return false
+		}
+		go srv.Shutdown()
+		return false
+
+	default:
+		return writeFrame(conn, opErr, "serve: unknown opcode") == nil
+	}
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Config tunes the serving queue.
+type Config struct {
+	// Window is the micro-batch coalescing window, measured from the
+	// moment the dispatcher finds the queue non-empty: requests arriving
+	// within it ride the same MPC round chain.  0 (the zero value)
+	// flushes as soon as the dispatcher sees work — coalescing then
+	// still happens for whatever queued while the previous chain was in
+	// flight.  cmd/pivot-serve defaults its -window flag to 2ms.
+	Window time.Duration
+	// MaxBatch caps the samples coalesced into one round chain
+	// (default 256).
+	MaxBatch int
+	// MaxQueue is the admission bound: samples queued beyond it are
+	// rejected with ErrOverloaded (default 1024).
+	MaxQueue int
+	// DefaultDeadline applies to requests that carry none (0 = no
+	// deadline).
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	return c
+}
+
+// Serving errors.
+var (
+	// ErrOverloaded is returned when admission control refuses a sample.
+	ErrOverloaded = fmt.Errorf("serve: queue full")
+	// ErrDraining is returned for samples submitted after Drain/Close.
+	ErrDraining = fmt.Errorf("serve: service draining")
+	// ErrDeadline is returned when a sample's deadline passes before its
+	// round chain ran.
+	ErrDeadline = fmt.Errorf("serve: deadline exceeded")
+)
+
+type result struct {
+	pred float64
+	err  error
+}
+
+// request is one queued sample.
+type request struct {
+	entry    *Entry
+	row      []float64 // flat feature row, global column order
+	enq      time.Time
+	deadline time.Time // zero = none
+	res      chan result
+}
+
+// Service is the long-lived serving engine: it owns a live session and a
+// model registry, and a single dispatcher goroutine that drains the
+// request queue into coalesced batched round chains.  One goroutine is
+// the whole concurrency story the MPC layer needs: protocol phases from
+// the micro-batches are serialized by construction (and core.Session.Each
+// additionally serializes against any other session user).
+type Service struct {
+	*Registry
+
+	sess  *core.Session
+	feats [][]int // per-client global feature indices
+	width int     // total feature count
+	cfg   Config
+
+	mu       sync.Mutex
+	queue    []*request
+	stats    core.ServeStats
+	draining bool
+
+	wake chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+}
+
+// New builds a Service over a live session; parts are the session's
+// vertical partitions (the per-client feature layout tells the service
+// how to slice flat sample rows).  The Service takes ownership of the
+// session: Close tears it down.
+func New(sess *core.Session, parts []*dataset.Partition, cfg Config) (*Service, error) {
+	if len(parts) != sess.M {
+		return nil, fmt.Errorf("serve: %d partitions for %d clients", len(parts), sess.M)
+	}
+	s := &Service{
+		Registry: NewRegistry(),
+		sess:     sess,
+		cfg:      cfg.withDefaults(),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	s.feats = make([][]int, len(parts))
+	for c, p := range parts {
+		s.feats[c] = p.Features
+		for _, f := range p.Features {
+			if f+1 > s.width {
+				s.width = f + 1
+			}
+		}
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Session exposes the underlying session (stats, advanced use).
+func (s *Service) Session() *core.Session { return s.sess }
+
+// Register installs mdl under name (see Registry.Register) and evicts
+// the replaced model's cached secret-shared conversion from the session,
+// so periodic retraining in a long-lived daemon doesn't grow the
+// per-party SharedModel cache without bound.
+func (s *Service) Register(name string, mdl core.Predictor) (*Entry, error) {
+	old, _ := s.Registry.Lookup(name)
+	e, err := s.Registry.Register(name, mdl)
+	if err == nil && old != nil && old.Model != mdl {
+		s.sess.EvictShared(old.Model)
+	}
+	return e, err
+}
+
+// Width returns the flat feature-row width requests must carry.
+func (s *Service) Width() int { return s.width }
+
+// Predict serves one sample (row in global column order) from the named
+// model, waiting for its micro-batch to flush.  Safe for concurrent use;
+// concurrent callers coalesce into shared round chains.
+func (s *Service) Predict(model string, row []float64) (float64, error) {
+	return s.PredictDeadline(model, row, time.Time{})
+}
+
+// PredictDeadline is Predict with an explicit deadline (zero = none):
+// the sample is dropped with ErrDeadline if its chain hasn't started by
+// then.
+func (s *Service) PredictDeadline(model string, row []float64, deadline time.Time) (float64, error) {
+	reqs, err := s.submit(model, [][]float64{row}, deadline)
+	if err != nil {
+		return 0, err
+	}
+	r := <-reqs[0].res
+	return r.pred, r.err
+}
+
+// PredictMany serves a multi-sample request: the samples are enqueued
+// individually (so they coalesce with every other caller's) and gathered.
+func (s *Service) PredictMany(model string, rows [][]float64, deadline time.Time) ([]float64, error) {
+	entry, err := s.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return s.PredictManyEntry(entry, rows, deadline)
+}
+
+// PredictManyEntry is PredictMany pinned to a resolved registry entry:
+// the caller is guaranteed that exactly entry.Model serves the samples,
+// even if the name is re-registered concurrently.
+func (s *Service) PredictManyEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	reqs, err := s.submitEntry(entry, rows, deadline)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(reqs))
+	for i, rq := range reqs {
+		r := <-rq.res
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.pred
+	}
+	return out, nil
+}
+
+// submit admits rows into the queue (all or nothing).
+func (s *Service) submit(model string, rows [][]float64, deadline time.Time) ([]*request, error) {
+	entry, err := s.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitEntry(entry, rows, deadline)
+}
+
+// submitEntry admits rows for a resolved registry entry, applying the
+// configured DefaultDeadline to requests that carry none.
+func (s *Service) submitEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]*request, error) {
+	for _, row := range rows {
+		if len(row) != s.width {
+			return nil, fmt.Errorf("serve: sample has %d features, federation has %d", len(row), s.width)
+		}
+	}
+	now := time.Now()
+	if deadline.IsZero() && s.cfg.DefaultDeadline > 0 {
+		deadline = now.Add(s.cfg.DefaultDeadline)
+	}
+	reqs := make([]*request, len(rows))
+	for i, row := range rows {
+		reqs[i] = &request{entry: entry, row: row, enq: now, deadline: deadline, res: make(chan result, 1)}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.stats.Rejected += int64(len(rows))
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(s.queue)+len(rows) > s.cfg.MaxQueue {
+		s.stats.Rejected += int64(len(rows))
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	s.queue = append(s.queue, reqs...)
+	s.stats.Requests += int64(len(rows))
+	s.mu.Unlock()
+
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return reqs, nil
+}
+
+// dispatch is the single queue-draining goroutine.
+func (s *Service) dispatch() {
+	defer close(s.done)
+	for {
+		<-s.wake
+		for s.flushOne() {
+		}
+		s.mu.Lock()
+		stop := s.draining && len(s.queue) == 0
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// flushOne coalesces and runs one micro-batch; it reports whether the
+// queue may hold more work.
+func (s *Service) flushOne() bool {
+	s.mu.Lock()
+	if len(s.queue) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	draining := s.draining
+	full := len(s.queue) >= s.cfg.MaxBatch
+	s.mu.Unlock()
+
+	// Micro-batch window: let concurrent requests pile in before the
+	// chain starts.  Skipped when draining (shutdown flushes at once)
+	// and when a full batch is already waiting (the sleep could only
+	// add latency).
+	if s.cfg.Window > 0 && !draining && !full {
+		time.Sleep(s.cfg.Window)
+	}
+
+	// Take the oldest request's entry and every queued sample for the
+	// same entry, preserving order, up to MaxBatch; drop expired ones.
+	now := time.Now()
+	var batch []*request
+	s.mu.Lock()
+	entry := s.queue[0].entry
+	rest := s.queue[:0]
+	for _, rq := range s.queue {
+		switch {
+		case !rq.deadline.IsZero() && now.After(rq.deadline):
+			s.stats.Expired++
+			rq.res <- result{err: ErrDeadline}
+		case rq.entry == entry && len(batch) < s.cfg.MaxBatch:
+			batch = append(batch, rq)
+		default:
+			rest = append(rest, rq)
+		}
+	}
+	s.queue = rest
+	more := len(s.queue) > 0
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return more
+	}
+
+	// One shared round chain for the whole batch.
+	X := make([][][]float64, len(s.feats))
+	for c, feats := range s.feats {
+		X[c] = make([][]float64, len(batch))
+		for t, rq := range batch {
+			local := make([]float64, len(feats))
+			for j, f := range feats {
+				local[j] = rq.row[f]
+			}
+			X[c][t] = local
+		}
+	}
+	preds, rounds, err := core.PredictSamples(s.sess, entry.Model, X)
+
+	// A batch admitted under a replaced registry entry re-caches the old
+	// model's secret-shared conversion; evict it again once served, so
+	// retraining cycles racing in-flight requests don't leak conversions
+	// for the session's lifetime.
+	if cur, lookupErr := s.Lookup(entry.Name); lookupErr != nil || cur != entry {
+		s.sess.EvictShared(entry.Model)
+	}
+
+	done := time.Now()
+	s.mu.Lock()
+	s.stats.Batches++
+	s.stats.Coalesced += int64(len(batch))
+	if len(batch) > s.stats.MaxBatch {
+		s.stats.MaxBatch = len(batch)
+	}
+	s.stats.BatchSizes.Observe(int64(len(batch)))
+	s.stats.Rounds.Observe(rounds)
+	for _, rq := range batch {
+		s.stats.LatencyMs.Observe(done.Sub(rq.enq).Milliseconds())
+	}
+	s.mu.Unlock()
+
+	for t, rq := range batch {
+		if err != nil {
+			rq.res <- result{err: err}
+		} else {
+			rq.res <- result{pred: preds[t]}
+		}
+	}
+	return more
+}
+
+// Stats returns the session's protocol statistics with the serving
+// counters attached (RunStats.Serve).
+func (s *Service) Stats() core.RunStats {
+	rs := s.sess.Stats()
+	s.mu.Lock()
+	sv := s.stats
+	sv.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	rs.Serve = &sv
+	return rs
+}
+
+// Drain stops admitting new samples and blocks until every queued sample
+// has been served.  Safe to call more than once and concurrently.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+}
+
+// Close drains the queue and tears the underlying session down.
+// Idempotent and safe under concurrent callers.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.Drain()
+		s.sess.Close()
+	})
+}

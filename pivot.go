@@ -7,8 +7,14 @@
 //	cfg := pivot.DefaultConfig()
 //	fed, _ := pivot.NewFederation(ds, 3, cfg)   // 3 clients, client 0 has labels
 //	defer fed.Close()
-//	model, _ := fed.TrainDecisionTree()
-//	pred, _ := fed.Predict(model, 0)            // privacy-preserving prediction
+//	mdl, _ := fed.Train(pivot.TrainSpec{Model: pivot.KindDT})
+//	preds, _ := fed.PredictAll(mdl)             // privacy-preserving prediction
+//
+// Train returns a Predictor; TrainSpec{Model: KindRF} / {Model: KindGBDT}
+// train the §7 ensembles through the same call, and PredictOne /
+// PredictAt / PredictAll evaluate any Predictor.  For a deployment that
+// keeps answering queries after training, cmd/pivot-serve runs a
+// long-lived daemon (internal/serve) reachable with pivot.Dial.
 //
 // A Federation simulates the m clients of the paper's LAN deployment as
 // goroutines over an in-memory transport; every protocol message, threshold
@@ -22,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/psi"
+	"repro/internal/serve"
 )
 
 // Re-exported configuration and model types.
@@ -53,6 +60,25 @@ type (
 	// TrainMode selects the level-wise batched pipeline or the paper's
 	// per-node recursion.
 	TrainMode = core.TrainMode
+	// Predictor is any trained model a federation can evaluate: *Model,
+	// *ForestModel and *BoostModel all satisfy it.  PredictOne /
+	// PredictAt / PredictAll replace the per-type Predict* zoo.
+	Predictor = core.Predictor
+	// Trainer describes a training flow for Federation.Train; TrainSpec
+	// is the standard implementation.
+	Trainer = core.Trainer
+	// TrainSpec selects the model family to train (hyper-parameters come
+	// from the federation Config).
+	TrainSpec = core.TrainSpec
+	// ModelKind tags the trained model families ("dt", "rf", "gbdt").
+	ModelKind = core.ModelKind
+)
+
+// Model kinds for TrainSpec and Predictor.Kind.
+const (
+	KindDT   = core.KindDT
+	KindRF   = core.KindRF
+	KindGBDT = core.KindGBDT
 )
 
 // Protocol values.
@@ -179,7 +205,9 @@ func NewAlignedFederation(parts []*Partition, ids [][]string, g *PSIGroup, cfg C
 	return fed, common, nil
 }
 
-// Close tears the federation down.
+// Close tears the federation down.  It is idempotent and safe under
+// concurrent callers: the first caller performs the teardown (after any
+// in-flight protocol phase completes), the rest block until it is done.
 func (f *Federation) Close() { f.session.Close() }
 
 // Parts returns the vertical partitions (client i's view of the data).
@@ -191,130 +219,153 @@ func (f *Federation) Stats() RunStats { return f.session.Stats() }
 // Session exposes the SPMD session for advanced orchestration.
 func (f *Federation) Session() *Session { return f.session }
 
-// TrainDecisionTree trains one Pivot decision tree (Algorithm 3; the
-// protocol — basic or enhanced — comes from the federation config).
-func (f *Federation) TrainDecisionTree() (*Model, error) {
-	models := make([]*Model, len(f.parts))
-	err := f.session.Each(func(p *core.Party) error {
-		m, err := p.TrainDT()
-		if err == nil {
-			models[p.ID] = m
-		}
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return models[0], nil
+// Train runs t's training flow over the federation and returns the
+// trained model as a Predictor.  TrainSpec is the standard Trainer:
+//
+//	mdl, err := fed.Train(pivot.TrainSpec{Model: pivot.KindRF})
+//	preds, err := fed.PredictAll(mdl)
+//
+// Type-assert the result (*pivot.Model, *pivot.ForestModel,
+// *pivot.BoostModel) when the concrete type is needed (Save, rendering).
+func (f *Federation) Train(t Trainer) (Predictor, error) {
+	return core.Train(f.session, t)
 }
 
-// TrainRandomForest trains a Pivot-RF ensemble (§7.1).
-func (f *Federation) TrainRandomForest() (*ForestModel, error) {
-	models := make([]*ForestModel, len(f.parts))
-	err := f.session.Each(func(p *core.Party) error {
-		m, err := p.TrainRF()
-		if err == nil {
-			models[p.ID] = m
-		}
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return models[0], nil
-}
-
-// TrainGBDT trains a Pivot-GBDT ensemble (§7.2).
-func (f *Federation) TrainGBDT() (*BoostModel, error) {
-	models := make([]*BoostModel, len(f.parts))
-	err := f.session.Each(func(p *core.Party) error {
-		m, err := p.TrainGBDT()
-		if err == nil {
-			models[p.ID] = m
-		}
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return models[0], nil
-}
-
-// Predict runs the privacy-preserving prediction protocol for training
-// sample index i (round-robin under the basic protocol, secret-shared under
-// the enhanced protocol).
-func (f *Federation) Predict(model *Model, i int) (float64, error) {
-	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
-		return p.Predict(model, x)
-	})
-}
-
-// PredictSample predicts an out-of-training sample whose features are
-// already split per client (featuresByClient[c] is client c's columns).
-func (f *Federation) PredictSample(model *Model, featuresByClient [][]float64) (float64, error) {
+// PredictOne runs the privacy-preserving prediction protocol for one
+// out-of-training sample whose features are already split per client
+// (featuresByClient[c] is client c's columns), for any model family.
+func (f *Federation) PredictOne(mdl Predictor, featuresByClient [][]float64) (float64, error) {
 	if len(featuresByClient) != len(f.parts) {
 		return 0, fmt.Errorf("pivot: sample has %d client slices, federation has %d", len(featuresByClient), len(f.parts))
 	}
-	var out float64
-	err := f.session.Each(func(p *core.Party) error {
-		v, err := p.Predict(model, featuresByClient[p.ID])
-		if p.ID == 0 && err == nil {
-			out = v
-		}
-		return err
-	})
-	return out, err
+	return core.PredictOne(f.session, mdl, featuresByClient)
 }
 
-// PredictDataset evaluates the model on every sample of the federation's
+// PredictAt runs the prediction protocol for training sample index i, for
+// any model family (round-robin under the basic protocol, secret-shared
+// under the enhanced protocol).
+func (f *Federation) PredictAt(mdl Predictor, i int) (float64, error) {
+	if i < 0 || i >= f.parts[0].N {
+		return 0, fmt.Errorf("pivot: sample index %d out of range", i)
+	}
+	by := make([][]float64, len(f.parts))
+	for c, p := range f.parts {
+		by[c] = p.X[i]
+	}
+	return core.PredictOne(f.session, mdl, by)
+}
+
+// PredictAll evaluates any model on every sample of the federation's
 // partitions through the batched prediction pipeline: one MPC round chain
 // per Config.PredictBatch samples (0 = the whole dataset in one batch)
 // instead of one per sample.  Malicious mode falls back to the audited
 // per-sample protocol.
+func (f *Federation) PredictAll(mdl Predictor) ([]float64, error) {
+	return core.PredictAll(f.session, mdl, f.parts)
+}
+
+// TrainDecisionTree trains one Pivot decision tree (Algorithm 3; the
+// protocol — basic or enhanced — comes from the federation config).
+//
+// Deprecated: use Train(TrainSpec{Model: KindDT}).
+func (f *Federation) TrainDecisionTree() (*Model, error) {
+	mdl, err := f.Train(TrainSpec{Model: KindDT})
+	if err != nil {
+		return nil, err
+	}
+	return mdl.(*Model), nil
+}
+
+// TrainRandomForest trains a Pivot-RF ensemble (§7.1).
+//
+// Deprecated: use Train(TrainSpec{Model: KindRF}).
+func (f *Federation) TrainRandomForest() (*ForestModel, error) {
+	mdl, err := f.Train(TrainSpec{Model: KindRF})
+	if err != nil {
+		return nil, err
+	}
+	return mdl.(*ForestModel), nil
+}
+
+// TrainGBDT trains a Pivot-GBDT ensemble (§7.2).
+//
+// Deprecated: use Train(TrainSpec{Model: KindGBDT}).
+func (f *Federation) TrainGBDT() (*BoostModel, error) {
+	mdl, err := f.Train(TrainSpec{Model: KindGBDT})
+	if err != nil {
+		return nil, err
+	}
+	return mdl.(*BoostModel), nil
+}
+
+// Predict runs the prediction protocol for training sample index i.
+//
+// Deprecated: use PredictAt — it serves every model family.
+func (f *Federation) Predict(model *Model, i int) (float64, error) {
+	return f.PredictAt(model, i)
+}
+
+// PredictSample predicts an out-of-training sample whose features are
+// already split per client.
+//
+// Deprecated: use PredictOne — it serves every model family.
+func (f *Federation) PredictSample(model *Model, featuresByClient [][]float64) (float64, error) {
+	return f.PredictOne(model, featuresByClient)
+}
+
+// PredictDataset evaluates the model on every sample.
+//
+// Deprecated: use PredictAll — it serves every model family.
 func (f *Federation) PredictDataset(model *Model) ([]float64, error) {
-	return core.PredictDataset(f.session, model, f.parts)
+	return f.PredictAll(model)
 }
 
-// PredictForestDataset evaluates a Pivot-RF on every sample, batching
-// across samples and trees.
+// PredictForestDataset evaluates a Pivot-RF on every sample.
+//
+// Deprecated: use PredictAll — it serves every model family.
 func (f *Federation) PredictForestDataset(fm *ForestModel) ([]float64, error) {
-	return core.PredictDatasetForest(f.session, fm, f.parts)
+	return f.PredictAll(fm)
 }
 
-// PredictBoostDataset evaluates a Pivot-GBDT on every sample, batching
-// across samples and all class forests' trees.
+// PredictBoostDataset evaluates a Pivot-GBDT on every sample.
+//
+// Deprecated: use PredictAll — it serves every model family.
 func (f *Federation) PredictBoostDataset(bm *BoostModel) ([]float64, error) {
-	return core.PredictDatasetBoost(f.session, bm, f.parts)
+	return f.PredictAll(bm)
 }
 
 // PredictForest votes the Pivot-RF prediction for training sample i.
+//
+// Deprecated: use PredictAt — it serves every model family.
 func (f *Federation) PredictForest(fm *ForestModel, i int) (float64, error) {
-	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
-		return p.PredictRF(fm, x)
-	})
+	return f.PredictAt(fm, i)
 }
 
 // PredictBoost computes the Pivot-GBDT prediction for training sample i.
+//
+// Deprecated: use PredictAt — it serves every model family.
 func (f *Federation) PredictBoost(bm *BoostModel, i int) (float64, error) {
-	return f.predictAt(i, func(p *core.Party, x []float64) (float64, error) {
-		return p.PredictGBDT(bm, x)
-	})
+	return f.PredictAt(bm, i)
 }
 
-func (f *Federation) predictAt(i int, fn func(*core.Party, []float64) (float64, error)) (float64, error) {
-	if i < 0 || i >= f.parts[0].N {
-		return 0, fmt.Errorf("pivot: sample index %d out of range", i)
-	}
-	var out float64
-	err := f.session.Each(func(p *core.Party) error {
-		v, err := fn(p, f.parts[p.ID].X[i])
-		if p.ID == 0 && err == nil {
-			out = v
-		}
-		return err
-	})
-	return out, err
-}
+// ---------------------------------------------------------------------------
+// Serving (see internal/serve and cmd/pivot-serve)
+
+// ServeClient is a connection to a running pivot-serve daemon.
+type ServeClient = serve.Client
+
+// ServeModelInfo describes one entry of a daemon's model registry.
+type ServeModelInfo = serve.Info
+
+// Dial connects to a pivot-serve prediction daemon:
+//
+//	cli, err := pivot.Dial("127.0.0.1:9100")
+//	preds, err := cli.Predict("dt", samples)   // rows in global column order
+//
+// A client serializes its own requests; open several clients for
+// concurrent load — the daemon coalesces their samples into shared MPC
+// round chains.
+func Dial(addr string) (*ServeClient, error) { return serve.Dial(addr) }
 
 // LRModel is the §7.3 vertical logistic regression model.
 type LRModel = core.LRModel

@@ -69,6 +69,72 @@ func TestFacadePredictSample(t *testing.T) {
 	}
 }
 
+func TestFacadeUnifiedAPI(t *testing.T) {
+	ds := SyntheticClassification(24, 4, 2, 3.0, 8)
+	fed, err := NewFederation(ds, 2, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	// An empty TrainSpec defaults to a single decision tree.
+	mdl, err := fed.Train(TrainSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdl.Kind() != KindDT || mdl.NumClasses() != 2 {
+		t.Fatalf("kind %q classes %d", mdl.Kind(), mdl.NumClasses())
+	}
+	tree, ok := mdl.(*Model)
+	if !ok {
+		t.Fatalf("Train returned %T, want *Model", mdl)
+	}
+
+	// The unified entry points agree with the deprecated typed wrappers.
+	all, err := fed.PredictAll(mdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != ds.N() {
+		t.Fatalf("PredictAll returned %d predictions", len(all))
+	}
+	old, err := fed.PredictDataset(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if all[i] != old[i] {
+			t.Fatalf("sample %d: PredictAll %v != PredictDataset %v", i, all[i], old[i])
+		}
+	}
+	at, err := fed.PredictAt(mdl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != all[3] {
+		t.Fatalf("PredictAt %v != PredictAll[3] %v", at, all[3])
+	}
+	parts := fed.Parts()
+	one, err := fed.PredictOne(mdl, [][]float64{parts[0].X[3], parts[1].X[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != at {
+		t.Fatalf("PredictOne %v != PredictAt %v", one, at)
+	}
+
+	// Error surfaces.
+	if _, err := fed.Train(TrainSpec{Model: "svm"}); err == nil {
+		t.Fatal("expected unknown-kind training error")
+	}
+	if _, err := fed.PredictAt(mdl, ds.N()); err == nil {
+		t.Fatal("expected index range error")
+	}
+	if _, err := fed.PredictOne(mdl, [][]float64{{1}}); err == nil {
+		t.Fatal("expected slice-count validation error")
+	}
+}
+
 func TestFacadeEnsembles(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow protocol run")
