@@ -23,7 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict or serve: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict, serve or update: write the machine-readable perf baseline to this file")
 	latency := flag.Duration("latency", 0, "simulated WAN one-way delay per message for -exp predict (0 = experiment default)")
 	jitter := flag.Duration("jitter", 0, "simulated WAN jitter bound per message for -exp predict (0 = experiment default)")
 	flag.Parse()
@@ -114,6 +114,20 @@ func main() {
 		}
 		fmt.Printf("serve baseline -> %s (micro-batch speedup %.2fx at %gms WAN; identical: %v) in %s\n",
 			*jsonOut, st.MicroBatchSpeedup, st.NetDelayMs, st.ResultsIdentical, experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "update" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WriteUpdateBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("update baseline -> %s (GBDT rounds %d -> %d, %.2fx; enhanced update rounds %d -> %d, %.2fx; trees identical: %v) in %s\n",
+			*jsonOut, st.SeqRounds, st.BatchRounds, st.RoundReduction,
+			st.EnhSeqUpdateRounds, st.EnhBatchUpdateRounds, st.EnhUpdateReduction,
+			st.TreesIdentical, experiments.Elapsed(start))
 		return
 	}
 

@@ -1,0 +1,145 @@
+// pivot-benchdiff compares a freshly produced bench JSON against a
+// committed baseline and fails when count metrics regress — the CI
+// regression gate behind every bench smoke step.
+//
+// Gated metrics are numeric keys whose dotted path contains "rounds",
+// "msgs", "messages" or "bytes": deterministic round/message/byte counters
+// that only a real protocol change can move.  A gated metric may improve
+// freely but must not exceed baseline·(1+tolerance).  Everything else —
+// wall-clock seconds, speedups, throughput, derived reduction ratios — is
+// advisory: printed for the log, never fatal, because CI machine noise
+// would make gating them flaky.
+//
+// Usage:
+//
+//	pivot-benchdiff -baseline BENCH_update.json -current /tmp/BENCH_update_ci.json
+//	pivot-benchdiff -baseline ... -current ... -tolerance 0.15
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// flatten walks arbitrarily nested JSON into dotted-path leaves.
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, vv := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, vv, out)
+		}
+	case []any:
+		for i, vv := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), vv, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func load(path string) (map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]any{}
+	flatten("", v, out)
+	return out, nil
+}
+
+// gated reports whether a key is a deterministic count metric that must not
+// regress.  Derived ratios and wall-clock figures are advisory only.
+func gated(key string) bool {
+	k := strings.ToLower(key)
+	for _, skip := range []string{"reduction", "speedup", "seconds", "throughput", "latency", "ratio"} {
+		if strings.Contains(k, skip) {
+			return false
+		}
+	}
+	for _, hit := range []string{"rounds", "msgs", "messages", "bytes"} {
+		if strings.Contains(k, hit) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_update.json)")
+	current := flag.String("current", "", "freshly produced bench JSON to check")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression on gated count metrics")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "pivot-benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pivot-benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pivot-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	fmt.Printf("%-42s %16s %16s %9s  %s\n", "metric", "baseline", "current", "delta", "status")
+	for _, k := range keys {
+		bv, bok := base[k].(float64)
+		if !bok {
+			continue // bools, strings: identity is covered by the bench's own checks
+		}
+		cvAny, ok := cur[k]
+		if !ok {
+			if gated(k) {
+				fmt.Printf("%-42s %16g %16s %9s  MISSING\n", k, bv, "-", "-")
+				regressions++
+			}
+			continue
+		}
+		cv, cok := cvAny.(float64)
+		if !cok {
+			continue
+		}
+		delta := "n/a"
+		if bv != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(cv-bv)/bv)
+		}
+		status := "advisory"
+		if gated(k) {
+			status = "ok"
+			if cv > bv*(1+*tolerance) {
+				status = "REGRESSED"
+				regressions++
+			}
+		}
+		fmt.Printf("%-42s %16g %16g %9s  %s\n", k, bv, cv, delta, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "pivot-benchdiff: %d gated metric(s) regressed beyond %.0f%% vs %s\n",
+			regressions, *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("pivot-benchdiff: no gated regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+}

@@ -54,8 +54,10 @@ func main() {
 	var err error
 	if *dataPath != "" {
 		ds, err = pivot.LoadCSVFile(*dataPath, *classes)
-	} else {
+	} else if *classes > 0 {
 		ds = pivot.SyntheticClassification(*synthN, *synthD, *classes, 2.0, uint64(*seed))
+	} else {
+		ds = pivot.SyntheticRegression(*synthN, *synthD, 0.2, uint64(*seed))
 	}
 	if err != nil {
 		fail(err)

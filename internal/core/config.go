@@ -138,6 +138,34 @@ func (m TrainMode) String() string {
 	return "level-wise"
 }
 
+// UpdateMode selects the model-update round structure of the level-wise
+// driver (ignored under PerNode, which always runs the paper's per-node
+// update bodies).
+type UpdateMode int
+
+const (
+	// UpdateBatched (the default) runs one model-update round chain per
+	// tree level, shared by the whole frontier and grouped by best-split
+	// owner: one grouped equality ladder over every node's PIR diffs, one
+	// grouped share→ciphertext conversion, one batched owner selection and
+	// one Eqn-10 conversion/recombination covering all nodes.  GBDT
+	// classification boosting rounds additionally train all class trees in
+	// one shared frontier, so the chains batch across classes too.
+	UpdateBatched UpdateMode = iota
+	// UpdateSequential keeps the per-node update loop inside each level and
+	// trains GBDT class trees one at a time — the round structure of the
+	// original level-wise pipeline — as a benchmarking baseline next to the
+	// PerNode oracle.
+	UpdateSequential
+)
+
+func (u UpdateMode) String() string {
+	if u == UpdateSequential {
+		return "sequential"
+	}
+	return "batched"
+}
+
 // DPConfig enables differentially private training (§9.2).
 type DPConfig struct {
 	// Epsilon is the per-query budget ε; the whole run satisfies
@@ -198,6 +226,11 @@ type Config struct {
 	// paper's per-node recursion.  Malicious and DP runs always train
 	// per-node regardless of this setting.
 	TrainMode TrainMode
+
+	// UpdateMode selects the level-wise driver's model-update round
+	// structure: frontier-wide batched chains (default) or the sequential
+	// per-node loop kept as a benchmarking baseline.
+	UpdateMode UpdateMode
 
 	// PredictBatch caps how many samples the batched prediction pipeline
 	// amortizes one MPC round chain over (0 = the whole dataset in one
@@ -335,6 +368,12 @@ type RunStats struct {
 	MessagesSent int64
 	TreesTrained int
 	NodesTrained int
+
+	// UpdateRounds counts the synchronous MPC open rounds spent inside the
+	// model-update phase alone (the EQZ ladders, conversions and Eqn-10
+	// chains), so round-structure claims about the batched update are
+	// testable separately from the rest of the training chain.
+	UpdateRounds int64
 
 	// Traffic is the endpoint's full traffic breakdown (messages and bytes,
 	// sent and received, totals plus per-peer), surfaced next to the MPC op

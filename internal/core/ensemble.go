@@ -197,12 +197,71 @@ func (p *Party) trainGBDTRegression() (*BoostModel, error) {
 // squaring — the per-round computation §7.2 introduces so that the split
 // owners can thereafter maintain [γ₂] with cheap plaintext masking.
 func (p *Party) squareChannel(encY []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
-	shares, err := p.encToShares(encY, len(encY), p.w.stat)
+	out, err := p.squareChannels([][]*paillier.Ciphertext{encY})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// squareChannels derives [y²] for every class channel in one conversion and
+// one multiplication chain shared across classes.
+func (p *Party) squareChannels(encYs [][]*paillier.Ciphertext) ([][]*paillier.Ciphertext, error) {
+	var flat []*paillier.Ciphertext
+	for _, ch := range encYs {
+		flat = append(flat, ch...)
+	}
+	shares, err := p.encToShares(flat, len(flat), p.w.stat)
 	if err != nil {
 		return nil, err
 	}
 	sq := p.eng.MulVec(shares, shares) // 2f-scaled squares
-	return p.shareToEnc(sq, p.w.stat, p.Super)
+	cts, err := p.shareToEnc(sq, p.w.stat, p.Super)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*paillier.Ciphertext, len(encYs))
+	off := 0
+	for k, ch := range encYs {
+		out[k] = cts[off : off+len(ch)]
+		off += len(ch)
+	}
+	return out, nil
+}
+
+// trainBoostRound trains one boosting round's class trees.  Under the
+// level-wise batched pipeline all C trees share a single frontier, so each
+// depth's conversion, gain, argmax and model-update chains run once for the
+// whole round instead of once per class; the per-node, malicious, DP and
+// sequential-update modes keep the paper's per-class loop.
+func (p *Party) trainBoostRound(encY [][]*paillier.Ciphertext) ([]*Model, [][][]*paillier.Ciphertext, error) {
+	c := len(encY)
+	if p.cfg.TrainMode == PerNode || p.cfg.Malicious || p.cfg.DP != nil ||
+		p.cfg.UpdateMode == UpdateSequential {
+		trees := make([]*Model, c)
+		las := make([][][]*paillier.Ciphertext, c)
+		for k := 0; k < c; k++ {
+			encY2, err := p.squareChannel(encY[k])
+			if err != nil {
+				return nil, nil, err
+			}
+			p.captureLeaves = true
+			p.leafAlphas = nil
+			tree, err := p.trainTree(nil, encY[k], encY2)
+			p.captureLeaves = false
+			if err != nil {
+				return nil, nil, err
+			}
+			trees[k] = tree
+			las[k] = p.leafAlphas
+		}
+		return trees, las, nil
+	}
+	encY2s, err := p.squareChannels(encY)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.trainTreesShared(encY, encY2s)
 }
 
 // residualUpdate computes [Y^{w+1}] = [Y^w] ⊖ ν·[Ŷ^w], where the encrypted
@@ -278,20 +337,13 @@ func (p *Party) trainGBDTClassification() (*BoostModel, error) {
 	scores := make([][]*paillier.Ciphertext, c)
 
 	for w := 0; w < p.cfg.NumTrees; w++ {
+		trees, las, err := p.trainBoostRound(encY)
+		if err != nil {
+			return nil, p.errf("round %d: %v", w, err)
+		}
 		for k := 0; k < c; k++ {
-			encY2, err := p.squareChannel(encY[k])
-			if err != nil {
-				return nil, err
-			}
-			p.captureLeaves = true
-			p.leafAlphas = nil
-			tree, err := p.trainTree(nil, encY[k], encY2)
-			p.captureLeaves = false
-			if err != nil {
-				return nil, err
-			}
-			bm.Forests[k] = append(bm.Forests[k], tree)
-			scores[k] = p.accumulateScores(scores[k], tree, p.leafAlphas, p.cfg.LearningRate)
+			bm.Forests[k] = append(bm.Forests[k], trees[k])
+			scores[k] = p.accumulateScores(scores[k], trees[k], las[k], p.cfg.LearningRate)
 		}
 		if w+1 == p.cfg.NumTrees {
 			break

@@ -97,11 +97,76 @@ func (p *Party) splitEnhancedHidden(nd nodeData, iStar int, flat mpc.Share) (Nod
 	return node, left, right, nil
 }
 
+// splitEnhancedHiddenLevel is splitEnhancedHidden for a whole frontier: one
+// grouped equality ladder over every node's (owner-local or global) PIR
+// diffs, one grouped conversion with each [λ] combined at its node's
+// combiner, one batched hidden selection and one Eqn-10 chain for all
+// nodes' mask updates.
+func (p *Party) splitEnhancedHiddenLevel(nds []nodeData, iStars []int, flats []mpc.Share) ([]splitOutcome, error) {
+	K := len(nds)
+	n := len(nds[0].alpha)
+	out := make([]splitOutcome, K)
+
+	segLens := make([]int, K)
+	combiners := make([]int, K)
+	var diffs []mpc.Share
+	var ks []uint
+	for i := range nds {
+		nPrime := p.totalSplits()
+		combiners[i] = p.Super
+		if iStars[i] >= 0 {
+			nPrime = p.clientSplits(iStars[i])
+			combiners[i] = iStars[i]
+		}
+		segLens[i] = nPrime
+		kEq := uint(bitsFor(nPrime)) + 3
+		for t := 0; t < nPrime; t++ {
+			diffs = append(diffs, p.eng.AddConst(flats[i], big.NewInt(-int64(t))))
+			ks = append(ks, kEq)
+		}
+	}
+	lamShares := p.eng.EQZVecGrouped(diffs, ks)
+	encLam, err := p.shareToEncSeg(lamShares, 4, segLens, combiners)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([][]*paillier.Ciphertext, K)
+	off := 0
+	for i := range segLens {
+		segs[i] = encLam[off : off+segLens[i]]
+		off += segLens[i]
+	}
+
+	encVs, encTaus, err := p.selectHiddenLevel(iStars, segs, n)
+	if err != nil {
+		return nil, err
+	}
+
+	alphas := make([][]*paillier.Ciphertext, K)
+	for i := range nds {
+		alphas[i] = nds[i].alpha
+	}
+	lefts, err := p.encMaskedProductLevel(alphas, encVs, combiners)
+	if err != nil {
+		return nil, err
+	}
+	for i := range nds {
+		out[i].node = Node{Owner: iStars[i], Feature: -1, EncThreshold: encTaus[i],
+			EncFeatSel: p.featureSelectors(iStars[i], segs[i])}
+		out[i].left = nodeData{alpha: lefts[i]}
+		out[i].right = nodeData{alpha: p.pk.SubVec(nds[i].alpha, lefts[i], p.cfg.Workers)}
+		p.Stats.HEOps += int64(n)
+	}
+	return out, nil
+}
+
 // updateEnhancedHidden wraps splitEnhancedHidden for the per-node recursion.
 func (p *Party) updateEnhancedHidden(model *Model, nd nodeData, iStar int, flat mpc.Share, depth int) (int, error) {
 	var node Node
 	var left, right nodeData
 	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		r0 := p.eng.Stats.Rounds
+		defer func() { p.Stats.UpdateRounds += p.eng.Stats.Rounds - r0 }()
 		var err error
 		node, left, right, err = p.splitEnhancedHidden(nd, iStar, flat)
 		return err
@@ -204,6 +269,93 @@ func (p *Party) selectHidden(iStar int, encLam []*paillier.Ciphertext, n int) ([
 	}
 	p.Stats.HEOps += int64((n + 1) * (p.M - 1))
 	return encV, encTau, nil
+}
+
+// selectHiddenLevel computes every frontier node's [v] and [τ] under the
+// hidden regimes in shared batches.  HideFeature groups nodes by their
+// (public) owner, each owner batching all of its nodes' dot products into a
+// single broadcast; under HideClient every client contributes its global
+// segment for all nodes in one broadcast and the partials are summed
+// homomorphically.
+func (p *Party) selectHiddenLevel(iStars []int, segs [][]*paillier.Ciphertext, n int) ([][]*paillier.Ciphertext, []*paillier.Ciphertext, error) {
+	K := len(iStars)
+	encVs := make([][]*paillier.Ciphertext, K)
+	encTaus := make([]*paillier.Ciphertext, K)
+	splits := p.localFlatSplits()
+
+	// rowsFor builds one node's selection rows (the n indicator rows plus
+	// the threshold row) over my own splits against its lambda segment.
+	rowsFor := func(seg []*paillier.Ciphertext) ([][]*big.Int, [][]*paillier.Ciphertext, error) {
+		if len(splits) != len(seg) {
+			return nil, nil, p.errf("hidden selection: %d local splits vs %d lambda entries", len(splits), len(seg))
+		}
+		rows := make([][]*big.Int, 0, n+1)
+		lams := make([][]*paillier.Ciphertext, 0, n+1)
+		for t := 0; t < n; t++ {
+			row := make([]*big.Int, len(splits))
+			for fs, sp := range splits {
+				row[fs] = p.indic[sp.j][sp.s][t]
+			}
+			rows = append(rows, row)
+			lams = append(lams, seg)
+		}
+		taus := make([]*big.Int, len(splits))
+		for fs, sp := range splits {
+			taus[fs] = p.cod.Encode(p.cands[sp.j][sp.s])
+		}
+		rows = append(rows, taus)
+		lams = append(lams, seg)
+		return rows, lams, nil
+	}
+
+	if iStars[0] >= 0 {
+		// HideFeature: each owner's partials are the final values.
+		byOwner := make([][]int, p.M)
+		for i, o := range iStars {
+			byOwner[o] = append(byOwner[o], i)
+		}
+		return p.ownerSelectLevel(byOwner, n, func(i int) ([][]*big.Int, [][]*paillier.Ciphertext, error) {
+			return rowsFor(segs[i])
+		})
+	}
+
+	// HideClient: every client contributes its own global slice for every
+	// node; partials are broadcast once and summed.
+	base := p.clientBase(p.ID)
+	var rows [][]*big.Int
+	var lams [][]*paillier.Ciphertext
+	for i := range iStars {
+		r, l, err := rowsFor(segs[i][base : base+p.clientSplits(p.ID)])
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, r...)
+		lams = append(lams, l...)
+	}
+	p.poolReserve(len(rows))
+	sum, err := p.dotRerandVec(rows, lams)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.broadcastCtsChunked(sum); err != nil {
+		return nil, nil, err
+	}
+	for c := 0; c < p.M; c++ {
+		if c == p.ID {
+			continue
+		}
+		cts, err := p.recvCtsChunked(c, K*(n+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		sum = p.pk.AddVec(sum, cts, p.cfg.Workers)
+	}
+	p.Stats.HEOps += int64(K * (n + 1) * (p.M - 1))
+	for i := 0; i < K; i++ {
+		encVs[i] = sum[i*(n+1) : i*(n+1)+n]
+		encTaus[i] = sum[i*(n+1)+n]
+	}
+	return encVs, encTaus, nil
 }
 
 // featureSelectors derives, for every contributing client, the encrypted

@@ -29,15 +29,48 @@ import (
 type frontierNode struct {
 	nd     nodeData
 	nShare mpc.Share // ⟨n⟩, filled by trainLevel's batched conversion
-	parent int       // model index of the parent; -1 at the root
+	tree   int       // index into the level driver's task list
+	parent int       // model index of the parent (within its tree); -1 at a root
 	left   bool      // whether this node is the parent's left child
+}
+
+// treeTask is one tree being grown by the level driver.  The GBDT
+// cross-class extension trains several trees in a single shared frontier;
+// ordinary training passes exactly one task.
+type treeTask struct {
+	model      *Model
+	capture    bool // record each leaf's encrypted mask vector
+	leafAlphas [][]*paillier.Ciphertext
+}
+
+// splitOutcome is one frontier node's model-update result.
+type splitOutcome struct {
+	node        Node
+	left, right nodeData
 }
 
 // buildLevels trains the tree breadth-first from the root's nodeData.
 func (p *Party) buildLevels(model *Model, root nodeData) error {
-	frontier := []frontierNode{{nd: root, parent: -1}}
+	task := &treeTask{model: model, capture: p.captureLeaves}
+	if err := p.buildLevelsMulti([]*treeTask{task}, []nodeData{root}); err != nil {
+		return err
+	}
+	if task.capture {
+		p.leafAlphas = append(p.leafAlphas, task.leafAlphas...)
+	}
+	return nil
+}
+
+// buildLevelsMulti trains all tasks' trees breadth-first in one shared
+// frontier: nodes of every tree at the same depth are batched together, so
+// the per-level round chains are paid once for the whole set of trees.
+func (p *Party) buildLevelsMulti(tasks []*treeTask, roots []nodeData) error {
+	frontier := make([]frontierNode, len(roots))
+	for i := range roots {
+		frontier[i] = frontierNode{nd: roots[i], tree: i, parent: -1}
+	}
 	for depth := 0; len(frontier) > 0; depth++ {
-		next, err := p.trainLevel(model, frontier, depth)
+		next, err := p.trainLevel(tasks, frontier, depth)
 		if err != nil {
 			return err
 		}
@@ -48,7 +81,7 @@ func (p *Party) buildLevels(model *Model, root nodeData) error {
 
 // trainLevel trains every frontier node at one depth and returns the next
 // frontier (the children of the nodes that split), in breadth-first order.
-func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]frontierNode, error) {
+func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int) ([]frontierNode, error) {
 	G := len(frontier)
 	p.Stats.NodesTrained += G
 
@@ -169,7 +202,7 @@ func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]
 				statsAll = append(statsAll, shares[b+C:b+totalPer]...)
 				nShares[i] = frontier[g].nShare
 			}
-			gains, err := p.computeGains(totalsAll, statsAll, nShares, C, statsPerSplit, model.Classes > 0)
+			gains, err := p.computeGains(totalsAll, statsAll, nShares, C, statsPerSplit, tasks[0].model.Classes > 0)
 			if err != nil {
 				return err
 			}
@@ -221,7 +254,7 @@ func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]
 		for i, g := range leafGs {
 			entries[i] = frontier[g]
 		}
-		nodes, err := p.makeLeavesLevel(model, entries)
+		nodes, err := p.makeLeavesLevel(tasks, entries)
 		if err != nil {
 			return nil, p.errf("level %d leaves: %v", depth, err)
 		}
@@ -259,47 +292,41 @@ func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]
 		opened = p.eng.OpenVec(openIn)
 	}
 
-	// ----- model update + breadth-first materialization -----
-	var next []frontierNode
-	splitResults := make(map[int]struct {
-		node        Node
-		left, right nodeData
-	}, len(splitGs))
-	for i, g := range splitGs {
-		var node Node
-		var left, right nodeData
+	// ----- model update: one batched round chain for the whole frontier -----
+	var outcomes []splitOutcome
+	if len(splitGs) > 0 {
+		nds := make([]nodeData, len(splitGs))
+		bestsK := make([]mpc.ArgmaxResult, len(splitGs))
+		idsK := make([][]*big.Int, len(splitGs))
+		for i, g := range splitGs {
+			nds[i] = frontier[g].nd
+			bestsK[i] = bests[g]
+			idsK[i] = opened[i*openCols : (i+1)*openCols]
+		}
 		err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+			r0 := p.eng.Stats.Rounds
+			defer func() { p.Stats.UpdateRounds += p.eng.Stats.Rounds - r0 }()
 			var err error
-			ids := opened[i*openCols : (i+1)*openCols]
-			switch {
-			case p.cfg.Protocol == Basic:
-				node, left, right, err = p.splitBasic(frontier[g].nd,
-					int(ids[0].Int64()), int(ids[1].Int64()), int(ids[2].Int64()))
-			case p.cfg.Hide == HideFeature:
-				// §5.2 discussion: only i* is revealed; the owner-local flat
-				// index is the shared global index minus the owner's public
-				// base offset.
-				iStar := int(ids[0].Int64())
-				flat := p.eng.AddConst(bests[g].IDs[3], big.NewInt(-int64(p.clientBase(iStar))))
-				node, left, right, err = p.splitEnhancedHidden(frontier[g].nd, iStar, flat)
-			case p.cfg.Hide == HideClient:
-				node, left, right, err = p.splitEnhancedHidden(frontier[g].nd, -1, bests[g].IDs[3])
-			default:
-				node, left, right, err = p.splitEnhanced(frontier[g].nd,
-					int(ids[0].Int64()), int(ids[1].Int64()), bests[g].IDs[2])
+			if p.cfg.UpdateMode == UpdateSequential {
+				outcomes, err = p.updateLevelSequential(nds, bestsK, idsK)
+			} else {
+				outcomes, err = p.updateLevelBatched(nds, bestsK, idsK)
 			}
 			return err
 		})
 		if err != nil {
 			return nil, p.errf("level %d model update: %v", depth, err)
 		}
-		splitResults[g] = struct {
-			node        Node
-			left, right nodeData
-		}{node, left, right}
 	}
 
+	// ----- breadth-first materialization, one model per task -----
+	var next []frontierNode
+	splitResults := make(map[int]splitOutcome, len(splitGs))
+	for i, g := range splitGs {
+		splitResults[g] = outcomes[i]
+	}
 	for g := range frontier {
+		model := tasks[frontier[g].tree].model
 		idx := len(model.Nodes)
 		if n, ok := leafNodes[g]; ok {
 			model.Nodes = append(model.Nodes, n)
@@ -307,8 +334,8 @@ func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]
 			r := splitResults[g]
 			model.Nodes = append(model.Nodes, r.node)
 			next = append(next,
-				frontierNode{nd: r.left, parent: idx, left: true},
-				frontierNode{nd: r.right, parent: idx})
+				frontierNode{nd: r.left, tree: frontier[g].tree, parent: idx, left: true},
+				frontierNode{nd: r.right, tree: frontier[g].tree, parent: idx})
 		}
 		if fp := frontier[g].parent; fp >= 0 {
 			if frontier[g].left {
@@ -319,6 +346,82 @@ func (p *Party) trainLevel(model *Model, frontier []frontierNode, depth int) ([]
 		}
 	}
 	return next, nil
+}
+
+// updateLevelBatched dispatches the frontier-wide batched model update on
+// the session's protocol and hide level.  opened holds each splitter's
+// publicly opened identifier columns (layout as decided by the caller).
+func (p *Party) updateLevelBatched(nds []nodeData, bests []mpc.ArgmaxResult, opened [][]*big.Int) ([]splitOutcome, error) {
+	K := len(nds)
+	switch {
+	case p.cfg.Protocol == Basic:
+		is := make([]int, K)
+		js := make([]int, K)
+		ss := make([]int, K)
+		for i := range nds {
+			is[i] = int(opened[i][0].Int64())
+			js[i] = int(opened[i][1].Int64())
+			ss[i] = int(opened[i][2].Int64())
+		}
+		return p.splitBasicLevel(nds, is, js, ss)
+	case p.cfg.Hide == HideFeature:
+		// §5.2 discussion: only i* is revealed; the owner-local flat index
+		// is the shared global index minus the owner's public base offset.
+		iStars := make([]int, K)
+		flats := make([]mpc.Share, K)
+		for i := range nds {
+			iStars[i] = int(opened[i][0].Int64())
+			flats[i] = p.eng.AddConst(bests[i].IDs[3], big.NewInt(-int64(p.clientBase(iStars[i]))))
+		}
+		return p.splitEnhancedHiddenLevel(nds, iStars, flats)
+	case p.cfg.Hide == HideClient:
+		iStars := make([]int, K)
+		flats := make([]mpc.Share, K)
+		for i := range nds {
+			iStars[i] = -1
+			flats[i] = bests[i].IDs[3]
+		}
+		return p.splitEnhancedHiddenLevel(nds, iStars, flats)
+	default:
+		iStars := make([]int, K)
+		jStars := make([]int, K)
+		sStars := make([]mpc.Share, K)
+		for i := range nds {
+			iStars[i] = int(opened[i][0].Int64())
+			jStars[i] = int(opened[i][1].Int64())
+			sStars[i] = bests[i].IDs[2]
+		}
+		return p.splitEnhancedLevel(nds, iStars, jStars, sStars)
+	}
+}
+
+// updateLevelSequential runs the per-node update bodies one frontier node at
+// a time — the round structure of the original level-wise pipeline, kept as
+// a benchmarking baseline (cfg.UpdateMode == UpdateSequential).
+func (p *Party) updateLevelSequential(nds []nodeData, bests []mpc.ArgmaxResult, opened [][]*big.Int) ([]splitOutcome, error) {
+	out := make([]splitOutcome, len(nds))
+	for i := range nds {
+		var err error
+		ids := opened[i]
+		switch {
+		case p.cfg.Protocol == Basic:
+			out[i].node, out[i].left, out[i].right, err = p.splitBasic(nds[i],
+				int(ids[0].Int64()), int(ids[1].Int64()), int(ids[2].Int64()))
+		case p.cfg.Hide == HideFeature:
+			iStar := int(ids[0].Int64())
+			flat := p.eng.AddConst(bests[i].IDs[3], big.NewInt(-int64(p.clientBase(iStar))))
+			out[i].node, out[i].left, out[i].right, err = p.splitEnhancedHidden(nds[i], iStar, flat)
+		case p.cfg.Hide == HideClient:
+			out[i].node, out[i].left, out[i].right, err = p.splitEnhancedHidden(nds[i], -1, bests[i].IDs[3])
+		default:
+			out[i].node, out[i].left, out[i].right, err = p.splitEnhanced(nds[i],
+				int(ids[0].Int64()), int(ids[1].Int64()), bests[i].IDs[2])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // computeGammasLevel is computeGammas for a whole frontier: the super client
@@ -469,21 +572,23 @@ func (p *Party) computeSplitStatsLevel(nodes []frontierNode, gchs [][][]*paillie
 // conversion, one reciprocal/truncation chain (regression) or one grouped
 // argmax over the per-class counts (classification), and one batched
 // opening (basic) or share-to-ciphertext conversion (enhanced).  Leaf
-// positions are assigned in entry order, exactly as the per-node recursion
-// assigns them in visit order.
-func (p *Party) makeLeavesLevel(model *Model, entries []frontierNode) ([]Node, error) {
+// positions are assigned in entry order per tree, exactly as the per-node
+// recursion assigns them in visit order.
+func (p *Party) makeLeavesLevel(tasks []*treeTask, entries []frontierNode) ([]Node, error) {
 	L := len(entries)
 	nodes := make([]Node, L)
 	for i := range entries {
-		if p.captureLeaves {
-			p.leafAlphas = append(p.leafAlphas, entries[i].nd.alpha)
+		task := tasks[entries[i].tree]
+		if task.capture {
+			task.leafAlphas = append(task.leafAlphas, entries[i].nd.alpha)
 		}
-		nodes[i] = Node{Leaf: true, LeafPos: model.Leaves}
-		model.Leaves++
+		nodes[i] = Node{Leaf: true, LeafPos: task.model.Leaves}
+		task.model.Leaves++
 	}
+	classes := tasks[entries[0].tree].model.Classes
 	err := timed(&p.Stats.Phases.MPCComputation, func() error {
-		if model.Classes > 0 {
-			return p.leavesClassification(model, nodes, entries)
+		if classes > 0 {
+			return p.leavesClassification(classes, nodes, entries)
 		}
 		return p.leavesRegression(nodes, entries)
 	})
@@ -495,9 +600,8 @@ func (p *Party) makeLeavesLevel(model *Model, entries []frontierNode) ([]Node, e
 
 // leavesClassification picks every leaf's majority class obliviously, with
 // the per-leaf argmaxes grouped so their comparison rounds are shared.
-func (p *Party) leavesClassification(model *Model, nodes []Node, entries []frontierNode) error {
+func (p *Party) leavesClassification(C int, nodes []Node, entries []frontierNode) error {
 	L := len(entries)
-	C := model.Classes
 	// Super computes the encrypted per-class counts [g_k] = β_k ⊙ [α] for
 	// every leaf, one parallel batch over (leaf, class).
 	counts := make([]*paillier.Ciphertext, L*C)

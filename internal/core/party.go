@@ -610,10 +610,36 @@ func (p *Party) encToIntShares(cts []*paillier.Ciphertext, kStat uint) ([]*big.I
 // (§5.2 "each client encrypts her own share ... summing up these encrypted
 // shares", with integer masking so no modular wrap occurs).
 func (p *Party) shareToEnc(shares []mpc.Share, kStat uint, combiner int) ([]*paillier.Ciphertext, error) {
+	return p.shareToEncSeg(shares, kStat, []int{len(shares)}, []int{combiner})
+}
+
+// shareToEncSeg is shareToEnc over concatenated segments with a per-segment
+// combiner: the masked opening is one OpenVec for the whole batch, every
+// client encrypts all its mask pieces in one parallel pass, and each
+// distinct combiner assembles and broadcasts only its own segments — one
+// chunked message per (client, combiner) pair instead of one exchange per
+// segment.  The level-wise batched model update uses it to convert every
+// frontier node's [λ] in a single conversion, grouped by best-split owner.
+func (p *Party) shareToEncSeg(shares []mpc.Share, kStat uint, segLens []int, combiners []int) ([]*paillier.Ciphertext, error) {
 	count := len(shares)
 	if count == 0 {
 		return nil, nil
 	}
+	// Flat positions per combiner, every client deriving the same layout
+	// from the (public) segment structure.
+	pos := make([][]int, p.M)
+	off := 0
+	for s, l := range segLens {
+		c := combiners[s]
+		for j := off; j < off+l; j++ {
+			pos[c] = append(pos[c], j)
+		}
+		off += l
+	}
+	if off != count {
+		return nil, p.errf("share conversion: segments cover %d of %d shares", off, count)
+	}
+
 	maskW := kStat + p.cfg.Kappa
 	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
 	masks := p.eng.EncMasks(count, maskW)
@@ -631,39 +657,68 @@ func (p *Party) shareToEnc(shares []mpc.Share, kStat uint, combiner int) ([]*pai
 	if err != nil {
 		return nil, err
 	}
-	var out []*paillier.Ciphertext
-	if p.ID == combiner {
-		out = make([]*paillier.Ciphertext, count)
-		for j := range out {
+	out := make([]*paillier.Ciphertext, count)
+
+	// Ship my encrypted mask pieces to every other combiner.
+	for c := 0; c < p.M; c++ {
+		if c == p.ID || len(pos[c]) == 0 {
+			continue
+		}
+		seg := make([]*paillier.Ciphertext, len(pos[c]))
+		for i, j := range pos[c] {
+			seg[i] = encMine[j]
+		}
+		if err := p.sendCtsChunked(c, seg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble and broadcast the segments I combine.
+	if idxs := pos[p.ID]; len(idxs) > 0 {
+		mine := make([]*paillier.Ciphertext, len(idxs))
+		for i, j := range idxs {
 			w := new(big.Int).Sub(ws[j], offset)
 			w.Sub(w, masks[j].Plain)
 			ct, err := p.pk.Encrypt(rand.Reader, w)
 			if err != nil {
 				return nil, err
 			}
-			out[j] = ct
+			mine[i] = ct
 		}
-		p.Stats.Encryptions += int64(count)
+		p.Stats.Encryptions += int64(len(idxs))
 		for c := 0; c < p.M; c++ {
-			if c == combiner {
+			if c == p.ID {
 				continue
 			}
-			theirs, err := p.recvCtsChunked(c, count)
+			theirs, err := p.recvCtsChunked(c, len(idxs))
 			if err != nil {
 				return nil, err
 			}
-			out = p.pk.SubVec(out, theirs, p.cfg.Workers)
+			mine = p.pk.SubVec(mine, theirs, p.cfg.Workers)
 		}
-		p.Stats.HEOps += int64(count * p.M)
-		if err := p.broadcastCtsChunked(out); err != nil {
+		p.Stats.HEOps += int64(len(idxs) * p.M)
+		if err := p.broadcastCtsChunked(mine); err != nil {
 			return nil, err
 		}
-		return out, nil
+		for i, j := range idxs {
+			out[j] = mine[i]
+		}
 	}
-	if err := p.sendCtsChunked(combiner, encMine); err != nil {
-		return nil, err
+
+	// Receive the other combiners' assembled segments.
+	for c := 0; c < p.M; c++ {
+		if c == p.ID || len(pos[c]) == 0 {
+			continue
+		}
+		cts, err := p.recvCtsChunked(c, len(pos[c]))
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range pos[c] {
+			out[j] = cts[i]
+		}
 	}
-	return p.recvCtsChunked(combiner, count)
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

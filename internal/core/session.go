@@ -211,6 +211,7 @@ func (s *Session) Stats() RunStats {
 		total.Phases = s.parties[0].Stats.Phases
 		total.Wall = s.parties[0].Stats.Wall
 		total.MPC.Rounds = s.parties[0].Stats.MPC.Rounds
+		total.UpdateRounds = s.parties[0].Stats.UpdateRounds
 		total.TreesTrained = s.parties[0].Stats.TreesTrained
 		total.NodesTrained = s.parties[0].Stats.NodesTrained
 	}

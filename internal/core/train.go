@@ -77,6 +77,49 @@ func (p *Party) trainTree(rootCounts []int64, encY, encY2 []*paillier.Ciphertext
 	return model, nil
 }
 
+// trainTreesShared trains one regression tree per encrypted label channel
+// with every tree sharing a single level-wise frontier (the GBDT cross-class
+// extension): one root mask vector serves all trees, and each depth's
+// conversion, gain, argmax and batched-update chains run once for the whole
+// set of class trees.  It returns the models and each tree's captured leaf
+// mask vectors, exactly as sequential trainTree calls would.
+func (p *Party) trainTreesShared(encYs, encY2s [][]*paillier.Ciphertext) ([]*Model, [][][]*paillier.Ciphertext, error) {
+	start := time.Now()
+	defer func() {
+		p.Stats.Wall += time.Since(start)
+		p.gatherStats()
+	}()
+	var alpha []*paillier.Ciphertext
+	err := timed(&p.Stats.Phases.LocalComputation, func() error {
+		var err error
+		alpha, err = p.initialAlpha(nil)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tasks := make([]*treeTask, len(encYs))
+	roots := make([]nodeData, len(encYs))
+	for k := range encYs {
+		tasks[k] = &treeTask{
+			model:   &Model{Protocol: p.cfg.Protocol, Hide: p.cfg.Hide},
+			capture: true,
+		}
+		roots[k] = nodeData{alpha: alpha, gch: [][]*paillier.Ciphertext{encYs[k], encY2s[k]}}
+	}
+	if err := p.buildLevelsMulti(tasks, roots); err != nil {
+		return nil, nil, err
+	}
+	models := make([]*Model, len(tasks))
+	las := make([][][]*paillier.Ciphertext, len(tasks))
+	for k, task := range tasks {
+		models[k] = task.model
+		las[k] = task.leafAlphas
+	}
+	p.Stats.TreesTrained += len(tasks)
+	return models, las, nil
+}
+
 // labelVectors builds the vectors the super client commits to in malicious
 // mode: per-class indicators (classification) or encoded y and y² vectors
 // (regression).  Nil at the other clients.

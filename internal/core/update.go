@@ -87,6 +87,117 @@ func (p *Party) splitBasic(nd nodeData, iStar, jStar, sStar int) (Node, nodeData
 	return node, left, right, nil
 }
 
+// splitBasicLevel is splitBasic for a whole frontier: thresholds are
+// announced in one message per owning client, and every owner computes all
+// of its nodes' child mask vectors (and label channels) in one parallel
+// Paillier batch shipped as one chunked broadcast — replacing the per-node
+// announcement and the per-(node, channel, side) broadcasts.
+func (p *Party) splitBasicLevel(nds []nodeData, is, js, ss []int) ([]splitOutcome, error) {
+	K := len(nds)
+	out := make([]splitOutcome, K)
+	byOwner := make([][]int, p.M)
+	for i, o := range is {
+		byOwner[o] = append(byOwner[o], i)
+	}
+	for i := range nds {
+		out[i].node = Node{Owner: is[i], Feature: js[i], SplitIndex: ss[i]}
+	}
+
+	// Threshold announcements (public model content), one message per owner.
+	if mine := byOwner[p.ID]; len(mine) > 0 {
+		encoded := make([]*big.Int, len(mine))
+		for idx, i := range mine {
+			enc := p.cod.Encode(p.cands[js[i]][ss[i]])
+			// Store the fixed-point-rounded value so every client holds a
+			// bit-identical model.
+			out[i].node.Threshold = p.cod.Decode(enc)
+			encoded[idx] = mpc.ToField(enc)
+		}
+		if err := p.broadcastInts(encoded); err != nil {
+			return nil, err
+		}
+	}
+	for o := 0; o < p.M; o++ {
+		if o == p.ID || len(byOwner[o]) == 0 {
+			continue
+		}
+		xs, err := transport.RecvInts(p.ep, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != len(byOwner[o]) {
+			return nil, p.errf("basic update: %d thresholds from %d, want %d", len(xs), o, len(byOwner[o]))
+		}
+		for idx, i := range byOwner[o] {
+			out[i].node.Threshold = p.cod.Decode(mpc.Signed(xs[idx]))
+		}
+	}
+
+	// Child mask vectors (and label channels in encrypted-label mode).
+	vecsOf := func(i int) [][]*paillier.Ciphertext {
+		return append([][]*paillier.Ciphertext{nds[i].alpha}, nds[i].gch...)
+	}
+	if mine := byOwner[p.ID]; len(mine) > 0 {
+		var cts []*paillier.Ciphertext
+		var betas []*big.Int
+		for _, i := range mine {
+			vl := p.indic[js[i]][ss[i]]
+			for _, vec := range vecsOf(i) {
+				cts = append(cts, vec...)
+				betas = append(betas, vl...)
+			}
+		}
+		p.poolReserve(len(cts))
+		lefts, err := p.scalarMulRerandVec(cts, betas)
+		if err != nil {
+			return nil, err
+		}
+		rights := p.pk.SubVec(cts, lefts, p.cfg.Workers)
+		p.Stats.HEOps += int64(len(cts))
+		if err := p.broadcastCtsChunked(append(append([]*paillier.Ciphertext{}, lefts...), rights...)); err != nil {
+			return nil, err
+		}
+		pos := 0
+		for _, i := range mine {
+			out[i].left, out[i].right = sliceChildren(nds[i], lefts, rights, &pos)
+		}
+	}
+	for o := 0; o < p.M; o++ {
+		if o == p.ID || len(byOwner[o]) == 0 {
+			continue
+		}
+		want := 0
+		for _, i := range byOwner[o] {
+			want += len(vecsOf(i)) * len(nds[i].alpha)
+		}
+		all, err := p.recvCtsChunked(o, 2*want)
+		if err != nil {
+			return nil, err
+		}
+		lefts, rights := all[:want], all[want:]
+		pos := 0
+		for _, i := range byOwner[o] {
+			out[i].left, out[i].right = sliceChildren(nds[i], lefts, rights, &pos)
+		}
+	}
+	return out, nil
+}
+
+// sliceChildren carves one node's child nodeData out of the flattened
+// left/right vector batches.
+func sliceChildren(nd nodeData, lefts, rights []*paillier.Ciphertext, pos *int) (nodeData, nodeData) {
+	n := len(nd.alpha)
+	left := nodeData{alpha: lefts[*pos : *pos+n]}
+	right := nodeData{alpha: rights[*pos : *pos+n]}
+	*pos += n
+	for range nd.gch {
+		left.gch = append(left.gch, lefts[*pos:*pos+n])
+		right.gch = append(right.gch, rights[*pos:*pos+n])
+		*pos += n
+	}
+	return left, right
+}
+
 // updateBasic wraps splitBasic for the per-node recursion.
 func (p *Party) updateBasic(model *Model, nd nodeData,
 	iStar, jStar, sStar, depth int) (int, error) {
@@ -94,6 +205,8 @@ func (p *Party) updateBasic(model *Model, nd nodeData,
 	var node Node
 	var left, right nodeData
 	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		r0 := p.eng.Stats.Rounds
+		defer func() { p.Stats.UpdateRounds += p.eng.Stats.Rounds - r0 }()
 		var err error
 		node, left, right, err = p.splitBasic(nd, iStar, jStar, sStar)
 		return err
@@ -238,11 +351,101 @@ func (p *Party) splitEnhanced(nd nodeData, iStar, jStar int, sStar mpc.Share) (N
 	return node, left, right, nil
 }
 
+// splitEnhancedLevel is splitEnhanced for a whole frontier: one grouped
+// equality ladder over every node's PIR diffs, one grouped share→ciphertext
+// conversion with each [λ] combined at its owner, one batched owner
+// selection per owning client, and a single Eqn-10 chain covering all
+// nodes' encrypted mask updates — O(1) round chains per level instead of
+// O(frontier).
+func (p *Party) splitEnhancedLevel(nds []nodeData, iStars, jStars []int, sStars []mpc.Share) ([]splitOutcome, error) {
+	K := len(nds)
+	n := len(nds[0].alpha)
+	out := make([]splitOutcome, K)
+
+	// ⟨λ⟩ ladders for every node, one shared round chain.
+	segLens := make([]int, K)
+	combiners := make([]int, K)
+	var diffs []mpc.Share
+	var ks []uint
+	for i := range nds {
+		nPrime := p.splitCounts[iStars[i]][jStars[i]]
+		segLens[i] = nPrime
+		combiners[i] = iStars[i]
+		kEq := uint(bitsFor(nPrime)) + 3
+		for t := 0; t < nPrime; t++ {
+			diffs = append(diffs, p.eng.AddConst(sStars[i], big.NewInt(-int64(t))))
+			ks = append(ks, kEq)
+		}
+	}
+	lamShares := p.eng.EQZVecGrouped(diffs, ks)
+
+	// Private split selection: each [λ] goes to its owner (Theorem 2), all
+	// segments through one grouped conversion.
+	encLam, err := p.shareToEncSeg(lamShares, 4, segLens, combiners)
+	if err != nil {
+		return nil, err
+	}
+	segOff := make([]int, K)
+	off := 0
+	for i := range segLens {
+		segOff[i] = off
+		off += segLens[i]
+	}
+
+	// Owners select [v] = V ⊗ [λ] and the encrypted thresholds for all of
+	// their nodes in one parallel dot-product batch and one broadcast.
+	byOwner := make([][]int, p.M)
+	for i, o := range iStars {
+		byOwner[o] = append(byOwner[o], i)
+	}
+	encVs, encTaus, err := p.ownerSelectLevel(byOwner, n, func(i int) ([][]*big.Int, [][]*paillier.Ciphertext, error) {
+		seg := encLam[segOff[i] : segOff[i]+segLens[i]]
+		j := jStars[i]
+		rows := make([][]*big.Int, 0, n+1)
+		lams := make([][]*paillier.Ciphertext, 0, n+1)
+		for t := 0; t < n; t++ {
+			row := make([]*big.Int, segLens[i])
+			for s := 0; s < segLens[i]; s++ {
+				row[s] = p.indic[j][s][t]
+			}
+			rows = append(rows, row)
+			lams = append(lams, seg)
+		}
+		taus := make([]*big.Int, segLens[i])
+		for s := 0; s < segLens[i]; s++ {
+			taus[s] = p.cod.Encode(p.cands[j][s])
+		}
+		return append(rows, taus), append(lams, seg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Encrypted mask vector updates, Eqn (10), one chain for the frontier.
+	alphas := make([][]*paillier.Ciphertext, K)
+	for i := range nds {
+		alphas[i] = nds[i].alpha
+	}
+	lefts, err := p.encMaskedProductLevel(alphas, encVs, iStars)
+	if err != nil {
+		return nil, err
+	}
+	for i := range nds {
+		out[i].node = Node{Owner: iStars[i], Feature: jStars[i], EncThreshold: encTaus[i]}
+		out[i].left = nodeData{alpha: lefts[i]}
+		out[i].right = nodeData{alpha: p.pk.SubVec(nds[i].alpha, lefts[i], p.cfg.Workers)}
+		p.Stats.HEOps += int64(n)
+	}
+	return out, nil
+}
+
 // updateEnhanced wraps splitEnhanced for the per-node recursion.
 func (p *Party) updateEnhanced(model *Model, nd nodeData, iStar, jStar int, sStar mpc.Share, depth int) (int, error) {
 	var node Node
 	var left, right nodeData
 	err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		r0 := p.eng.Stats.Rounds
+		defer func() { p.Stats.UpdateRounds += p.eng.Stats.Rounds - r0 }()
 		var err error
 		node, left, right, err = p.splitEnhanced(nd, iStar, jStar, sStar)
 		return err
@@ -313,6 +516,176 @@ func (p *Party) encMaskedProduct(alpha, encV []*paillier.Ciphertext, owner int) 
 	p.Stats.Encryptions += int64(n)
 	if err := p.broadcastCts(out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ownerSelectLevel is the shared owner-side selection batch: for each node
+// grouped under an owning client, rowsFor(i) returns that node's n
+// indicator rows plus its threshold row (called only at the owner — the
+// rows are private).  Each owner runs its nodes' dot products as one
+// parallel batch and ships them in a single chunked broadcast; every client
+// slices the (n+1)-stride results back into per-node [v] and [τ].  The
+// layout is part of the SPMD message schedule, so the enhanced and
+// hidden-feature updates must (and now do) share this one implementation.
+func (p *Party) ownerSelectLevel(byOwner [][]int, n int,
+	rowsFor func(i int) ([][]*big.Int, [][]*paillier.Ciphertext, error)) ([][]*paillier.Ciphertext, []*paillier.Ciphertext, error) {
+
+	K := 0
+	for _, nodes := range byOwner {
+		K += len(nodes)
+	}
+	encVs := make([][]*paillier.Ciphertext, K)
+	encTaus := make([]*paillier.Ciphertext, K)
+	if mine := byOwner[p.ID]; len(mine) > 0 {
+		var rows [][]*big.Int
+		var lams [][]*paillier.Ciphertext
+		for _, i := range mine {
+			r, l, err := rowsFor(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, r...)
+			lams = append(lams, l...)
+		}
+		p.poolReserve(len(rows))
+		cts, err := p.dotRerandVec(rows, lams)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.broadcastCtsChunked(cts); err != nil {
+			return nil, nil, err
+		}
+		for idx, i := range mine {
+			encVs[i] = cts[idx*(n+1) : idx*(n+1)+n]
+			encTaus[i] = cts[idx*(n+1)+n]
+		}
+	}
+	for o := 0; o < p.M; o++ {
+		if o == p.ID || len(byOwner[o]) == 0 {
+			continue
+		}
+		cts, err := p.recvCtsChunked(o, len(byOwner[o])*(n+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		for idx, i := range byOwner[o] {
+			encVs[i] = cts[idx*(n+1) : idx*(n+1)+n]
+			encTaus[i] = cts[idx*(n+1)+n]
+		}
+	}
+	return encVs, encTaus, nil
+}
+
+// encMaskedProductLevel runs Eqn (10) for a whole frontier in one chain:
+// the concatenated [α] vectors of all nodes are converted to integer shares
+// in a single conversion, every client exponentiates all [v] entries in one
+// parallel pass, contributions flow to each node's owner in one chunked
+// message per (client, owner) pair, and each owner recombines, strips the
+// conversion offset, rerandomizes and broadcasts all of its nodes' products
+// together.
+func (p *Party) encMaskedProductLevel(alphas, encVs [][]*paillier.Ciphertext, owners []int) ([][]*paillier.Ciphertext, error) {
+	K := len(alphas)
+	offs := make([]int, K)
+	total := 0
+	for i := range alphas {
+		offs[i] = total
+		total += len(alphas[i])
+	}
+	flatA := make([]*paillier.Ciphertext, 0, total)
+	flatV := make([]*paillier.Ciphertext, 0, total)
+	for i := range alphas {
+		flatA = append(flatA, alphas[i]...)
+		flatV = append(flatV, encVs[i]...)
+	}
+
+	ints, off, err := p.encToIntShares(flatA, p.w.count+2)
+	if err != nil {
+		return nil, err
+	}
+	// The conversion shares are full-width masked integers, so these
+	// exponentiations are the step's dominant cost — run them across the
+	// configured workers.
+	contrib := p.pk.ScalarMulVec(flatV, ints, p.cfg.Workers)
+	p.Stats.HEOps += int64(total)
+
+	byOwner := make([][]int, p.M)
+	for i, o := range owners {
+		byOwner[o] = append(byOwner[o], i)
+	}
+	gather := func(src []*paillier.Ciphertext, nodes []int) []*paillier.Ciphertext {
+		var seg []*paillier.Ciphertext
+		for _, i := range nodes {
+			seg = append(seg, src[offs[i]:offs[i]+len(alphas[i])]...)
+		}
+		return seg
+	}
+
+	// Ship contributions for the nodes owned elsewhere.
+	for o := 0; o < p.M; o++ {
+		if o == p.ID || len(byOwner[o]) == 0 {
+			continue
+		}
+		if err := p.sendCtsChunked(o, gather(contrib, byOwner[o])); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([][]*paillier.Ciphertext, K)
+	// Recombine, strip the offset, rerandomize and broadcast my own nodes.
+	if mine := byOwner[p.ID]; len(mine) > 0 {
+		acc := gather(contrib, mine)
+		for c := 0; c < p.M; c++ {
+			if c == p.ID {
+				continue
+			}
+			theirs, err := p.recvCtsChunked(c, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			acc = p.pk.AddVec(acc, theirs, p.cfg.Workers)
+		}
+		// Σ_i shares = α_t + off, so subtract off·v_t homomorphically.
+		negOff := new(big.Int).Neg(off)
+		negOffs := make([]*big.Int, len(acc))
+		for t := range negOffs {
+			negOffs[t] = negOff
+		}
+		acc = p.pk.AddVec(acc, p.pk.ScalarMulVec(gather(flatV, mine), negOffs, p.cfg.Workers), p.cfg.Workers)
+		p.poolReserve(len(acc))
+		acc, err = p.pk.RerandomizeVec(cryptoRand(), acc, p.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		p.Stats.HEOps += int64(2 * len(acc))
+		p.Stats.Encryptions += int64(len(acc))
+		if err := p.broadcastCtsChunked(acc); err != nil {
+			return nil, err
+		}
+		pos := 0
+		for _, i := range mine {
+			out[i] = acc[pos : pos+len(alphas[i])]
+			pos += len(alphas[i])
+		}
+	}
+	// Receive the other owners' recombined products.
+	for o := 0; o < p.M; o++ {
+		if o == p.ID || len(byOwner[o]) == 0 {
+			continue
+		}
+		want := 0
+		for _, i := range byOwner[o] {
+			want += len(alphas[i])
+		}
+		cts, err := p.recvCtsChunked(o, want)
+		if err != nil {
+			return nil, err
+		}
+		pos := 0
+		for _, i := range byOwner[o] {
+			out[i] = cts[pos : pos+len(alphas[i])]
+			pos += len(alphas[i])
+		}
 	}
 	return out, nil
 }

@@ -120,6 +120,7 @@ func All(p Preset) ([]*Result, error) {
 		{"levelwise", LevelwiseBench},
 		{"predict", PredictBench},
 		{"serve", ServeBench},
+		{"update", UpdateBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -146,6 +147,7 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"levelwise": LevelwiseBench,
 	"predict":   PredictBench,
 	"serve":     ServeBench,
+	"update":    UpdateBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

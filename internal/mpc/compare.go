@@ -22,13 +22,29 @@ func (e *Engine) checkWidth(k uint) {
 // randBitwise returns, for each of count instances, `width` shared random
 // bits plus the assembled shared value Σ 2^i·b_i.
 func (e *Engine) randBitwise(count int, width uint) ([][]Share, []Share) {
-	flat := e.takeBits(count * int(width))
-	bits := make([][]Share, count)
-	vals := make([]Share, count)
-	for t := 0; t < count; t++ {
-		bits[t] = flat[t*int(width) : (t+1)*int(width)]
+	widths := make([]uint, count)
+	for t := range widths {
+		widths[t] = width
+	}
+	return e.randBitwiseGrouped(widths)
+}
+
+// randBitwiseGrouped is randBitwise with a per-instance bit width: instance t
+// gets widths[t] shared random bits plus the assembled shared value.
+func (e *Engine) randBitwiseGrouped(widths []uint) ([][]Share, []Share) {
+	total := 0
+	for _, w := range widths {
+		total += int(w)
+	}
+	flat := e.takeBits(total)
+	bits := make([][]Share, len(widths))
+	vals := make([]Share, len(widths))
+	off := 0
+	for t, w := range widths {
+		bits[t] = flat[off : off+int(w)]
+		off += int(w)
 		acc := e.zeroShare()
-		for i := uint(0); i < width; i++ {
+		for i := uint(0); i < w; i++ {
 			acc = e.Add(acc, e.MulPub(bits[t][i], new(big.Int).Lsh(big.NewInt(1), i)))
 		}
 		vals[t] = acc
@@ -180,25 +196,47 @@ func (e *Engine) LE(x, y Share, k uint) Share {
 
 // EQZVec computes ⟨1{a == 0}⟩ for signed a with |a| < 2^(k-1).
 func (e *Engine) EQZVec(as []Share, k uint) []Share {
-	e.checkWidth(k)
+	ks := make([]uint, len(as))
+	for t := range ks {
+		ks[t] = k
+	}
+	return e.EQZVecGrouped(as, ks)
+}
+
+// EQZVecGrouped computes ⟨1{a_t == 0}⟩ with a per-instance signed width
+// ks[t] (|a_t| < 2^(ks[t]-1)), sharing every masked opening and
+// AND-reduction round across all instances.  The level-wise batched model
+// update uses it to run the whole frontier's equality ladders — whose widths
+// depend on each node's owner-local split count — as one round chain.
+func (e *Engine) EQZVecGrouped(as []Share, ks []uint) []Share {
+	if len(as) != len(ks) {
+		panic("mpc: EQZVecGrouped length mismatch")
+	}
 	count := len(as)
-	rbits, rlow := e.randBitwise(count, k)
+	if count == 0 {
+		return nil
+	}
+	for _, k := range ks {
+		e.checkWidth(k)
+	}
+	rbits, rlow := e.randBitwiseGrouped(ks)
 	rhigh := e.randMask(count, e.cfg.Kappa)
-	offset := new(big.Int).Lsh(big.NewInt(1), k-1)
 	masked := make([]Share, count)
 	for t := range as {
+		offset := new(big.Int).Lsh(big.NewInt(1), ks[t]-1)
 		v := e.AddConst(as[t], offset)
 		v = e.Add(v, rlow[t])
-		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), k)))
+		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), ks[t])))
 		masked[t] = v
 	}
 	cs := e.OpenVec(masked)
-	mod := new(big.Int).Lsh(big.NewInt(1), k)
 	// a == 0  iff  (c - 2^(k-1)) mod 2^k equals r mod 2^k bitwise.
 	xnors := make([][]Share, count)
 	for t := range cs {
+		k := ks[t]
+		offset := new(big.Int).Lsh(big.NewInt(1), k-1)
 		c2 := new(big.Int).Sub(cs[t], offset)
-		c2.Mod(c2, mod)
+		c2.Mod(c2, new(big.Int).Lsh(big.NewInt(1), k))
 		row := make([]Share, k)
 		for i := uint(0); i < k; i++ {
 			if c2.Bit(int(i)) == 1 {

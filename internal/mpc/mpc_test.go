@@ -255,6 +255,51 @@ func TestEQZ(t *testing.T) {
 	})
 }
 
+func TestEQZVecGroupedMixedWidths(t *testing.T) {
+	// Instances of different widths in one call: the grouped ladder must
+	// agree with per-width EQZVec on every element while spending the
+	// rounds of a single chain.
+	vals := []int64{0, 1, -3, 0, 5, -1, 0, 1 << 12, -(1 << 12), 0}
+	ks := []uint{5, 5, 8, 8, 8, 13, 13, 15, 15, 24}
+	runParties(t, 3, DefaultConfig(), func(e *Engine) error {
+		shares := make([]Share, len(vals))
+		for i, v := range vals {
+			shares[i] = e.ConstInt64(v)
+		}
+		before := e.Stats.Rounds
+		got := e.EQZVecGrouped(shares, ks)
+		grouped := e.Stats.Rounds - before
+		for i, v := range vals {
+			want := int64(0)
+			if v == 0 {
+				want = 1
+			}
+			if g := e.OpenSigned(got[i]); g.Int64() != want {
+				return fmt.Errorf("grouped EQZ(%d, k=%d) = %v", v, ks[i], g)
+			}
+		}
+		// The scalar reference, one EQZ per element at its own width.
+		before = e.Stats.Rounds
+		for i, v := range vals {
+			ref := e.EQZ(shares[i], ks[i])
+			want := int64(0)
+			if v == 0 {
+				want = 1
+			}
+			if g := e.OpenSigned(ref); g.Int64() != want {
+				return fmt.Errorf("scalar EQZ(%d, k=%d) = %v", v, ks[i], g)
+			}
+		}
+		// Opens after each scalar EQZ count too; subtract them (one per
+		// element) to compare ladder rounds alone.
+		scalar := e.Stats.Rounds - before - int64(len(vals))
+		if grouped*2 > scalar {
+			return fmt.Errorf("grouped ladder spent %d rounds vs %d sequential", grouped, scalar)
+		}
+		return nil
+	})
+}
+
 func TestBitDec(t *testing.T) {
 	vals := []int64{0, 1, 2, 3, 0xdeadbeef, 12345}
 	runParties(t, 2, DefaultConfig(), func(e *Engine) error {

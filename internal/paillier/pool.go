@@ -39,6 +39,12 @@ type PoolConfig struct {
 	ExpBits uint
 	// Window is the fixed-base window width (default 6).
 	Window uint
+	// MaxReserve caps how many pairs a single Reserve call may buffer
+	// ahead (default 65536).  Frontier-wide training batches announce
+	// nodes·channels·samples consumptions at once — unbounded at paper
+	// scale — so reservations beyond the cap generate inline instead of
+	// holding gigabytes of obfuscators in memory.
+	MaxReserve int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -53,6 +59,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.Window == 0 {
 		c.Window = 6
+	}
+	if c.MaxReserve <= 0 {
+		c.MaxReserve = 1 << 16
 	}
 	return c
 }
@@ -177,8 +186,14 @@ func (p *Pool) takeExtra() (obf, bool) {
 // size ≈ nodes·channels·samples pairs at once, so callers announce the
 // batch and the cost is amortized across all cores instead of being paid
 // inline, one miss at a time.  Pairs already buffered count toward the
-// target; surplus pairs are kept for later batches.
+// target; surplus pairs are kept for later batches; reservations are
+// clamped to cfg.MaxReserve so a frontier-wide announcement at paper scale
+// bounds memory (the overflow generates inline, still via the fixed-base
+// tables).
 func (p *Pool) Reserve(size, workers int) {
+	if size > p.cfg.MaxReserve {
+		size = p.cfg.MaxReserve
+	}
 	p.extraMu.Lock()
 	need := size - len(p.extra) - len(p.ch)
 	p.extraMu.Unlock()

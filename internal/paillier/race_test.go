@@ -75,6 +75,38 @@ func TestConcurrentPartiesRace(t *testing.T) {
 	}
 }
 
+// TestPoolReserveClamped checks that a frontier-sized Reserve announcement
+// is clamped to MaxReserve instead of buffering the full batch: the
+// overflow is generated inline by consumers, so nothing but memory changes.
+func TestPoolReserveClamped(t *testing.T) {
+	pk, _, _ := testKey(t, 1)
+	pool, err := NewPool(pk, PoolConfig{Workers: 1, Capacity: 4, MaxReserve: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pool.Reserve(1<<20, 2)
+	pool.extraMu.Lock()
+	extra := len(pool.extra)
+	pool.extraMu.Unlock()
+	if extra > 16 {
+		t.Fatalf("Reserve buffered %d pairs, cap is 16", extra)
+	}
+	if extra == 0 {
+		t.Fatal("Reserve buffered nothing")
+	}
+	// Clamped reservations must still serve consumers correctly.
+	for i := 0; i < 20; i++ {
+		r, rn, err := pool.Obfuscator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Sign() == 0 || rn.Sign() == 0 {
+			t.Fatal("degenerate obfuscator")
+		}
+	}
+}
+
 // TestPoolConcurrentDrainRace hammers one pool from many consumers while
 // the background workers refill it.
 func TestPoolConcurrentDrainRace(t *testing.T) {

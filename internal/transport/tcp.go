@@ -13,16 +13,67 @@ import (
 // tcpEndpoint implements Endpoint over one TCP connection per peer with
 // length-prefixed frames.  Connection setup uses the usual mesh convention:
 // party i dials every j < i and accepts from every j > i.
+//
+// Sends are asynchronous: each peer has an unbounded FIFO queue drained by
+// one writer goroutine, so Send never blocks on the socket.  The SPMD
+// protocols run symmetric exchanges — every owner of a frontier level ships
+// multi-megabyte contribution batches to every other owner before turning
+// around to receive — and with synchronous writes two parties whose kernel
+// buffers fill mid-frame would deadlock, each stuck in Send while the other
+// isn't reading.  Queue memory stays bounded by the protocol's synchronous
+// round structure (a party can only buffer what one round produces before
+// it blocks on a Recv).  A write failure is recorded and surfaced on
+// subsequent Sends; the peer's broken connection surfaces on its Recv.
 type tcpEndpoint struct {
 	id, n int
 	conns []net.Conn
 	rd    []*bufio.Reader
 	wr    []*bufio.Writer
-	wrMu  []sync.Mutex
+	out   []*sendQueue
 	stats Stats
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// sendQueue is one peer's outgoing wire: an unbounded FIFO drained by a
+// dedicated writer goroutine.
+type sendQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	err      error // first write failure, surfaced on later Sends
+	closed   bool  // no further Sends accepted; writer drains what remains
+	inflight bool  // writer is mid-batch on the socket
+	expired  bool  // the close grace period ran out
+}
+
+func newSendQueue() *sendQueue {
+	q := &sendQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// close rejects further Sends and waits up to grace for the writer to flush
+// everything already queued — matching the synchronous-write behavior where
+// anything Sent before Close was already on the socket.  A peer that stops
+// reading can stall the writer; the grace bound keeps Close from hanging
+// (the caller closes the connection right after, unblocking the writer).
+func (q *sendQueue) close(grace time.Duration) {
+	timer := time.AfterFunc(grace, func() {
+		q.mu.Lock()
+		q.expired = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer timer.Stop()
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	for (len(q.queue) > 0 || q.inflight) && q.err == nil && !q.expired {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
 }
 
 // TCPConfig describes a TCP mesh.  Addrs[i] is the listen address of party i.
@@ -42,7 +93,7 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 		conns: make([]net.Conn, n),
 		rd:    make([]*bufio.Reader, n),
 		wr:    make([]*bufio.Writer, n),
-		wrMu:  make([]sync.Mutex, n),
+		out:   make([]*sendQueue, n),
 	}
 	e.stats.TrackPeers(n)
 	ln, err := net.Listen("tcp", cfg.Addrs[id])
@@ -122,34 +173,84 @@ func (e *tcpEndpoint) attach(peer int, conn net.Conn) {
 	e.conns[peer] = conn
 	e.rd[peer] = bufio.NewReaderSize(conn, 1<<16)
 	e.wr[peer] = bufio.NewWriterSize(conn, 1<<16)
+	e.out[peer] = newSendQueue()
+	go e.writeLoop(peer, e.out[peer])
+}
+
+// writeLoop drains one peer's send queue in FIFO order, flushing once per
+// drained batch so back-to-back chunked sends coalesce on the socket.
+func (e *tcpEndpoint) writeLoop(peer int, q *sendQueue) {
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 { // closed and fully drained
+			q.mu.Unlock()
+			return
+		}
+		batch := q.queue
+		q.queue = nil
+		q.inflight = true
+		q.mu.Unlock()
+
+		w := e.wr[peer]
+		var err error
+		for _, b := range batch {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+			if _, err = w.Write(hdr[:]); err != nil {
+				break
+			}
+			if _, err = w.Write(b); err != nil {
+				break
+			}
+			e.stats.CountSent(peer, len(b))
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+		q.mu.Lock()
+		q.inflight = false
+		if err != nil {
+			q.err = err
+		}
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
 }
 
 func (e *tcpEndpoint) ID() int       { return e.id }
 func (e *tcpEndpoint) N() int        { return e.n }
 func (e *tcpEndpoint) Stats() *Stats { return &e.stats }
 
+// Send enqueues b for delivery to party `to` and returns immediately.  A
+// write failure on the wire is surfaced on the next Send to that peer.
 func (e *tcpEndpoint) Send(to int, b []byte) error {
 	if to < 0 || to >= e.n || to == e.id {
 		return fmt.Errorf("transport: bad destination %d", to)
 	}
-	e.wrMu[to].Lock()
-	defer e.wrMu[to].Unlock()
-	w := e.wr[to]
-	if w == nil {
+	q := e.out[to]
+	if q == nil {
 		return ErrClosed
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	// Copy so the caller may reuse the buffer (the Endpoint contract): the
+	// queue retains the frame until the writer goroutine flushes it.
+	msg := make([]byte, len(b))
+	copy(msg, b)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return q.err
 	}
-	if _, err := w.Write(b); err != nil {
-		return err
+	if q.closed {
+		return ErrClosed
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	e.stats.CountSent(to, len(b))
+	q.queue = append(q.queue, msg)
+	q.cond.Signal()
 	return nil
 }
 
@@ -181,6 +282,30 @@ func (e *tcpEndpoint) Recv(from int) ([]byte, error) {
 
 func (e *tcpEndpoint) Close() error {
 	e.closeOnce.Do(func() {
+		// Drain all peers' queues concurrently so shutdown pays at most one
+		// grace period, not one per stalled peer.
+		var wg sync.WaitGroup
+		for _, q := range e.out {
+			if q == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(q *sendQueue) {
+				defer wg.Done()
+				q.close(5 * time.Second)
+			}(q)
+		}
+		wg.Wait()
+		for _, q := range e.out {
+			if q == nil {
+				continue
+			}
+			q.mu.Lock()
+			if q.err != nil && e.closeErr == nil {
+				e.closeErr = q.err
+			}
+			q.mu.Unlock()
+		}
 		for _, c := range e.conns {
 			if c != nil {
 				if err := c.Close(); err != nil && e.closeErr == nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMemoryPairwise(t *testing.T) {
@@ -225,6 +226,83 @@ func TestTCPMesh(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTCPSymmetricBulkExchange is the deadlock regression test for the
+// asynchronous send path: two parties each ship a multi-megabyte batch of
+// frames to the other BEFORE either starts receiving — the level-wise
+// batched model update's owner-to-owner choreography.  With synchronous
+// socket writes both parties wedge once the kernel buffers fill; the
+// per-peer writer goroutines must let the exchange complete.
+func TestTCPSymmetricBulkExchange(t *testing.T) {
+	cfg := TCPConfig{Addrs: []string{"127.0.0.1:39151", "127.0.0.1:39152"}}
+	const n = 2
+	const frames = 400
+	payload := bytes.Repeat([]byte{0x5a}, 64*1024) // 400 × 64 KiB ≈ 25 MiB per direction
+	eps := make([]Endpoint, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := NewTCPEndpoint(cfg, i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			eps[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	defer func() {
+		for _, e := range eps {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			peer := 1 - i
+			for f := 0; f < frames; f++ {
+				if err := eps[i].Send(peer, payload); err != nil {
+					errs <- fmt.Errorf("party %d send %d: %w", i, f, err)
+					return
+				}
+			}
+			for f := 0; f < frames; f++ {
+				b, err := eps[i].Recv(peer)
+				if err != nil {
+					errs <- fmt.Errorf("party %d recv %d: %w", i, f, err)
+					return
+				}
+				if len(b) != len(payload) {
+					errs <- fmt.Errorf("party %d: frame %d truncated to %d bytes", i, f, len(b))
+					return
+				}
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("symmetric bulk exchange deadlocked")
+	}
 	close(errs)
 	for err := range errs {
 		t.Error(err)
