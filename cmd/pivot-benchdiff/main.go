@@ -14,6 +14,12 @@
 //
 //	pivot-benchdiff -baseline BENCH_update.json -current /tmp/BENCH_update_ci.json
 //	pivot-benchdiff -baseline ... -current ... -tolerance 0.15
+//	pivot-benchdiff -baseline ... -current ... -require gbdt_batch_bytes_sent
+//
+// -require names keys (comma-separated) that MUST be present as gated
+// numbers in both files: the substring gate only fires for keys the
+// baseline still carries, so a rename or drop on both sides would silently
+// retire a gate — -require turns that into a failure.
 package main
 
 import (
@@ -80,6 +86,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_update.json)")
 	current := flag.String("current", "", "freshly produced bench JSON to check")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression on gated count metrics")
+	require := flag.String("require", "", "comma-separated keys that must exist as gated numbers in both files")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "pivot-benchdiff: -baseline and -current are required")
@@ -135,6 +142,24 @@ func main() {
 			}
 		}
 		fmt.Printf("%-42s %16g %16g %9s  %s\n", k, bv, cv, delta, status)
+	}
+	if *require != "" {
+		for _, k := range strings.Split(*require, ",") {
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			_, bok := base[k].(float64)
+			_, cok := cur[k].(float64)
+			switch {
+			case !bok || !cok:
+				fmt.Printf("%-42s %16s %16s %9s  REQUIRED-MISSING\n", k, "-", "-", "-")
+				regressions++
+			case !gated(k):
+				fmt.Printf("%-42s %16s %16s %9s  REQUIRED-UNGATED\n", k, "-", "-", "-")
+				regressions++
+			}
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "pivot-benchdiff: %d gated metric(s) regressed beyond %.0f%% vs %s\n",

@@ -48,6 +48,8 @@ func main() {
 	protocol := flag.String("protocol", "basic", "basic | enhanced")
 	seed := flag.Int64("seed", 7, "shared protocol seed (must match across parties)")
 	out := flag.String("out", "model.json", "model output (client 0)")
+	compress := flag.Bool("compress", false, "flate-compress wire frames (all parties must agree; helps structured frames only — ciphertexts are incompressible)")
+	sendQueue := flag.Int64("sendqueue", 0, "per-peer send-queue high-water mark in bytes (0 = default)")
 	flag.Parse()
 
 	addrList := strings.Split(*addrs, ",")
@@ -56,7 +58,11 @@ func main() {
 	}
 	m := len(addrList) - 1
 
-	ep, err := transport.NewTCPEndpoint(transport.TCPConfig{Addrs: addrList}, *id)
+	ep, err := transport.NewTCPEndpoint(transport.TCPConfig{
+		Addrs:          addrList,
+		Compress:       *compress,
+		SendQueueBytes: *sendQueue,
+	}, *id)
 	if err != nil {
 		fail(err)
 	}

@@ -222,6 +222,15 @@ type Config struct {
 	// a log-depth tournament (ablation; not part of the paper's protocol).
 	ArgmaxTournament bool
 
+	// NoPack disables ciphertext and opened-value packing: conversions fall
+	// back to one value per ciphertext (the per-value Algorithm-2 oracle)
+	// and the MPC engine opens one value per field element.  Malicious runs
+	// are always unpacked — the per-value proofs and MACs need per-value
+	// objects.  The packed and unpacked paths produce identical models
+	// (equivalence-tested); the knob exists for oracle comparisons and
+	// byte-accounting experiments.
+	NoPack bool
+
 	// TrainMode selects level-wise batched training (default) or the
 	// paper's per-node recursion.  Malicious and DP runs always train
 	// per-node regardless of this setting.
@@ -245,6 +254,15 @@ type Config struct {
 	// hardware.  Zero disables the wrapper.
 	NetDelay  time.Duration
 	NetJitter time.Duration
+
+	// TCPLoopback runs the session's parties over a real TCP mesh on
+	// 127.0.0.1 (transport.NewLoopbackTCPNetwork) instead of the in-memory
+	// channel network.  Messages then pay genuine framing, serialization
+	// and kernel socket costs, so per-message overhead is represented in
+	// wall-clock measurements — the update benchmark enables this for its
+	// timed legs.  Mutually composable with NetDelay (the latency wrapper
+	// stacks on top).
+	TCPLoopback bool
 
 	// Ensemble parameters (§7).
 	NumTrees     int     // W
@@ -312,6 +330,7 @@ func (c Config) mpcConfig() mpc.Config {
 		Seed:          c.Seed,
 		BatchSize:     512,
 		Workers:       c.Workers,
+		NoPack:        c.NoPack,
 	}
 }
 

@@ -215,7 +215,8 @@ func (p *Party) squareChannels(encYs [][]*paillier.Ciphertext) ([][]*paillier.Ci
 	if err != nil {
 		return nil, err
 	}
-	sq := p.eng.MulVec(shares, shares) // 2f-scaled squares
+	// 2f-scaled squares; per-sample labels/residuals are value-bounded.
+	sq := p.eng.MulVecSigned(shares, shares, p.w.value, p.w.value)
 	cts, err := p.shareToEnc(sq, p.w.stat, p.Super)
 	if err != nil {
 		return nil, err

@@ -718,7 +718,8 @@ func (p *Party) leavesRegression(nodes []Node, entries []frontierNode) error {
 		nShares[i] = entries[i].nShare
 	}
 	recips := p.eng.RecipVec(nShares, p.w.count+2)
-	raws := p.eng.MulVec(sumShares, recips) // 2f-scaled means
+	// 2f-scaled means: |Σy| < 2^stat, 0 < 1/n ≤ 1 at f scale.
+	raws := p.eng.MulVecSigned(sumShares, recips, p.w.stat, p.cfg.F+2)
 	means := p.eng.TruncVec(raws, p.w.stat+p.cfg.F+4, p.cfg.F)
 	if p.cfg.Protocol == Basic {
 		for i, v := range p.eng.OpenVec(means) {

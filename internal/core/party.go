@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"math/bits"
 	"time"
 
 	"repro/internal/dataset"
@@ -216,16 +217,22 @@ func (p *Party) recvCts(from int) ([]*paillier.Ciphertext, error) {
 	return paillier.UnmarshalCiphertexts(xs), nil
 }
 
-// ctChunk is the number of ciphertexts that safely fit in one wire frame:
-// a ciphertext is a value mod N² (2·KeyBits bits), and the chunk budget is
-// half of transport.MaxFrameSize to leave headroom for varint overhead.
-// Deterministic in the public config, so sender and receiver agree on the
-// frame count without negotiation.
-func (p *Party) ctChunk() int {
+// ctChunk is the number of ciphertexts that safely fit in one wire frame;
+// the chunk budget is half of transport.MaxFrameSize to leave headroom for
+// varint overhead.  Deterministic in the public config, so sender and
+// receiver agree on the frame count without negotiation.
+func (p *Party) ctChunk() int { return p.ctChunkLevel(1) }
+
+// ctChunkLevel sizes the budget from the actual byte length of a ciphertext
+// under the key in use: a level-s ciphertext is a value mod N^(s+1), so
+// Damgård–Jurik packed ciphertexts (paillier/dj.go) take (s+1)·|N| bits —
+// assuming mod-N² here would overflow MaxFrameSize the moment they flow
+// through the chunked helpers.
+func (p *Party) ctChunkLevel(level int) int {
 	if p.testCtChunk > 0 {
 		return p.testCtChunk
 	}
-	ctBytes := 2*p.cfg.KeyBits/8 + 16
+	ctBytes := (p.pk.N.BitLen()*(level+1)+7)/8 + 16
 	chunk := transport.MaxFrameSize / 2 / ctBytes
 	if chunk < 1 {
 		chunk = 1
@@ -235,7 +242,12 @@ func (p *Party) ctChunk() int {
 
 // chunked runs fn over [lo, hi) windows of at most ctChunk elements.
 func (p *Party) chunked(n int, fn func(lo, hi int) error) error {
-	chunk := p.ctChunk()
+	return p.chunkedLevel(n, 1, fn)
+}
+
+// chunkedLevel is chunked with the frame budget of level-s ciphertexts.
+func (p *Party) chunkedLevel(n, level int, fn func(lo, hi int) error) error {
+	chunk := p.ctChunkLevel(level)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -298,6 +310,35 @@ func (p *Party) recvCtsChunked(from, total int) ([]*paillier.Ciphertext, error) 
 		return nil, err
 	}
 	return paillier.UnmarshalCiphertexts(xs), nil
+}
+
+// The *Level variants carry Damgård–Jurik level-s ciphertexts (mod N^(s+1)),
+// whose larger byte size shrinks the per-frame chunk budget accordingly.
+
+func (p *Party) sendCtsChunkedLevel(to, level int, cts []*paillier.Ciphertext) error {
+	xs := paillier.MarshalCiphertexts(cts)
+	return p.chunkedLevel(len(xs), level, func(lo, hi int) error {
+		return transport.SendInts(p.ep, to, xs[lo:hi])
+	})
+}
+
+func (p *Party) recvCtsChunkedLevel(from, total, level int) ([]*paillier.Ciphertext, error) {
+	out := make([]*big.Int, 0, total)
+	err := p.chunkedLevel(total, level, func(lo, hi int) error {
+		xs, err := transport.RecvInts(p.ep, from)
+		if err != nil {
+			return err
+		}
+		out = append(out, xs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != total {
+		return nil, p.errf("chunked receive from %d: got %d values, want %d", from, len(out), total)
+	}
+	return paillier.UnmarshalCiphertexts(out), nil
 }
 
 // encryptVec encrypts with stats accounting and the configured parallelism.
@@ -396,34 +437,127 @@ func (p *Party) jointDecryptAll(cts []*paillier.Ciphertext) ([]*big.Int, error) 
 // ---------------------------------------------------------------------------
 // TPHE <-> MPC bridges
 
-// encToShares is Algorithm 2, batched and made sign-safe: each ciphertext
-// [x] with |x| < 2^(kStat-1) becomes a secretly shared ⟨x⟩.  Every client
-// adds an encrypted statistical mask, the masked sum is threshold-decrypted
-// to the super client, and shares are the masks' negations.  The ciphertexts
-// must be known to the super client (callers ship them there first).
-func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) ([]mpc.Share, error) {
-	if count == 0 {
-		return nil, nil
+// convPlan chooses the slot layout for a packed Algorithm-2 conversion of
+// `count` values of signed width kStat: each slot must hold the masked sum
+// x + offset + Σ_i r_i < 2^kStat + M·2^(kStat+κ).  The input ciphertexts
+// already exist at level 1, and a level-1 ciphertext cannot be lifted into a
+// Damgård–Jurik level (see paillier/dj.go), so conversions pack within Z_N;
+// the DJ levels serve fresh packed encryptions.
+func (p *Party) convPlan(count int, kStat uint) paillier.PackPlan {
+	slotW := kStat + p.cfg.Kappa + uint(bits.Len(uint(p.M))) + 1
+	slots := p.pk.PackCapacity(slotW)
+	if slots > count {
+		slots = count
 	}
+	return paillier.PackPlan{SlotW: slotW, Slots: slots, Level: 1}
+}
+
+// convertMasked is the masked-aggregate-and-decrypt core of Algorithm 2:
+// every client contributes a statistical mask per value, the super client
+// aggregates [e_j] = [x_j + offset + Σ_i r_ij], and a threshold decryption
+// reveals the e_j to the super client only.  It returns (es, masks, offset)
+// with es nil at non-super clients.
+//
+// When packing applies (semi-honest, NoPack off, at least two slots), the
+// masked values ride `slots` to a ciphertext: clients pack their mask
+// vectors plaintext-side before encrypting, and the super client packs the
+// offset ciphertexts homomorphically (shift-and-add), so encryptions,
+// decryption-share exponentiations and every ciphertext frame shrink by the
+// slot factor.  The decrypted slot values — and hence the shares derived
+// from them — are identical to the unpacked path's.  The audited malicious
+// path stays unpacked: its per-value mask proofs need per-value ciphertexts.
+func (p *Party) convertMasked(cts []*paillier.Ciphertext, count int, kStat uint, audited bool) ([]*big.Int, []*big.Int, *big.Int, error) {
 	maskW := kStat + p.cfg.Kappa
 	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
-
-	// Every client samples and encrypts its mask vector.
 	masks := make([]*big.Int, count)
 	bound := new(big.Int).Lsh(big.NewInt(1), maskW)
 	for j := range masks {
 		r, err := rand.Int(rand.Reader, bound)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		masks[j] = r
 	}
+
+	plan := p.convPlan(count, kStat)
+	if p.cfg.NoPack || p.audit != nil || plan.Slots < 2 {
+		es, err := p.convertMaskedUnpacked(cts, count, offset, masks, audited)
+		return es, masks, offset, err
+	}
+
+	groups := plan.Groups(count)
+	packedMasks := make([]*big.Int, groups)
+	for g := range packedMasks {
+		lo, hi := g*plan.Slots, (g+1)*plan.Slots
+		if hi > count {
+			hi = count
+		}
+		packedMasks[g] = paillier.PackInts(masks[lo:hi], plan.SlotW)
+	}
+	encPacked, err := p.encryptVec(packedMasks)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var encE []*paillier.Ciphertext
+	if p.ID == p.Super {
+		offCts := make([]*paillier.Ciphertext, count)
+		for j := range offCts {
+			offCts[j] = p.pk.AddPlain(cts[j], offset)
+		}
+		encE = make([]*paillier.Ciphertext, groups)
+		for g := range encE {
+			lo, hi := g*plan.Slots, (g+1)*plan.Slots
+			if hi > count {
+				hi = count
+			}
+			encE[g] = p.pk.PackCiphertexts(offCts[lo:hi], plan.SlotW)
+		}
+		encE = p.pk.AddVec(encE, encPacked, p.cfg.Workers)
+		for c := 0; c < p.M; c++ {
+			if c == p.Super {
+				continue
+			}
+			theirs, err := p.recvCtsChunked(c, groups)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
+		}
+		p.Stats.HEOps += int64(count + groups*p.M)
+		if err := p.broadcastCtsChunked(encE); err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		if err := p.sendCtsChunked(p.Super, encPacked); err != nil {
+			return nil, nil, nil, err
+		}
+		encE, err = p.recvCtsChunked(p.Super, groups)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	esPacked, err := p.jointDecryptTo(p.Super, encE)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var es []*big.Int
+	if p.ID == p.Super {
+		es = paillier.UnpackVec(esPacked, plan, count)
+	}
+	return es, masks, offset, nil
+}
+
+// convertMaskedUnpacked is the per-value oracle path (also the malicious
+// path: the mask proofs are per ciphertext).
+func (p *Party) convertMaskedUnpacked(cts []*paillier.Ciphertext, count int, offset *big.Int, masks []*big.Int, audited bool) ([]*big.Int, error) {
 	encMasks, err := p.encryptVec(masks)
 	if err != nil {
 		return nil, err
 	}
 	var maskProofs []*big.Int
-	if p.audit != nil && p.ID != p.Super {
+	if audited && p.audit != nil && p.ID != p.Super {
 		maskProofs, err = p.audit.proveMasks(encMasks, masks)
 		if err != nil {
 			return nil, err
@@ -448,7 +582,7 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 			if err != nil {
 				return nil, err
 			}
-			if p.audit != nil {
+			if audited && p.audit != nil {
 				if err := p.audit.verifyMasks(c, theirs); err != nil {
 					return nil, err
 				}
@@ -463,7 +597,7 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 		if err := p.sendCtsChunked(p.Super, encMasks); err != nil {
 			return nil, err
 		}
-		if p.audit != nil {
+		if audited && p.audit != nil {
 			if err := transport.SendInts(p.ep, p.Super, maskProofs); err != nil {
 				return nil, err
 			}
@@ -473,8 +607,19 @@ func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) (
 			return nil, err
 		}
 	}
+	return p.jointDecryptTo(p.Super, encE)
+}
 
-	es, err := p.jointDecryptTo(p.Super, encE)
+// encToShares is Algorithm 2, batched and made sign-safe: each ciphertext
+// [x] with |x| < 2^(kStat-1) becomes a secretly shared ⟨x⟩.  Every client
+// adds an encrypted statistical mask, the masked sum is threshold-decrypted
+// to the super client, and shares are the masks' negations.  The ciphertexts
+// must be known to the super client (callers ship them there first).
+func (p *Party) encToShares(cts []*paillier.Ciphertext, count int, kStat uint) ([]mpc.Share, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	es, masks, offset, err := p.convertMasked(cts, count, kStat, true)
 	if err != nil {
 		return nil, err
 	}
@@ -544,52 +689,7 @@ func (p *Party) authenticateShares(raw []mpc.Share) ([]mpc.Share, error) {
 // protocol's encrypted mask update, Eqn (10).
 func (p *Party) encToIntShares(cts []*paillier.Ciphertext, kStat uint) ([]*big.Int, *big.Int, error) {
 	count := len(cts)
-	maskW := kStat + p.cfg.Kappa
-	offset := new(big.Int).Lsh(big.NewInt(1), kStat-1)
-	masks := make([]*big.Int, count)
-	bound := new(big.Int).Lsh(big.NewInt(1), maskW)
-	for j := range masks {
-		r, err := rand.Int(rand.Reader, bound)
-		if err != nil {
-			return nil, nil, err
-		}
-		masks[j] = r
-	}
-	encMasks, err := p.encryptVec(masks)
-	if err != nil {
-		return nil, nil, err
-	}
-	var encE []*paillier.Ciphertext
-	if p.ID == p.Super {
-		encE = make([]*paillier.Ciphertext, count)
-		for j := range encE {
-			acc := p.pk.AddPlain(cts[j], offset)
-			acc = p.pk.Add(acc, encMasks[j])
-			encE[j] = acc
-		}
-		for c := 0; c < p.M; c++ {
-			if c == p.Super {
-				continue
-			}
-			theirs, err := p.recvCtsChunked(c, count)
-			if err != nil {
-				return nil, nil, err
-			}
-			encE = p.pk.AddVec(encE, theirs, p.cfg.Workers)
-		}
-		if err := p.broadcastCtsChunked(encE); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		if err := p.sendCtsChunked(p.Super, encMasks); err != nil {
-			return nil, nil, err
-		}
-		encE, err = p.recvCtsChunked(p.Super, count)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	es, err := p.jointDecryptTo(p.Super, encE)
+	es, masks, offset, err := p.convertMasked(cts, count, kStat, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -647,7 +747,9 @@ func (p *Party) shareToEncSeg(shares []mpc.Share, kStat uint, segLens []int, com
 	for j := range masked {
 		masked[j] = p.eng.Add(p.eng.AddConst(shares[j], offset), masks[j].Share)
 	}
-	ws := p.eng.OpenVec(masked) // exact integers: x + offset + Σ R_i < Q
+	// Exact integers: x + offset + Σ R_i < (M+1)·2^maskW < Q, a public
+	// bound, so the opening packs several values per field element.
+	ws := p.eng.OpenVecBounded(masked, maskW+uint(bits.Len(uint(p.M)))+1)
 
 	plains := make([]*big.Int, count)
 	for j := range plains {

@@ -50,7 +50,15 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("core: need at least one client")
 	}
 	s := &Session{M: m, Cfg: cfg}
-	s.eps = transport.NewMemoryNetwork(m+1, 8192)
+	if cfg.TCPLoopback {
+		eps, err := transport.NewLoopbackTCPNetwork(m+1, transport.TCPConfig{})
+		if err != nil {
+			return nil, err
+		}
+		s.eps = eps
+	} else {
+		s.eps = transport.NewMemoryNetwork(m+1, 8192)
+	}
 
 	// WAN latency simulation: every endpoint's sends ride an asynchronous
 	// FIFO wire with the configured delay and jitter, so the protocols'

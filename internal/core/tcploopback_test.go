@@ -1,0 +1,18 @@
+package core
+
+import "testing"
+
+// The TCP-loopback session (the update benchmark's timed substrate) must be
+// a pure transport swap: same protocol schedule, bit-identical trees.
+func TestTCPLoopbackSessionEquivalence(t *testing.T) {
+	ds := smallClassification(24)
+	cfg := testConfig()
+	cfg.Tree.MaxDepth = 2
+	_, _, mem := trainSession(t, ds, 2, cfg)
+	cfg.TCPLoopback = true
+	_, _, tcp := trainSession(t, ds, 2, cfg)
+	assertSameTree(t, "memory-vs-tcp-loopback", tcp, mem)
+	if mem.InternalNodes() == 0 {
+		t.Fatal("degenerate comparison: tree did not split")
+	}
+}

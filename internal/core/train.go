@@ -630,8 +630,8 @@ func (p *Party) giniGains(totals, stats, recips []mpc.Share, rns []mpc.Share, C,
 			}
 		}
 	}
-	ps := eng.MulVec(gs, rs)         // f-scaled fractions
-	sqs := eng.FPMulVec(ps, ps, kSq) // p²
+	ps := eng.MulVecBounded(gs, rs, p.w.stat, p.cfg.F+2) // f-scaled fractions
+	sqs := eng.FPMulVecW(ps, ps, p.cfg.F+2, p.cfg.F+2, kSq)
 
 	// Node impurity terms Σ_k p_k², one per node.
 	var ng, nr []mpc.Share
@@ -641,8 +641,8 @@ func (p *Party) giniGains(totals, stats, recips []mpc.Share, rns []mpc.Share, C,
 			nr = append(nr, rns[g])
 		}
 	}
-	nps := eng.MulVec(ng, nr)
-	nsqs := eng.FPMulVec(nps, nps, kSq)
+	nps := eng.MulVecBounded(ng, nr, p.w.stat, p.cfg.F+2)
+	nsqs := eng.FPMulVecW(nps, nps, p.cfg.F+2, p.cfg.F+2, kSq)
 	nodeImps := make([]mpc.Share, G)
 	for g := 0; g < G; g++ {
 		nodeImps[g] = eng.Sum(nsqs[g*C : (g+1)*C])
@@ -666,8 +666,8 @@ func (p *Party) giniGains(totals, stats, recips []mpc.Share, rns []mpc.Share, C,
 			sums = append(sums, sl, sr)
 		}
 	}
-	ws := eng.MulVec(wn, wr)
-	terms := eng.FPMulVec(ws, sums, kSq)
+	ws := eng.MulVecBounded(wn, wr, p.w.count, p.cfg.F+2)
+	terms := eng.FPMulVecW(ws, sums, p.cfg.F+2, p.cfg.F+2+uint(C), kSq)
 	gains := make([]mpc.Share, G*S)
 	for g := 0; g < G; g++ {
 		for s := 0; s < S; s++ {
@@ -709,9 +709,10 @@ func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rns []mpc.Share,
 			rs = append(rs, rns[g])
 		}
 	}
-	ps := eng.MulVec(gs, rs)            // f-scaled fractions
-	lns := eng.LnVec(ps)                // f-scaled ln p (garbage when p = 0)
-	terms := eng.FPMulVec(ps, lns, kSq) // p·ln p ∈ (−1/e·…, 0]; exact 0 when p = 0
+	ps := eng.MulVecBounded(gs, rs, p.w.stat, p.cfg.F+2) // f-scaled fractions
+	lns := eng.LnVec(ps)                                 // f-scaled ln p (garbage when p = 0)
+	// p·ln p ∈ (−1/e·…, 0]; exact 0 when p = 0.  |ln p| ≤ f·ln 2 < 2^5.
+	terms := eng.FPMulVecW(ps, lns, p.cfg.F+2, p.cfg.F+6, kSq)
 
 	// Node purity terms Σ_k p_k ln p_k (= −IE(D)), one per node.
 	nodeTerms := make([]mpc.Share, G)
@@ -737,8 +738,8 @@ func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rns []mpc.Share,
 			sums = append(sums, sl, sr)
 		}
 	}
-	ws := eng.MulVec(wn, wrc)
-	weighted := eng.FPMulVec(ws, sums, kSq)
+	ws := eng.MulVecBounded(wn, wrc, p.w.count, p.cfg.F+2)
+	weighted := eng.FPMulVecW(ws, sums, p.cfg.F+2, p.cfg.F+6+uint(C), kSq)
 	gains := make([]mpc.Share, G*S)
 	for i := range gains {
 		// gain = IE(D) − Σ w·IE(branch) = Σ w·(p ln p) − node(p ln p).
@@ -751,7 +752,7 @@ func (p *Party) entropyGains(totals, stats, recips []mpc.Share, rns []mpc.Share,
 		// plaintext reference (tree.splitInfoEps) and keeps near-degenerate
 		// splits from dividing by ~0.
 		lnw := eng.LnVec(ws)
-		winfo := eng.FPMulVec(ws, lnw, kSq) // w·ln w ≤ 0
+		winfo := eng.FPMulVecW(ws, lnw, p.cfg.F+2, p.cfg.F+6, kSq) // w·ln w ≤ 0
 		eps := eng.EncodeConst(1.0 / 256)
 		infos := make([]mpc.Share, G*S)
 		for i := range infos {
@@ -793,9 +794,9 @@ func (p *Party) varianceGains(totals, stats, recips []mpc.Share, rns []mpc.Share
 	}
 
 	qTr := eng.TruncVec(qs, p.w.stat+2, f) // back to f scale
-	means := eng.FPMulVec(us, rsU, kBig)
-	meanSqs := eng.FPMulVec(means, means, kSq)
-	ey2s := eng.FPMulVec(qTr, rsU, kBig)
+	means := eng.FPMulVecW(us, rsU, p.w.stat, f+2, kBig)
+	meanSqs := eng.FPMulVecW(means, means, p.w.value, p.w.value, kSq)
+	ey2s := eng.FPMulVecW(qTr, rsU, p.w.stat, f+2, kBig)
 	ivs := make([]mpc.Share, len(us))
 	for i := range ivs {
 		ivs[i] = eng.Sub(ey2s[i], meanSqs[i])
@@ -811,8 +812,8 @@ func (p *Party) varianceGains(totals, stats, recips []mpc.Share, rns []mpc.Share
 			branchIVs = append(branchIVs, ivs[g*blk+2*s], ivs[g*blk+2*s+1])
 		}
 	}
-	ws := eng.MulVec(wn, wrc)
-	terms := eng.FPMulVec(ws, branchIVs, kSq+f)
+	ws := eng.MulVecBounded(wn, wrc, p.w.count, f+2)
+	terms := eng.FPMulVecW(ws, branchIVs, f+2, kSq, kSq+f)
 	gains := make([]mpc.Share, G*S)
 	for i := range gains {
 		nodeIV := ivs[(i/S)*blk+2*S]
@@ -941,7 +942,9 @@ func (p *Party) leafRegression(model *Model, node *Node, nd nodeData, nShare mpc
 		return err
 	}
 	recip := p.eng.RecipVec([]mpc.Share{nShare}, p.w.count+2)[0]
-	raw := p.eng.Mul(sumShare, recip) // 2f-scaled mean
+	// 2f-scaled mean; even a single multiplication packs its two Beaver
+	// differences into one opened element.
+	raw := p.eng.MulVecSigned([]mpc.Share{sumShare}, []mpc.Share{recip}, p.w.stat, p.cfg.F+2)[0]
 	mean := p.eng.Trunc(raw, p.w.stat+p.cfg.F+4, p.cfg.F)
 	if p.cfg.DP != nil {
 		sens := float64(int64(2)<<p.cfg.LabelBits) / float64(maxInt(p.cfg.Tree.MinSamplesSplit, 1))

@@ -30,6 +30,19 @@ type UpdateBenchStats struct {
 	Seed     int `json:"seed"`      // protocol seed (cfg.Seed)
 	DataSeed int `json:"data_seed"` // synthetic-dataset generator seed
 
+	// Packing configuration in effect for these numbers: ciphertext packing
+	// in the Algorithm-2 conversions plus bounded packed opens in the MPC
+	// engine (DESIGN.md, "Ciphertext packing").  False is the NoPack oracle
+	// path; PackKappa is the statistical masking parameter that sets the
+	// packed slot widths.
+	Packing   bool `json:"packing"`
+	PackKappa uint `json:"pack_kappa"`
+
+	// Transport names the substrate the timed GBDT legs ran on:
+	// "tcp-loopback" (kernel loopback sockets, per-message cost included)
+	// vs "memory" (in-process channels).
+	Transport string `json:"transport"`
+
 	// Depth-4 multi-class GBDT, whole-training counters.
 	SeqRounds      int64   `json:"gbdt_seq_mpc_rounds"`
 	BatchRounds    int64   `json:"gbdt_batch_mpc_rounds"`
@@ -63,6 +76,11 @@ func updateBenchCfg(p Preset, mode core.UpdateMode) core.Config {
 	cfg.NumTrees = 2
 	cfg.LearningRate = 0.3
 	cfg.UpdateMode = mode
+	// The timed legs run over the kernel loopback (real frames, real socket
+	// scheduling) so the batched pipeline's 3.5x message reduction shows up
+	// as wall-clock, not just counters; the in-memory network idealizes
+	// per-message cost to ~zero and hides it.
+	cfg.TCPLoopback = true
 	return cfg
 }
 
@@ -109,9 +127,16 @@ func trainGBDTOnce(ds *dataset.Dataset, m int, cfg core.Config) (*core.BoostMode
 func UpdateBenchRaw(p Preset) (*UpdateBenchStats, error) {
 	const classes = 4
 	ds := dataset.SyntheticClassification(p.N, p.DBar*p.M, classes, 2.0, 99)
+	benchCfg := updateBenchCfg(p, core.UpdateBatched)
+	kappa := benchCfg.Kappa
+	if kappa == 0 {
+		kappa = 40 // DefaultConfig's value, applied by withDefaults
+	}
 	st := &UpdateBenchStats{
 		KeyBits: p.KeyBits, N: p.N, M: p.M, MaxDepth: 4, Splits: p.B,
 		Classes: classes, Rounds: 2, Seed: 7, DataSeed: 99,
+		Packing: !benchCfg.NoPack, PackKappa: kappa,
+		Transport: "tcp-loopback",
 	}
 
 	seqModel, seqStats, seqSecs, err := trainGBDTOnce(ds, p.M, updateBenchCfg(p, core.UpdateSequential))

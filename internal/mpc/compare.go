@@ -87,7 +87,7 @@ func (e *Engine) bitLTPub(cs []*big.Int, rbits [][]Share, width uint) []Share {
 			xs = append(xs, prefix[t], prefix[t])
 			ys = append(ys, xnor, rb)
 		}
-		prods := e.MulVec(xs, ys)
+		prods := e.mulVecBits(xs, ys)
 		for t := 0; t < count; t++ {
 			newPrefix := prods[2*t]
 			tTerm := prods[2*t+1] // p_{i+1}·r_i
@@ -117,7 +117,8 @@ func (e *Engine) Mod2mVec(as []Share, k, m uint) []Share {
 		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), m)))
 		masked[t] = v
 	}
-	cs := e.OpenVec(masked)
+	// masked < 2^k + 2^m + 2^(k+κ) < 2^(k+κ+1): open packed.
+	cs := e.OpenVecBounded(masked, k+e.cfg.Kappa+1)
 	mod := new(big.Int).Lsh(big.NewInt(1), m)
 	cmods := make([]*big.Int, count)
 	for t := range cs {
@@ -229,7 +230,15 @@ func (e *Engine) EQZVecGrouped(as []Share, ks []uint) []Share {
 		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), ks[t])))
 		masked[t] = v
 	}
-	cs := e.OpenVec(masked)
+	maxK := uint(0)
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	// masked < 2^k + 2^k + 2^(k+κ) < 2^(k+κ+1) per instance: open packed at
+	// the widest instance's bound.
+	cs := e.OpenVecBounded(masked, maxK+e.cfg.Kappa+1)
 	// a == 0  iff  (c - 2^(k-1)) mod 2^k equals r mod 2^k bitwise.
 	xnors := make([][]Share, count)
 	for t := range cs {
@@ -267,7 +276,7 @@ func (e *Engine) EQZVecGrouped(as []Share, ks []uint) []Share {
 				idx = append(idx, [2]int{t, i / 2})
 			}
 		}
-		prods := e.MulVec(xs, ys)
+		prods := e.mulVecBits(xs, ys)
 		next := make([][]Share, count)
 		for t, row := range xnors {
 			n := (len(row) + 1) / 2
@@ -310,7 +319,8 @@ func (e *Engine) BitDecVec(as []Share, k uint) [][]Share {
 		v = e.Add(v, e.MulPub(rhigh[t], new(big.Int).Lsh(big.NewInt(1), k)))
 		masked[t] = v
 	}
-	cs := e.OpenVec(masked)
+	// masked < 2^k + 2^k + 2^(k+κ) < 2^(k+κ+1): open packed.
+	cs := e.OpenVecBounded(masked, k+e.cfg.Kappa+1)
 	// bits(a) = bits((c - r) mod 2^k): binary subtraction with shared borrow.
 	out := make([][]Share, count)
 	borrow := make([]Share, count)
@@ -326,7 +336,7 @@ func (e *Engine) BitDecVec(as []Share, k uint) [][]Share {
 			xs[t] = rbits[t][i]
 			ys[t] = borrow[t]
 		}
-		rb := e.MulVec(xs, ys)
+		rb := e.mulVecBits(xs, ys)
 		for t := 0; t < count; t++ {
 			ci := int64(cs[t].Bit(int(i)))
 			ri := rbits[t][i]
@@ -375,7 +385,7 @@ func (e *Engine) msbNormalizeVec(bits [][]Share, k uint) ([]Share, []Share) {
 			xs[t] = suffix[t]
 			ys[t] = e.Sub(e.ConstInt64(1), bits[t][i])
 		}
-		prods := e.MulVec(xs, ys)
+		prods := e.mulVecBits(xs, ys)
 		for t := 0; t < count; t++ {
 			sCur := e.Sub(e.ConstInt64(1), prods[t])
 			m := e.Sub(sCur, sPrev[t]) // 1 exactly at the MSB position

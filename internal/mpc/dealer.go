@@ -24,6 +24,7 @@ const (
 	reqEncMasks
 	reqHello
 	reqShutdown
+	reqBoundedTriples
 )
 
 type triple struct {
@@ -94,6 +95,13 @@ func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
 			if err := dealInputMasks(ep, g, alpha, n, count, owner, cfg.Authenticated); err != nil {
 				return err
 			}
+		case reqBoundedTriples:
+			count := int(req[1].Int64())
+			wa := uint(req[2].Int64())
+			wb := uint(req[3].Int64())
+			if err := dealBoundedTriples(ep, g, alpha, n, count, wa, wb, cfg.Authenticated); err != nil {
+				return err
+			}
 		case reqEncMasks:
 			count := int(req[1].Int64())
 			width := uint(req[2].Int64())
@@ -152,6 +160,22 @@ func dealTriples(ep transport.Endpoint, g *prg, alpha *big.Int, n, count int, au
 	for i := 0; i < count; i++ {
 		a := g.fieldElem()
 		b := g.fieldElem()
+		c := modQ(new(big.Int).Mul(a, b))
+		vs = append(vs, a, b, c)
+	}
+	dealValues(g, alpha, n, vs, auth, out)
+	return sendAll(ep, n, out)
+}
+
+// dealBoundedTriples deals Beaver triples whose masks are uniform in
+// [0, 2^wa) × [0, 2^wb) instead of the full field; the compute parties use
+// them to open bounded Beaver differences in packed form (MulVecBounded).
+func dealBoundedTriples(ep transport.Endpoint, g *prg, alpha *big.Int, n, count int, wa, wb uint, auth bool) error {
+	out := make([][]*big.Int, n)
+	vs := make([]*big.Int, 0, 3*count)
+	for i := 0; i < count; i++ {
+		a := g.intn(wa)
+		b := g.intn(wb)
 		c := modQ(new(big.Int).Mul(a, b))
 		vs = append(vs, a, b, c)
 	}

@@ -24,6 +24,10 @@ type Config struct {
 	// Workers > 1 parallelizes the local (communication-free) arithmetic of
 	// the batched primitives across goroutines.
 	Workers int
+	// NoPack disables packed bounded openings (OpenVecBounded /
+	// MulVecBounded fall back to their unpacked forms).  Authenticated mode
+	// implies it: packed opens have no per-value MAC shares.
+	NoPack bool
 }
 
 // DefaultConfig returns the parameters used throughout the evaluation:
@@ -56,6 +60,7 @@ type Engine struct {
 	local      *prg
 
 	triples    []triple
+	bndTriples map[twidth][]triple
 	bits       []Share
 	inputMasks map[int][]inputMask
 	encMasks   map[uint][]encMask
@@ -86,6 +91,7 @@ func NewEngine(ep transport.Endpoint, cfg Config) (*Engine, error) {
 		dealer:     ep.N() - 1,
 		cfg:        cfg,
 		local:      newPRG([]byte(fmt.Sprintf("pivot-party-%d-%d", ep.ID(), cfg.Seed))),
+		bndTriples: make(map[twidth][]triple),
 		inputMasks: make(map[int][]inputMask),
 		encMasks:   make(map[uint][]encMask),
 	}

@@ -29,6 +29,15 @@ func (e *Engine) FPMulVec(xs, ys []Share, k uint) []Share {
 	return e.TruncVec(raw, k, e.cfg.F)
 }
 
+// FPMulVecW is FPMulVec with declared operand magnitude bounds |x| < 2^wx,
+// |y| < 2^wy, letting the Beaver differences travel packed (MulVecSigned).
+// Use it wherever the call site knows its operand ranges; the declared
+// bounds only need to hold, not be tight.
+func (e *Engine) FPMulVecW(xs, ys []Share, wx, wy, k uint) []Share {
+	raw := e.MulVecSigned(xs, ys, wx, wy)
+	return e.TruncVec(raw, k, e.cfg.F)
+}
+
 // FPMul multiplies two f-scaled values.
 func (e *Engine) FPMul(x, y Share, k uint) Share {
 	return e.FPMulVec([]Share{x}, []Share{y}, k)[0]
@@ -47,14 +56,21 @@ func (e *Engine) FPDivVec(as, bs []Share, k uint) []Share {
 	f := e.cfg.F
 	count := len(as)
 
-	// Normalize: B = b·v ∈ [2^(k-1), 2^k).
+	// Normalize: B = b·v ∈ [2^(k-1), 2^k).  b and v are positive and below
+	// 2^k, so the product's Beaver differences open bounded and packed.
 	bits := e.BitDecVec(bs, k)
 	vs, _ := e.msbNormalizeVec(bits, k)
-	Bs := e.MulVec(bs, vs)
+	Bs := e.MulVecBounded(bs, vs, k, k)
 	// x = B·2^(f-k), an f-scaled value in [0.5, 1).
 	xs := e.TruncVec(Bs, k+1, k-f)
 
-	// w ≈ 2^(2f)/x via Newton iterations from w0 = 2.9142 - 2x.
+	// w ≈ 2^(2f)/x via Newton iterations from w0 = 2.9142 - 2x.  On the
+	// normal path x ∈ [0.5, 1] and w < 4.  On the zero-divisor path v = 0
+	// forces x = 0, so each iteration sees corr = 2 exactly and w doubles:
+	// w ≤ 2.9142·2^4 < 2^6 after four iterations.  The declared bounds and
+	// the w-update's truncation contract cover BOTH regimes — a packed slot
+	// that overflows its declared width would corrupt its neighbours, so the
+	// garbage path must stay bounded by construction, not by luck.
 	w0c := e.EncodeConst(2.9142)
 	ws := make([]Share, count)
 	for t := range ws {
@@ -62,17 +78,20 @@ func (e *Engine) FPDivVec(as, bs []Share, k uint) []Share {
 	}
 	two := new(big.Int).Lsh(big.NewInt(1), f+1)
 	for iter := 0; iter < 4; iter++ {
-		ts := e.FPMulVec(xs, ws, 2*f+3)
+		ts := e.FPMulVecW(xs, ws, f+1, f+6, 2*f+3)
 		corr := make([]Share, count)
 		for t := range corr {
 			corr[t] = e.AddConst(e.Neg(ts[t]), two)
 		}
-		ws = e.FPMulVec(ws, corr, 2*f+3)
+		ws = e.FPMulVecW(ws, corr, f+6, f+2, 2*f+9)
 	}
 
 	// result = Trunc(a·v·w, 2k).  a·v·w = a·v·2^(2f)/x·... = 2^f·a/b.
-	avs := e.MulVec(as, vs)
-	prods := e.MulVec(avs, ws)
+	// a·v < 2^(2k) can exceed the packing capacity; MulVecSigned falls back
+	// to the uniform path on its own when the slots no longer fit.  A zero
+	// divisor has v = 0, so a·v·w = 0 regardless of the inflated w.
+	avs := e.MulVecSigned(as, vs, k, k)
+	prods := e.MulVecSigned(avs, ws, 2*k, f+6)
 	return e.TruncVec(prods, 2*k+f+2, k)
 }
 
@@ -108,10 +127,15 @@ func (e *Engine) ExpVec(xs []Share, kIn uint) []Share {
 		loS[t] = e.Const(lo)
 		hiS[t] = e.Const(hi)
 	}
+	// Clamp differences are bounded by |x| + 20·2^f.
+	wd := kIn
+	if f+6 > wd {
+		wd = f + 6
+	}
 	belows := e.LTVec(xs, loS, kIn)
-	clamped := e.selectPairwise(belows, loS, xs)
+	clamped := e.selectPairwiseW(belows, loS, xs, wd)
 	aboves := e.LTVec(hiS, clamped, kIn)
-	clamped = e.selectPairwise(aboves, hiS, clamped)
+	clamped = e.selectPairwiseW(aboves, hiS, clamped, wd)
 
 	// y = x·log2(e); t = y + 32 ∈ (2, 62); split integer/fraction.
 	log2e := e.EncodeConst(math.Log2(math.E))
@@ -132,7 +156,9 @@ func (e *Engine) ExpVec(xs []Share, kIn uint) []Share {
 		rems[t] = e.Sub(ts[t], e.MulPub(ips[t], scaleF))
 	}
 
-	// 2^ip from the 6 bits of ip.
+	// 2^ip from the 6 bits of ip.  Before step j the running product is at
+	// most 2^(2^j - 1) and the step factor at most 2^(2^j), so both sides
+	// stay bounded and the Beaver differences pack.
 	bits := e.BitDecVec(ips, 6)
 	pows := make([]Share, count)
 	for t := range pows {
@@ -145,14 +171,14 @@ func (e *Engine) ExpVec(xs []Share, kIn uint) []Share {
 		for t := range terms {
 			terms[t] = e.AddConst(e.MulPub(bits[t][j], mult), big.NewInt(1))
 		}
-		pows = e.MulVec(pows, terms)
+		pows = e.MulVecBounded(pows, terms, 1<<j, (1<<j)+1)
 	}
 
 	// 2^rem for rem ∈ [0,1) via the degree-7 Taylor series of e^(rem·ln2).
 	polys := e.polyHorner(rems, exp2Coeffs(), 2*f+3)
 
-	// result = pow·poly / 2^32.
-	prods := e.MulVec(pows, polys)
+	// result = pow·poly / 2^32.  pow ≤ 2^63; |poly| < 4 at f scale.
+	prods := e.MulVecSigned(pows, polys, 64, f+2)
 	return e.TruncVec(prods, 64+f+4, 32)
 }
 
@@ -179,6 +205,7 @@ func exp2Coeffs() []float64 {
 
 // polyHorner evaluates Σ c_j·x^j with Horner's rule on f-scaled inputs.
 func (e *Engine) polyHorner(xs []Share, coeffs []float64, k uint) []Share {
+	f := e.cfg.F
 	count := len(xs)
 	acc := make([]Share, count)
 	top := e.EncodeConst(coeffs[len(coeffs)-1])
@@ -186,7 +213,8 @@ func (e *Engine) polyHorner(xs []Share, coeffs []float64, k uint) []Share {
 		acc[t] = e.Const(top)
 	}
 	for j := len(coeffs) - 2; j >= 0; j-- {
-		acc = e.FPMulVec(acc, xs, k)
+		// The accumulator is bounded by Σ|c_j| < 4 and x by 1 at f scale.
+		acc = e.FPMulVecW(acc, xs, f+2, f+1, k)
 		c := e.EncodeConst(coeffs[j])
 		for t := range acc {
 			acc[t] = e.AddConst(acc[t], c)
@@ -209,6 +237,22 @@ func (e *Engine) selectPairwise(ss, as, bs []Share) []Share {
 	return out
 }
 
+// selectPairwiseW is selectPairwise for call sites that can bound the
+// selection difference: |a_t - b_t| < 2^w.  The bit×difference products
+// then run through the packed bounded-Beaver path.
+func (e *Engine) selectPairwiseW(ss, as, bs []Share, w uint) []Share {
+	diffs := make([]Share, len(as))
+	for i := range as {
+		diffs[i] = e.Sub(as[i], bs[i])
+	}
+	prods := e.MulVecSigned(ss, diffs, 1, w)
+	out := make([]Share, len(as))
+	for i := range as {
+		out[i] = e.Add(bs[i], prods[i])
+	}
+	return out
+}
+
 // LnVec computes elementwise ln(x) for f-scaled x in (0, 1] (the domain the
 // differential-privacy mechanisms need: ln(1 - 2|U|) with U ∈ (-1/2, 1/2)).
 func (e *Engine) LnVec(xs []Share) []Share {
@@ -217,9 +261,10 @@ func (e *Engine) LnVec(xs []Share) []Share {
 	k := f + 1
 
 	// Normalize x to B = x·2^(f-p) ∈ [2^f, 2^(f+1)), i.e. value u ∈ [1, 2).
+	// x and v are positive and below 2^(f+1), so the product packs.
 	bits := e.BitDecVec(xs, k)
 	vs, ps := e.msbNormalizeVec(bits, k)
-	Bs := e.MulVec(xs, vs)
+	Bs := e.MulVecBounded(xs, vs, f+1, f+1)
 
 	// w = u - 1 ∈ [0, 1);  t = w / (2 + w) ∈ [0, 1/3);
 	// ln u = 2·atanh(t) = 2(t + t³/3 + t⁵/5 + t⁷/7 + t⁹/9).
@@ -232,7 +277,9 @@ func (e *Engine) LnVec(xs []Share) []Share {
 		denoms[t] = e.AddConst(wShares[t], two)
 	}
 	ts := e.FPDivVec(wShares, denoms, f+3)
-	t2 := e.FPMulVec(ts, ts, 2*f+3)
+	// |t| < 1/3 on the domain, but t = -1 exactly on the x = 0 garbage path
+	// (annihilated later by p·ln p), so declare the bound that covers both.
+	t2 := e.FPMulVecW(ts, ts, f+1, f+1, 2*f+3)
 	// Horner in t²: ((1/9·t² + 1/7)·t² + 1/5)·t² + 1/3)·t² + 1, then ·t·2.
 	acc := make([]Share, count)
 	c9 := e.EncodeConst(1.0 / 9.0)
@@ -240,13 +287,13 @@ func (e *Engine) LnVec(xs []Share) []Share {
 		acc[t] = e.Const(c9)
 	}
 	for _, cf := range []float64{1.0 / 7.0, 1.0 / 5.0, 1.0 / 3.0, 1.0} {
-		acc = e.FPMulVec(acc, t2, 2*f+3)
+		acc = e.FPMulVecW(acc, t2, f+2, f+1, 2*f+3) // |acc| < 2, t² ≤ 1
 		c := e.EncodeConst(cf)
 		for t := range acc {
 			acc[t] = e.AddConst(acc[t], c)
 		}
 	}
-	atanh := e.FPMulVec(acc, ts, 2*f+3)
+	atanh := e.FPMulVecW(acc, ts, f+2, f+1, 2*f+3)
 
 	// ln x = 2·atanh + (p - f)·ln 2.
 	ln2 := e.EncodeConst(math.Ln2)

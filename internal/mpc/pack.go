@@ -1,0 +1,212 @@
+package mpc
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Packed bounded openings.  Traffic attribution on the update bench shows
+// nearly all compute-party bytes are OpenVec share broadcasts, and most of
+// the opened values are small: the masked openings of the comparison and
+// truncation ladders are bounded by 2^(k+κ+1), and the Beaver differences of
+// bit-domain multiplications fit in κ+2 bits once the triple masks are drawn
+// bounded instead of uniform (the same statistical-hiding argument, see
+// DESIGN.md "Ciphertext packing").  Packing several such values into one
+// field element before opening — the same slot discipline as the Paillier
+// packing layer (internal/paillier/pack.go) — divides the open traffic by
+// the slot count without changing the round structure or any opened result.
+
+// packFieldBits is the packed-plaintext capacity of the field: a packed sum
+// must stay strictly below Q = 2^255 - 19, so 254 bits are usable.
+const packFieldBits = 254
+
+// packCapacity returns how many width-bit slots fit in one field element.
+func packCapacity(width uint) int {
+	if width == 0 {
+		return 0
+	}
+	return int(packFieldBits / width)
+}
+
+// OpenVecBounded opens values the caller promises are non-negative and
+// < 2^width as integers (masked openings, offset Beaver differences).  It
+// packs several values per field element with a local linear combination of
+// the shares, opens the packed elements in one round, and splits the slots
+// back apart — same opened values, same round count, fewer field elements on
+// the wire.  It falls back to OpenVec when packing is disabled, when a slot
+// cannot fit at least twice in the field, or in authenticated mode (the MAC
+// check needs per-value MAC shares).
+func (e *Engine) OpenVecBounded(xs []Share, width uint) []*big.Int {
+	slots := packCapacity(width)
+	if e.cfg.NoPack || e.cfg.Authenticated || slots < 2 || len(xs) < 2 {
+		return e.OpenVec(xs)
+	}
+	groups := (len(xs) + slots - 1) / slots
+	packed := make([]Share, groups)
+	for g := range packed {
+		lo := g * slots
+		hi := lo + slots
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		// Horner from the top slot; eager reduction keeps intermediates small.
+		acc := new(big.Int).Set(xs[hi-1].V)
+		for j := hi - 2; j >= lo; j-- {
+			acc.Lsh(acc, width)
+			acc.Add(acc, xs[j].V)
+			modQ(acc)
+		}
+		packed[g] = Share{V: acc}
+	}
+	totals := e.OpenVec(packed)
+	// OpenVec counted the field elements; account for the logical values.
+	e.Stats.OpenValues += int64(len(xs) - len(packed))
+	out := make([]*big.Int, len(xs))
+	mask := new(big.Int).Lsh(big.NewInt(1), width)
+	mask.Sub(mask, big.NewInt(1))
+	for g, tot := range totals {
+		lo := g * slots
+		hi := lo + slots
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		for j := lo; j < hi; j++ {
+			v := new(big.Int).Rsh(tot, width*uint(j-lo))
+			out[j] = v.And(v, mask)
+		}
+	}
+	return out
+}
+
+// twidth keys the bounded-triple cache by the two mask widths.
+type twidth struct{ wa, wb uint }
+
+// takeBoundedTriples is takeTriples for width-bounded Beaver masks: a is
+// uniform in [0, 2^wa), b in [0, 2^wb), c = a·b.
+func (e *Engine) takeBoundedTriples(count int, wa, wb uint) []triple {
+	key := twidth{wa, wb}
+	q := e.bndTriples[key]
+	for len(q) < count {
+		batch := count - len(q)
+		if batch < e.cfg.BatchSize {
+			batch = e.cfg.BatchSize
+		}
+		e.request(reqBoundedTriples, int64(batch), int64(wa), int64(wb))
+		payload := e.recvDealer()
+		shares, _ := e.parseShares(payload, 3*batch)
+		for i := 0; i < batch; i++ {
+			q = append(q, triple{a: shares[3*i], b: shares[3*i+1], c: shares[3*i+2]})
+		}
+	}
+	e.bndTriples[key] = q[count:]
+	return q[:count]
+}
+
+// MulVecBounded multiplies pairwise like MulVec, for operands the caller
+// promises are non-negative with x < 2^wx and y < 2^wy (bit-domain products
+// pass wx = wy = 1).  The Beaver masks are drawn bounded — wx+κ and wy+κ
+// bits, hiding the operands to statistical distance 2^-κ exactly like the
+// masked openings — so the opened differences are small and pack several per
+// field element.  The products are identical to MulVec's.
+func (e *Engine) MulVecBounded(xs, ys []Share, wx, wy uint) []Share {
+	if len(xs) != len(ys) {
+		panic("mpc: MulVecBounded length mismatch")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	wa, wb := wx+e.cfg.Kappa, wy+e.cfg.Kappa
+	slotW := wa
+	if wb > slotW {
+		slotW = wb
+	}
+	slotW++
+	// c = a·b must stay below Q, and a slot must fit at least twice.
+	if e.cfg.NoPack || e.cfg.Authenticated || wa+wb >= 254 || packCapacity(slotW) < 2 {
+		return e.MulVec(xs, ys)
+	}
+	e.Stats.Mults += int64(len(xs))
+	ts := e.takeBoundedTriples(len(xs), wa, wb)
+	offA := new(big.Int).Lsh(big.NewInt(1), wa)
+	offB := new(big.Int).Lsh(big.NewInt(1), wb)
+	opens := make([]Share, 0, 2*len(xs))
+	for i := range xs {
+		// d = x - a ∈ (-2^wa, 2^wx]; d + 2^wa is non-negative and < 2^slotW.
+		opens = append(opens,
+			e.AddConst(e.Sub(xs[i], ts[i].a), offA),
+			e.AddConst(e.Sub(ys[i], ts[i].b), offB))
+	}
+	vals := e.OpenVecBounded(opens, slotW)
+	out := make([]Share, len(xs))
+	parallelFor(len(xs), e.cfg.Workers, func(i int) {
+		d := new(big.Int).Sub(vals[2*i], offA)
+		f := new(big.Int).Sub(vals[2*i+1], offB)
+		z := ts[i].c
+		z = e.Add(z, e.MulPub(ts[i].b, d))
+		z = e.Add(z, e.MulPub(ts[i].a, f))
+		z = e.AddConst(z, new(big.Int).Mul(d, f))
+		out[i] = z
+	})
+	return out
+}
+
+// mulVecBits multiplies pairwise values shared as bits (the AND gates of the
+// comparison ladders and borrow chains).
+func (e *Engine) mulVecBits(xs, ys []Share) []Share {
+	return e.MulVecBounded(xs, ys, 1, 1)
+}
+
+// MulVecSigned multiplies pairwise like MulVec, for operands the caller
+// promises are bounded in magnitude as signed values: |x| < 2^wx and
+// |y| < 2^wy.  Each operand is lifted into the non-negative bounded domain
+// (x + 2^wx < 2^(wx+1)) so the bounded-mask Beaver path applies, and the
+// three cross-terms of the lift are removed locally:
+//
+//	x·y = (x+X)(y+Y) − Y·x − X·y − X·Y,  X = 2^wx, Y = 2^wy.
+//
+// The products are identical to MulVec's; only the opened Beaver differences
+// change (they pack several per field element).  Falls back to MulVec under
+// the same conditions as MulVecBounded.
+func (e *Engine) MulVecSigned(xs, ys []Share, wx, wy uint) []Share {
+	if len(xs) != len(ys) {
+		panic("mpc: MulVecSigned length mismatch")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	// Mirror MulVecBounded's fallback condition for the lifted widths so the
+	// lift is only paid when packing actually happens.
+	wa, wb := wx+1+e.cfg.Kappa, wy+1+e.cfg.Kappa
+	slotW := wa
+	if wb > slotW {
+		slotW = wb
+	}
+	slotW++
+	if e.cfg.NoPack || e.cfg.Authenticated || wa+wb >= 254 || packCapacity(slotW) < 2 {
+		return e.MulVec(xs, ys)
+	}
+	X := new(big.Int).Lsh(big.NewInt(1), wx)
+	Y := new(big.Int).Lsh(big.NewInt(1), wy)
+	lx := make([]Share, len(xs))
+	ly := make([]Share, len(ys))
+	for i := range xs {
+		lx[i] = e.AddConst(xs[i], X)
+		ly[i] = e.AddConst(ys[i], Y)
+	}
+	prods := e.MulVecBounded(lx, ly, wx+1, wy+1)
+	negXY := new(big.Int).Neg(new(big.Int).Mul(X, Y))
+	out := make([]Share, len(xs))
+	for i := range xs {
+		z := e.Sub(prods[i], e.MulPub(xs[i], Y))
+		z = e.Sub(z, e.MulPub(ys[i], X))
+		out[i] = e.AddConst(z, negXY)
+	}
+	return out
+}
+
+func init() {
+	// The packed slot arithmetic assumes Q has at least packFieldBits+1 bits.
+	if Q.BitLen() <= packFieldBits {
+		panic(fmt.Sprintf("mpc: field too small for %d-bit packing", packFieldBits))
+	}
+}

@@ -68,7 +68,11 @@ func (c *Client) Predict(model string, samples [][]float64) ([]float64, error) {
 func (c *Client) PredictVersioned(model string, samples [][]float64, deadline time.Duration) ([]float64, int, error) {
 	req := predictReq{Model: model, Samples: samples}
 	if deadline > 0 {
-		req.DeadlineMs = deadline.Milliseconds()
+		// Round sub-millisecond deadlines UP to the 1 ms wire granularity:
+		// truncation would turn e.g. 500µs into DeadlineMs=0, which the
+		// daemon reads as "no deadline" — the opposite of what the caller
+		// asked for.
+		req.DeadlineMs = (deadline + time.Millisecond - 1).Milliseconds()
 	}
 	var resp predictResp
 	if err := c.roundTrip(opPredict, req, &resp); err != nil {

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientDeadlineRounding pins the wire encoding of PredictVersioned's
+// deadline: DeadlineMs is a millisecond integer, and a sub-millisecond
+// deadline must round UP to 1 — truncating to 0 would silently disable the
+// deadline at the daemon (0 means "none").
+func TestClientDeadlineRounding(t *testing.T) {
+	for _, tc := range []struct {
+		deadline time.Duration
+		wantMs   int64
+	}{
+		{0, 0},                       // no deadline: field omitted
+		{500 * time.Microsecond, 1},  // the regression: was 0
+		{time.Millisecond, 1},        // exact value unchanged
+		{1500 * time.Microsecond, 2}, // always round up, never down
+		{25 * time.Millisecond, 25},
+	} {
+		cliConn, srvConn := net.Pipe()
+		cli := &Client{conn: cliConn, r: bufio.NewReader(cliConn)}
+
+		type result struct {
+			req predictReq
+			err error
+		}
+		got := make(chan result, 1)
+		go func() {
+			defer srvConn.Close()
+			op, body, err := readFrame(bufio.NewReader(srvConn))
+			if err != nil {
+				got <- result{err: err}
+				return
+			}
+			if op != opPredict {
+				t.Errorf("opcode %q", op)
+			}
+			var req predictReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				got <- result{err: err}
+				return
+			}
+			got <- result{req: req}
+			// Any valid response unblocks the client.
+			_ = writeFrame(srvConn, opOK, predictResp{})
+		}()
+
+		_, _, err := cli.PredictVersioned("m", [][]float64{{1}}, tc.deadline)
+		if err != nil {
+			t.Fatalf("deadline %v: round trip: %v", tc.deadline, err)
+		}
+		r := <-got
+		if r.err != nil {
+			t.Fatalf("deadline %v: server side: %v", tc.deadline, r.err)
+		}
+		if r.req.DeadlineMs != tc.wantMs {
+			t.Errorf("deadline %v: wire DeadlineMs = %d, want %d", tc.deadline, r.req.DeadlineMs, tc.wantMs)
+		}
+		cliConn.Close()
+	}
+}

@@ -14,15 +14,25 @@ import (
 // length-prefixed frames.  Connection setup uses the usual mesh convention:
 // party i dials every j < i and accepts from every j > i.
 //
-// Sends are asynchronous: each peer has an unbounded FIFO queue drained by
-// one writer goroutine, so Send never blocks on the socket.  The SPMD
-// protocols run symmetric exchanges — every owner of a frontier level ships
-// multi-megabyte contribution batches to every other owner before turning
-// around to receive — and with synchronous writes two parties whose kernel
-// buffers fill mid-frame would deadlock, each stuck in Send while the other
-// isn't reading.  Queue memory stays bounded by the protocol's synchronous
-// round structure (a party can only buffer what one round produces before
-// it blocks on a Recv).  A write failure is recorded and surfaced on
+// Sends are asynchronous: each peer has a FIFO queue drained by one writer
+// goroutine, so Send does not block on the socket.  The SPMD protocols run
+// symmetric exchanges — every owner of a frontier level ships multi-megabyte
+// contribution batches to every other owner before turning around to receive
+// — and with synchronous writes two parties whose kernel buffers fill
+// mid-frame would deadlock, each stuck in Send while the other isn't
+// reading.
+//
+// Each queue is bounded by a byte high-water mark (SendQueueBytes, default
+// one MaxFrameSize per peer): a Send that would push the queue past the mark
+// blocks until the writer drains below it, so a runaway producer — or a
+// protocol bug that sends without ever receiving — holds at most
+// HWM + one frame per peer instead of growing without limit.  A Send into
+// an EMPTY queue is always admitted regardless of size, so no legal frame
+// can block forever.  Deadlock freedom for the symmetric exchanges relies
+// on the mark being at least one round's fan-out per peer, which the
+// default (256 MiB) comfortably covers for every protocol here; the queue
+// depth gauges in Stats (QueuedBytes / QueuePeakBytes) make the actual
+// occupancy observable.  A write failure is recorded and surfaced on
 // subsequent Sends; the peer's broken connection surfaces on its Recv.
 type tcpEndpoint struct {
 	id, n int
@@ -30,26 +40,40 @@ type tcpEndpoint struct {
 	rd    []*bufio.Reader
 	wr    []*bufio.Writer
 	out   []*sendQueue
+	hwm   int64
 	stats Stats
 
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// sendQueue is one peer's outgoing wire: an unbounded FIFO drained by a
-// dedicated writer goroutine.
+// sendQueue is one peer's outgoing wire: a byte-bounded FIFO drained by a
+// dedicated writer goroutine.  bytes counts frames queued but not yet
+// written; Send blocks (backpressure) while bytes would exceed hwm, except
+// into an empty queue.
 type sendQueue struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    [][]byte
+	bytes    int64 // sum of len() over queue + the batch being written
+	hwm      int64 // high-water mark for bytes
+	stats    *Stats
 	err      error // first write failure, surfaced on later Sends
 	closed   bool  // no further Sends accepted; writer drains what remains
 	inflight bool  // writer is mid-batch on the socket
 	expired  bool  // the close grace period ran out
 }
 
-func newSendQueue() *sendQueue {
-	q := &sendQueue{}
+// DefaultSendQueueBytes is the per-peer send-queue high-water mark when
+// TCPConfig.SendQueueBytes is zero: one maximum frame, so chunked ciphertext
+// batches (at most MaxFrameSize/2 per chunk) always make progress.
+const DefaultSendQueueBytes = MaxFrameSize
+
+func newSendQueue(hwm int64, stats *Stats) *sendQueue {
+	if hwm <= 0 {
+		hwm = DefaultSendQueueBytes
+	}
+	q := &sendQueue{hwm: hwm, stats: stats}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -79,6 +103,17 @@ func (q *sendQueue) close(grace time.Duration) {
 // TCPConfig describes a TCP mesh.  Addrs[i] is the listen address of party i.
 type TCPConfig struct {
 	Addrs []string
+
+	// SendQueueBytes bounds each per-peer asynchronous send queue: a Send
+	// that would push the queued bytes past this mark blocks until the
+	// writer goroutine drains below it.  Zero selects
+	// DefaultSendQueueBytes.  Must cover one protocol round's fan-out to a
+	// single peer or the symmetric bulk exchanges will stall.
+	SendQueueBytes int64
+
+	// Compress enables per-frame flate compression (see WithCompression).
+	// All parties in the mesh must agree on this setting.
+	Compress bool
 }
 
 // NewTCPEndpoint joins the mesh as party id.  It blocks until connections to
@@ -88,18 +123,72 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("transport: party id %d out of range [0,%d)", id, n)
 	}
+	ln, err := net.Listen("tcp", cfg.Addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[id], err)
+	}
+	return newTCPEndpointOn(cfg, id, ln)
+}
+
+// NewLoopbackTCPNetwork brings up an n-party TCP mesh on 127.0.0.1 with
+// OS-assigned ports and returns the connected endpoints, party i at index i.
+// It is the TCP twin of NewMemoryNetwork: same process, but every message
+// crosses the kernel loopback with real framing, serialization and socket
+// scheduling — the transport the benchmark harness uses when per-message
+// cost should be represented rather than idealized away.  cfg.Addrs is
+// ignored (the reserved listener addresses replace it).
+func NewLoopbackTCPNetwork(n int, cfg TCPConfig) ([]Endpoint, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: loopback listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	cfg.Addrs = addrs
+	eps := make([]Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = newTCPEndpointOn(cfg, i, lns[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// newTCPEndpointOn joins the mesh as party id, accepting on the provided
+// listener (closed before returning).
+func newTCPEndpointOn(cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) {
+	n := len(cfg.Addrs)
 	e := &tcpEndpoint{
 		id: id, n: n,
 		conns: make([]net.Conn, n),
 		rd:    make([]*bufio.Reader, n),
 		wr:    make([]*bufio.Writer, n),
 		out:   make([]*sendQueue, n),
+		hwm:   cfg.SendQueueBytes,
 	}
 	e.stats.TrackPeers(n)
-	ln, err := net.Listen("tcp", cfg.Addrs[id])
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[id], err)
-	}
 	defer ln.Close()
 
 	errc := make(chan error, n)
@@ -147,6 +236,9 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: mesh setup: %w", err)
 	default:
 	}
+	if cfg.Compress {
+		return WithCompression(e), nil
+	}
 	return e, nil
 }
 
@@ -173,7 +265,7 @@ func (e *tcpEndpoint) attach(peer int, conn net.Conn) {
 	e.conns[peer] = conn
 	e.rd[peer] = bufio.NewReaderSize(conn, 1<<16)
 	e.wr[peer] = bufio.NewWriterSize(conn, 1<<16)
-	e.out[peer] = newSendQueue()
+	e.out[peer] = newSendQueue(e.hwm, &e.stats)
 	go e.writeLoop(peer, e.out[peer])
 }
 
@@ -210,8 +302,14 @@ func (e *tcpEndpoint) writeLoop(peer int, q *sendQueue) {
 		if err == nil {
 			err = w.Flush()
 		}
+		var written int64
+		for _, b := range batch {
+			written += int64(len(b))
+		}
+		q.stats.CountQueued(-written)
 		q.mu.Lock()
 		q.inflight = false
+		q.bytes -= written
 		if err != nil {
 			q.err = err
 		}
@@ -243,6 +341,12 @@ func (e *tcpEndpoint) Send(to int, b []byte) error {
 	copy(msg, b)
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	// Backpressure: block while admitting this frame would push the queue
+	// past its high-water mark — unless the queue is empty, so a frame
+	// larger than the mark still goes through rather than wedging forever.
+	for q.bytes > 0 && q.bytes+int64(len(msg)) > q.hwm && q.err == nil && !q.closed {
+		q.cond.Wait()
+	}
 	if q.err != nil {
 		return q.err
 	}
@@ -250,7 +354,9 @@ func (e *tcpEndpoint) Send(to int, b []byte) error {
 		return ErrClosed
 	}
 	q.queue = append(q.queue, msg)
-	q.cond.Signal()
+	q.bytes += int64(len(msg))
+	q.stats.CountQueued(int64(len(msg)))
+	q.cond.Broadcast()
 	return nil
 }
 

@@ -45,7 +45,26 @@ type Stats struct {
 	BytesSent atomic.Int64
 	BytesRecv atomic.Int64
 
+	// Send-queue depth gauges for endpoints with asynchronous writers
+	// (TCP): QueuedBytes is the number of bytes currently buffered across
+	// all per-peer send queues, QueuePeakBytes the highest depth observed.
+	// Both stay zero on synchronous endpoints.
+	QueuedBytes    atomic.Int64
+	QueuePeakBytes atomic.Int64
+
 	peers []PeerStats
+}
+
+// CountQueued records n bytes entering (n > 0) or leaving (n < 0) an
+// asynchronous send queue, maintaining the peak gauge.
+func (s *Stats) CountQueued(n int64) {
+	depth := s.QueuedBytes.Add(n)
+	for {
+		peak := s.QueuePeakBytes.Load()
+		if depth <= peak || s.QueuePeakBytes.CompareAndSwap(peak, depth) {
+			return
+		}
+	}
 }
 
 // PeerStats counts one endpoint's traffic with a single peer.
@@ -107,20 +126,24 @@ type PeerTraffic struct {
 // Peers is indexed by peer id and nil when the endpoint does not track a
 // per-peer breakdown.
 type TrafficSnapshot struct {
-	MsgsSent  int64         `json:"msgs_sent"`
-	MsgsRecv  int64         `json:"msgs_recv"`
-	BytesSent int64         `json:"bytes_sent"`
-	BytesRecv int64         `json:"bytes_recv"`
-	Peers     []PeerTraffic `json:"peers,omitempty"`
+	MsgsSent       int64         `json:"msgs_sent"`
+	MsgsRecv       int64         `json:"msgs_recv"`
+	BytesSent      int64         `json:"bytes_sent"`
+	BytesRecv      int64         `json:"bytes_recv"`
+	QueuedBytes    int64         `json:"send_queue_bytes,omitempty"`
+	QueuePeakBytes int64         `json:"send_queue_peak_bytes,omitempty"`
+	Peers          []PeerTraffic `json:"peers,omitempty"`
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() TrafficSnapshot {
 	out := TrafficSnapshot{
-		MsgsSent:  s.MsgsSent.Load(),
-		MsgsRecv:  s.MsgsRecv.Load(),
-		BytesSent: s.BytesSent.Load(),
-		BytesRecv: s.BytesRecv.Load(),
+		MsgsSent:       s.MsgsSent.Load(),
+		MsgsRecv:       s.MsgsRecv.Load(),
+		BytesSent:      s.BytesSent.Load(),
+		BytesRecv:      s.BytesRecv.Load(),
+		QueuedBytes:    s.QueuedBytes.Load(),
+		QueuePeakBytes: s.QueuePeakBytes.Load(),
 	}
 	if s.peers != nil {
 		out.Peers = make([]PeerTraffic, len(s.peers))
