@@ -131,6 +131,22 @@ func main() {
 		return
 	}
 
+	if *exp == "pipeline" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WritePipelineBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		for _, leg := range st.Legs {
+			fmt.Printf("pipeline baseline leg %gms: %.2fs -> %.2fs (%.2fx, in-flight peak %d, identical: %v)\n",
+				leg.DelayMs, leg.BarrierSeconds, leg.PipelinedSeconds, leg.WallSpeedup,
+				leg.InFlightPeak, leg.TreesIdentical)
+		}
+		fmt.Printf("pipeline baseline -> %s in %s\n", *jsonOut, experiments.Elapsed(start))
+		return
+	}
+
 	fn, ok := experiments.Drivers[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "pivot-bench: unknown experiment %q (try -list)\n", *exp)

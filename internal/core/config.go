@@ -166,6 +166,39 @@ func (u UpdateMode) String() string {
 	return "batched"
 }
 
+// PipelineMode gates the overlapped (pipelined) level-wise execution.
+type PipelineMode int
+
+const (
+	// PipelineAuto (the default) enables pipelining whenever the
+	// configuration supports it — semi-honest, no DP, packing enabled,
+	// level-wise training with the batched update — AND the transport has
+	// real per-round cost (loopback TCP or simulated WAN latency).  On the
+	// ideal in-memory network a round costs one channel send, so the
+	// overlap's fixed overhead (per-lane dealer top-ups) would dominate;
+	// Auto keeps the barrier driver there.  Anything unsupported falls
+	// back to the barrier-synchronous driver, which stays the equivalence
+	// oracle.
+	PipelineAuto PipelineMode = iota
+	// PipelineOff forces the barrier-synchronous path.
+	PipelineOff
+	// PipelineOn requests the overlapped driver on any transport,
+	// including the in-memory network; it still falls back when the
+	// protocol variant has no overlapped implementation.
+	PipelineOn
+)
+
+func (p PipelineMode) String() string {
+	switch p {
+	case PipelineOff:
+		return "off"
+	case PipelineOn:
+		return "on"
+	default:
+		return "auto"
+	}
+}
+
 // DPConfig enables differentially private training (§9.2).
 type DPConfig struct {
 	// Epsilon is the per-query budget ε; the whole run satisfies
@@ -240,6 +273,15 @@ type Config struct {
 	// structure: frontier-wide batched chains (default) or the sequential
 	// per-node loop kept as a benchmarking baseline.
 	UpdateMode UpdateMode
+
+	// Pipeline gates the overlapped level-wise execution: local Paillier
+	// passes for the next phase start while the current phase's openings
+	// are on the wire, independent chains (leaf construction vs model
+	// update, random-forest trees) run concurrently on tag-multiplexed
+	// transport lanes, and the winner opening is issued early.  Default
+	// auto/on; malicious, DP, NoPack and non-default train/update modes
+	// fall back to the barrier path, which stays the equivalence oracle.
+	Pipeline PipelineMode
 
 	// PredictBatch caps how many samples the batched prediction pipeline
 	// amortizes one MPC round chain over (0 = the whole dataset in one
@@ -321,6 +363,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// pipelineActive reports whether this configuration runs the overlapped
+// level-wise driver.  The variants without an overlapped implementation —
+// malicious (per-value MACs and proofs), DP, NoPack (the per-value
+// Algorithm-2 oracle), per-node training and the sequential update — use
+// the barrier path.  In Auto mode, so does the zero-latency in-memory
+// network, where rounds are nearly free and the overlap's fixed overhead
+// would cost more than it hides.
+func (c Config) pipelineActive() bool {
+	if c.Pipeline == PipelineOff {
+		return false
+	}
+	if c.Pipeline == PipelineAuto && !c.TCPLoopback && c.NetDelay == 0 && c.NetJitter == 0 {
+		return false
+	}
+	return !c.Malicious &&
+		c.DP == nil &&
+		!c.NoPack &&
+		c.TrainMode == LevelWise &&
+		c.UpdateMode == UpdateBatched
+}
+
 // mpcConfig derives the engine configuration.
 func (c Config) mpcConfig() mpc.Config {
 	return mpc.Config{
@@ -354,12 +417,23 @@ func (c Config) widths(n int) widths {
 }
 
 // PhaseStats records wall time per protocol phase, mirroring the cost
-// decomposition of Table 2.
+// decomposition of Table 2.  Each phase additionally splits out WireWait:
+// the portion of its wall time the party spent blocked in transport
+// receives waiting for frames that had not arrived yet — the "dead air"
+// the pipelined driver exists to fill.  Phase − Wire ≈ compute.  Under the
+// pipelined driver concurrent lanes share the endpoint's wait counter, so
+// the per-phase attribution is approximate there; in barrier mode it is
+// exact.
 type PhaseStats struct {
 	LocalComputation time.Duration // encrypted statistics via TPHE
 	Conversion       time.Duration // Algorithm 2 (threshold decryptions, C_d)
 	MPCComputation   time.Duration // secure gain + argmax (C_s, C_c)
 	ModelUpdate      time.Duration // mask vector updates
+
+	LocalComputationWire time.Duration
+	ConversionWire       time.Duration
+	MPCComputationWire   time.Duration
+	ModelUpdateWire      time.Duration
 }
 
 // Add accumulates other into s.
@@ -368,11 +442,20 @@ func (s *PhaseStats) Add(other PhaseStats) {
 	s.Conversion += other.Conversion
 	s.MPCComputation += other.MPCComputation
 	s.ModelUpdate += other.ModelUpdate
+	s.LocalComputationWire += other.LocalComputationWire
+	s.ConversionWire += other.ConversionWire
+	s.MPCComputationWire += other.MPCComputationWire
+	s.ModelUpdateWire += other.ModelUpdateWire
 }
 
 // Total returns the summed phase time.
 func (s *PhaseStats) Total() time.Duration {
 	return s.LocalComputation + s.Conversion + s.MPCComputation + s.ModelUpdate
+}
+
+// WireTotal returns the summed per-phase wire wait.
+func (s *PhaseStats) WireTotal() time.Duration {
+	return s.LocalComputationWire + s.ConversionWire + s.MPCComputationWire + s.ModelUpdateWire
 }
 
 // RunStats aggregates everything a training/prediction run produced.
@@ -393,6 +476,12 @@ type RunStats struct {
 	// chains), so round-structure claims about the batched update are
 	// testable separately from the rest of the training chain.
 	UpdateRounds int64
+
+	// InFlightPeak is the highest number of simultaneously in-flight open
+	// rounds observed across the party's engine and all its lanes: 1 on
+	// the barrier path, ≥ 2 when the pipelined driver really overlapped
+	// rounds.
+	InFlightPeak int64
 
 	// Traffic is the endpoint's full traffic breakdown (messages and bytes,
 	// sent and received, totals plus per-peer), surfaced next to the MPC op

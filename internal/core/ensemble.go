@@ -38,6 +38,9 @@ func (p *Party) TrainRF() (*ForestModel, error) {
 		// the round-robin ensemble prediction needs the public model.
 		return nil, p.errf("ensemble training requires the basic protocol (paper §7)")
 	}
+	if p.pipelined() && p.cfg.NumTrees > 1 {
+		return p.trainRFPipelined()
+	}
 	fm := &ForestModel{Classes: p.part.Classes}
 	for w := 0; w < p.cfg.NumTrees; w++ {
 		counts := bootstrapCounts(p.part.N, p.cfg.Subsample, uint64(p.cfg.Seed)+uint64(w))

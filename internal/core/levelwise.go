@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/big"
 
 	"repro/internal/mpc"
@@ -85,12 +86,24 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 	G := len(frontier)
 	p.Stats.NodesTrained += G
 
+	// Overlap 1 (pipelined only): while the pruning conversion and
+	// comparison rounds below are on the wire, the super client already
+	// computes the masked label channels for the WHOLE frontier in the
+	// background.  Pure local compute — nothing is sent until the
+	// splitters are known, so the wire traffic is exactly the barrier
+	// path's.
+	var spec *gammaSpec
+	if p.pipelined() && p.ID == p.Super && depth < p.cfg.Tree.MaxDepth &&
+		p.totalSplits() > 0 && frontier[0].nd.gch == nil {
+		spec = p.startGammaSpec(frontier)
+	}
+
 	// ----- pruning conditions (Algorithm 3, lines 1-3), batched -----
 	nodeCts := make([]*paillier.Ciphertext, G)
 	for g := range frontier {
 		nodeCts[g] = p.foldAdd(frontier[g].nd.alpha)
 	}
-	err := timed(&p.Stats.Phases.Conversion, func() error {
+	err := p.timedWire(&p.Stats.Phases.Conversion, &p.Stats.Phases.ConversionWire, func() error {
 		shares, err := p.encToShares(nodeCts, G, p.w.count+2)
 		if err != nil {
 			return err
@@ -110,7 +123,7 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			leaf[g] = true
 		}
 	} else {
-		err := timed(&p.Stats.Phases.MPCComputation, func() error {
+		err := p.timedWire(&p.Stats.Phases.MPCComputation, &p.Stats.Phases.MPCComputationWire, func() error {
 			threshold := p.eng.ConstInt64(int64(p.cfg.Tree.MinSamplesSplit))
 			width := p.w.count + 4
 			xs := make([]mpc.Share, G)
@@ -149,7 +162,37 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 		totalPer := C + S*statsPerSplit
 
 		var gchs [][][]*paillier.Ciphertext
-		err = timed(&p.Stats.Phases.LocalComputation, func() error {
+		err = p.timedWire(&p.Stats.Phases.LocalComputation, &p.Stats.Phases.LocalComputationWire, func() error {
+			if spec != nil {
+				// The whole-frontier masked channels were computed while
+				// the pruning rounds were in flight; broadcast just the
+				// surviving splitters' slices — the same plaintexts (and
+				// bytes) the barrier path would send.
+				maskedAll, specErr := spec.wait(p)
+				spec = nil
+				if specErr != nil {
+					return specErr
+				}
+				n := p.part.N
+				sel := make([]*paillier.Ciphertext, 0, len(splitters)*C*n)
+				for _, g := range splitters {
+					off := g * C * n
+					sel = append(sel, maskedAll[off:off+C*n]...)
+				}
+				if err := p.broadcastCtsChunked(sel); err != nil {
+					return err
+				}
+				gchs = make([][][]*paillier.Ciphertext, len(splitNodes))
+				for i := range splitNodes {
+					chs := make([][]*paillier.Ciphertext, C)
+					for k := 0; k < C; k++ {
+						off := (i*C + k) * n
+						chs[k] = sel[off : off+n]
+					}
+					gchs[i] = chs
+				}
+				return nil
+			}
 			var err error
 			gchs, err = p.computeGammasLevel(splitNodes)
 			return err
@@ -158,7 +201,7 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			return nil, p.errf("level %d gamma computation: %v", depth, err)
 		}
 		var statCts [][]*paillier.Ciphertext
-		err = timed(&p.Stats.Phases.LocalComputation, func() error {
+		err = p.timedWire(&p.Stats.Phases.LocalComputation, &p.Stats.Phases.LocalComputationWire, func() error {
 			var err error
 			statCts, err = p.computeSplitStatsLevel(splitNodes, gchs)
 			return err
@@ -183,7 +226,7 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			}
 		}
 		var shares []mpc.Share
-		err = timed(&p.Stats.Phases.Conversion, func() error {
+		err = p.timedWire(&p.Stats.Phases.Conversion, &p.Stats.Phases.ConversionWire, func() error {
 			var err error
 			shares, err = p.encToShares(all, len(splitters)*totalPer, p.w.stat)
 			return err
@@ -192,7 +235,7 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			return nil, p.errf("level %d statistics conversion: %v", depth, err)
 		}
 
-		err = timed(&p.Stats.Phases.MPCComputation, func() error {
+		err = p.timedWire(&p.Stats.Phases.MPCComputation, &p.Stats.Phases.MPCComputationWire, func() error {
 			totalsAll := make([]mpc.Share, 0, len(splitters)*C)
 			statsAll := make([]mpc.Share, 0, len(splitters)*S*statsPerSplit)
 			nShares := make([]mpc.Share, len(splitters))
@@ -240,33 +283,19 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			return nil, p.errf("level %d gain computation: %v", depth, err)
 		}
 	}
+	if spec != nil {
+		// Every frontier node was pruned to a leaf; retire the speculative
+		// pass and fold its (wasted) compute counters in.
+		_, _ = spec.wait(p)
+		spec = nil
+	}
 
-	// ----- batched leaf resolution -----
-	var leafGs []int
+	// ----- leaf resolution, winner opening, model update -----
+	var leafGs, splitGs []int
 	for g := range leaf {
 		if leaf[g] {
 			leafGs = append(leafGs, g)
-		}
-	}
-	leafNodes := make(map[int]Node, len(leafGs))
-	if len(leafGs) > 0 {
-		entries := make([]frontierNode, len(leafGs))
-		for i, g := range leafGs {
-			entries[i] = frontier[g]
-		}
-		nodes, err := p.makeLeavesLevel(tasks, entries)
-		if err != nil {
-			return nil, p.errf("level %d leaves: %v", depth, err)
-		}
-		for i, g := range leafGs {
-			leafNodes[g] = nodes[i]
-		}
-	}
-
-	// ----- winner identifier opening, batched across the level -----
-	var splitGs []int
-	for g := range leaf {
-		if !leaf[g] {
+		} else {
 			splitGs = append(splitGs, g)
 		}
 	}
@@ -283,18 +312,23 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			openCols = 2
 		}
 	}
-	var opened []*big.Int
-	if len(splitGs) > 0 && openCols > 0 {
+	var entries []frontierNode
+	if len(leafGs) > 0 {
+		entries = make([]frontierNode, len(leafGs))
+		for i, g := range leafGs {
+			entries[i] = frontier[g]
+		}
+	}
+	winnerIn := func() []mpc.Share {
 		openIn := make([]mpc.Share, 0, len(splitGs)*openCols)
 		for _, g := range splitGs {
 			openIn = append(openIn, bests[g].IDs[:openCols]...)
 		}
-		opened = p.eng.OpenVec(openIn)
+		return openIn
 	}
-
-	// ----- model update: one batched round chain for the whole frontier -----
+	var opened []*big.Int
 	var outcomes []splitOutcome
-	if len(splitGs) > 0 {
+	runUpdate := func() error {
 		nds := make([]nodeData, len(splitGs))
 		bestsK := make([]mpc.ArgmaxResult, len(splitGs))
 		idsK := make([][]*big.Int, len(splitGs))
@@ -303,7 +337,7 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			bestsK[i] = bests[g]
 			idsK[i] = opened[i*openCols : (i+1)*openCols]
 		}
-		err := timed(&p.Stats.Phases.ModelUpdate, func() error {
+		return p.timedWire(&p.Stats.Phases.ModelUpdate, &p.Stats.Phases.ModelUpdateWire, func() error {
 			r0 := p.eng.Stats.Rounds
 			defer func() { p.Stats.UpdateRounds += p.eng.Stats.Rounds - r0 }()
 			var err error
@@ -314,8 +348,68 @@ func (p *Party) trainLevel(tasks []*treeTask, frontier []frontierNode, depth int
 			}
 			return err
 		})
-		if err != nil {
-			return nil, p.errf("level %d model update: %v", depth, err)
+	}
+
+	leafNodes := make(map[int]Node, len(leafGs))
+	if p.pipelined() && len(leafGs) > 0 && len(splitGs) > 0 {
+		// Overlap 2: issue the winner opening, run the whole leaf chain on
+		// its own lane, then await the winners and run the update chain on
+		// the main lane — the leaf conversions/argmax rounds fly while the
+		// update rounds do.  The lane exclusively owns the task models'
+		// Leaves counters until joined; materialization below runs after.
+		var pendingWin *mpc.PendingOpen
+		if openCols > 0 {
+			pendingWin = p.eng.OpenVecIssue(winnerIn())
+		}
+		lp := p.lane(1)
+		type leafRes struct {
+			nodes []Node
+			err   error
+		}
+		ch := make(chan leafRes, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- leafRes{err: fmt.Errorf("leaf lane: %v", r)}
+				}
+			}()
+			nodes, err := lp.makeLeavesLevel(tasks, entries)
+			ch <- leafRes{nodes: nodes, err: err}
+		}()
+		if pendingWin != nil {
+			opened = pendingWin.Await()
+		}
+		updErr := runUpdate()
+		res := <-ch
+		p.join(lp)
+		if updErr != nil {
+			return nil, p.errf("level %d model update: %v", depth, updErr)
+		}
+		if res.err != nil {
+			return nil, p.errf("level %d leaves: %v", depth, res.err)
+		}
+		for i, g := range leafGs {
+			leafNodes[g] = res.nodes[i]
+		}
+	} else {
+		// Barrier order: leaves first, then the winner opening, then the
+		// update chain — the equivalence oracle for the overlapped path.
+		if len(leafGs) > 0 {
+			nodes, err := p.makeLeavesLevel(tasks, entries)
+			if err != nil {
+				return nil, p.errf("level %d leaves: %v", depth, err)
+			}
+			for i, g := range leafGs {
+				leafNodes[g] = nodes[i]
+			}
+		}
+		if len(splitGs) > 0 && openCols > 0 {
+			opened = p.eng.OpenVec(winnerIn())
+		}
+		if len(splitGs) > 0 {
+			if err := runUpdate(); err != nil {
+				return nil, p.errf("level %d model update: %v", depth, err)
+			}
 		}
 	}
 
@@ -454,6 +548,31 @@ func (p *Party) computeGammasLevel(nodes []frontierNode) ([][][]*paillier.Cipher
 		}
 		return out, nil
 	}
+	masked, err := p.gammaMaskedSuper(nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.broadcastCtsChunked(masked); err != nil {
+		return nil, err
+	}
+	for i := range nodes {
+		chs := make([][]*paillier.Ciphertext, C)
+		for k := 0; k < C; k++ {
+			off := (i*C + k) * n
+			chs[k] = masked[off : off+n]
+		}
+		out[i] = chs
+	}
+	return out, nil
+}
+
+// gammaMaskedSuper computes the super client's masked label channels for
+// nodes, flat over (node, channel, record) — pure local Paillier compute,
+// nothing sent.  The pipelined driver runs it speculatively for the whole
+// frontier while the pruning rounds are in flight.
+func (p *Party) gammaMaskedSuper(nodes []frontierNode) ([]*paillier.Ciphertext, error) {
+	C := p.channels(nodes[0].nd)
+	n := p.part.N
 	// The label encodings are identical for every node of the level.
 	betas := make([][]*big.Int, C)
 	for k := 0; k < C; k++ {
@@ -483,22 +602,7 @@ func (p *Party) computeGammasLevel(nodes []frontierNode) ([][][]*paillier.Cipher
 		}
 	}
 	p.poolReserve(len(flatCts))
-	masked, err := p.scalarMulRerandVec(flatCts, flatBetas)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.broadcastCtsChunked(masked); err != nil {
-		return nil, err
-	}
-	for i := range nodes {
-		chs := make([][]*paillier.Ciphertext, C)
-		for k := 0; k < C; k++ {
-			off := (i*C + k) * n
-			chs[k] = masked[off : off+n]
-		}
-		out[i] = chs
-	}
-	return out, nil
+	return p.scalarMulRerandVec(flatCts, flatBetas)
 }
 
 // computeSplitStatsLevel is computeSplitStats for a whole frontier: every
@@ -586,7 +690,7 @@ func (p *Party) makeLeavesLevel(tasks []*treeTask, entries []frontierNode) ([]No
 		task.model.Leaves++
 	}
 	classes := tasks[entries[0].tree].model.Classes
-	err := timed(&p.Stats.Phases.MPCComputation, func() error {
+	err := p.timedWire(&p.Stats.Phases.MPCComputation, &p.Stats.Phases.MPCComputationWire, func() error {
 		if classes > 0 {
 			return p.leavesClassification(classes, nodes, entries)
 		}
@@ -630,7 +734,7 @@ func (p *Party) leavesClassification(C int, nodes []Node, entries []frontierNode
 		}
 	}
 	var shares []mpc.Share
-	err := timed(&p.Stats.Phases.Conversion, func() error {
+	err := p.timedWire(&p.Stats.Phases.Conversion, &p.Stats.Phases.ConversionWire, func() error {
 		var err error
 		shares, err = p.encToShares(counts, L*C, p.w.count+2)
 		return err
@@ -705,7 +809,7 @@ func (p *Party) leavesRegression(nodes []Node, entries []frontierNode) error {
 		}
 	}
 	var sumShares []mpc.Share
-	err := timed(&p.Stats.Phases.Conversion, func() error {
+	err := p.timedWire(&p.Stats.Phases.Conversion, &p.Stats.Phases.ConversionWire, func() error {
 		var err error
 		sumShares, err = p.encToShares(sumCts, L, p.w.stat)
 		return err

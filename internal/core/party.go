@@ -27,6 +27,14 @@ type Party struct {
 	pk  *paillier.PublicKey
 	key *paillier.PartialKey
 
+	// mux is the tag-multiplexed view of the endpoint when the session
+	// wired one up (pipelined mode); nil otherwise.  laneTag is this
+	// party-context's own lane (0 for the root context); child lanes get
+	// tags from the deterministic laneTag*64+slot scheme, so every party
+	// derives the same tag for the same SPMD fork point.
+	mux     *transport.TagMux
+	laneTag uint32
+
 	part *dataset.Partition
 	cfg  Config
 	cod  *fixed.Codec
@@ -80,6 +88,9 @@ func NewParty(ep transport.Endpoint, part *dataset.Partition, pk *paillier.Publi
 		part: part, cfg: cfg,
 		cod: fixed.New(cfg.F),
 		w:   cfg.widths(part.N),
+	}
+	if mux, ok := ep.(*transport.TagMux); ok {
+		p.mux = mux
 	}
 	if cfg.Malicious {
 		p.audit = newAuditor(p)
@@ -834,9 +845,24 @@ func timed(bucket *time.Duration, fn func() error) error {
 	return err
 }
 
+// timedWire is timed plus wire-wait attribution: the endpoint's blocked-
+// receive time accrued while fn ran lands in the wire bucket.  Exact on
+// the barrier path; under the pipelined driver concurrent lanes share the
+// endpoint counter, so overlapped phases split the wait approximately.
+func (p *Party) timedWire(bucket, wire *time.Duration, fn func() error) error {
+	st := p.ep.Stats()
+	w0 := st.RecvWaitNs.Load()
+	start := time.Now()
+	err := fn()
+	*bucket += time.Since(start)
+	*wire += time.Duration(st.RecvWaitNs.Load() - w0)
+	return err
+}
+
 // gatherStats folds the transport and engine counters into p.Stats.
 func (p *Party) gatherStats() {
 	p.Stats.MPC = p.eng.Stats
+	p.Stats.InFlightPeak = p.eng.InFlightPeak()
 	p.Stats.Traffic = p.ep.Stats().Snapshot()
 	p.Stats.BytesSent = p.Stats.Traffic.BytesSent
 	p.Stats.MessagesSent = p.Stats.Traffic.MsgsSent

@@ -69,6 +69,16 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 		}
 	}
 
+	// Pipelined level execution rides tag-multiplexed endpoints so the
+	// in-flight rounds of concurrent lanes cannot cross-deliver.  The mux
+	// is the outermost wrapper (tags must survive the latency queue), and
+	// the dealer endpoint gets one too — RunDealer serves every lane.
+	if cfg.pipelineActive() {
+		for i := range s.eps {
+			s.eps[i] = transport.NewTagMux(s.eps[i])
+		}
+	}
+
 	// Offline dealer (its traffic is excluded from measured phases).
 	go func() {
 		_ = mpc.RunDealer(s.eps[m], mpc.DealerConfig{Seed: cfg.Seed, Authenticated: cfg.Malicious})
@@ -222,6 +232,7 @@ func (s *Session) Stats() RunStats {
 		total.UpdateRounds = s.parties[0].Stats.UpdateRounds
 		total.TreesTrained = s.parties[0].Stats.TreesTrained
 		total.NodesTrained = s.parties[0].Stats.NodesTrained
+		total.InFlightPeak = s.parties[0].Stats.InFlightPeak
 	}
 	return total
 }

@@ -96,6 +96,7 @@ func PhaseBreakdown(p Preset) (*Result, error) {
 			"conversion(Cd)":    stats.Phases.Conversion.Seconds(),
 			"mpc-computation":   stats.Phases.MPCComputation.Seconds(),
 			"model-update":      stats.Phases.ModelUpdate.Seconds(),
+			"wire-wait":         stats.Phases.WireTotal().Seconds(),
 		}})
 	}
 	return res, nil
@@ -121,6 +122,7 @@ func All(p Preset) ([]*Result, error) {
 		{"predict", PredictBench},
 		{"serve", ServeBench},
 		{"update", UpdateBench},
+		{"pipeline", PipelineBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -148,6 +150,7 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"predict":   PredictBench,
 	"serve":     ServeBench,
 	"update":    UpdateBench,
+	"pipeline":  PipelineBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

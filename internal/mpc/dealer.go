@@ -67,10 +67,35 @@ func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
 		}
 	}
 
+	// On a tag-multiplexed endpoint the dealer serves every lane: requests
+	// from any lane of party 0 arrive in order through RecvTagged, and the
+	// response goes out on the lane the request came in on, so each lane's
+	// engines (across all parties) see a private, consistent dealer stream.
+	// Material is still drawn from the single PRG in arrival order — lanes
+	// get disjoint material, which is all correctness needs.
+	tagged, _ := ep.(transport.TaggedEndpoint)
+
 	for {
-		req, err := transport.RecvInts(ep, 0)
-		if err != nil {
-			return err
+		lane := ep
+		var req []*big.Int
+		var err error
+		if tagged != nil {
+			var tag uint32
+			var raw []byte
+			tag, raw, err = tagged.RecvTagged(0)
+			if err != nil {
+				return err
+			}
+			req, _, err = transport.UnmarshalInts(raw)
+			if err != nil {
+				return err
+			}
+			lane = tagged.Lane(tag)
+		} else {
+			req, err = transport.RecvInts(ep, 0)
+			if err != nil {
+				return err
+			}
 		}
 		if len(req) < 1 {
 			return fmt.Errorf("mpc: dealer received empty request")
@@ -81,31 +106,31 @@ func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
 			return nil
 		case reqTriples:
 			count := int(req[1].Int64())
-			if err := dealTriples(ep, g, alpha, n, count, cfg.Authenticated); err != nil {
+			if err := dealTriples(lane, g, alpha, n, count, cfg.Authenticated); err != nil {
 				return err
 			}
 		case reqBits:
 			count := int(req[1].Int64())
-			if err := dealBits(ep, g, alpha, n, count, cfg.Authenticated); err != nil {
+			if err := dealBits(lane, g, alpha, n, count, cfg.Authenticated); err != nil {
 				return err
 			}
 		case reqInputMasks:
 			count := int(req[1].Int64())
 			owner := int(req[2].Int64())
-			if err := dealInputMasks(ep, g, alpha, n, count, owner, cfg.Authenticated); err != nil {
+			if err := dealInputMasks(lane, g, alpha, n, count, owner, cfg.Authenticated); err != nil {
 				return err
 			}
 		case reqBoundedTriples:
 			count := int(req[1].Int64())
 			wa := uint(req[2].Int64())
 			wb := uint(req[3].Int64())
-			if err := dealBoundedTriples(ep, g, alpha, n, count, wa, wb, cfg.Authenticated); err != nil {
+			if err := dealBoundedTriples(lane, g, alpha, n, count, wa, wb, cfg.Authenticated); err != nil {
 				return err
 			}
 		case reqEncMasks:
 			count := int(req[1].Int64())
 			width := uint(req[2].Int64())
-			if err := dealEncMasks(ep, g, alpha, n, count, width, cfg.Authenticated); err != nil {
+			if err := dealEncMasks(lane, g, alpha, n, count, width, cfg.Authenticated); err != nil {
 				return err
 			}
 		default:

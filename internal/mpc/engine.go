@@ -68,6 +68,9 @@ type Engine struct {
 	pendingA []*big.Int // opened values awaiting MAC check
 	pendingM []*big.Int // this party's MAC shares for them
 
+	pendingOpens []*PendingOpen // issued-but-unawaited openings, FIFO
+	gauge        *RoundGauge    // in-flight rounds across this engine and forks
+
 	Stats OpStats
 }
 
@@ -94,6 +97,7 @@ func NewEngine(ep transport.Endpoint, cfg Config) (*Engine, error) {
 		bndTriples: make(map[twidth][]triple),
 		inputMasks: make(map[int][]inputMask),
 		encMasks:   make(map[uint][]encMask),
+		gauge:      &RoundGauge{},
 	}
 	hello, err := transport.RecvInts(ep, e.dealer)
 	if err != nil {
@@ -387,45 +391,10 @@ func (e *Engine) SelectVec(s Share, as, bs []Share) []Share {
 
 // OpenVec reconstructs values: every party broadcasts its shares and sums
 // the contributions.  One synchronous round for the whole batch.  With MACs
-// the opened values are queued for CheckMACs.
+// the opened values are queued for CheckMACs.  Implemented as an
+// issue/await pair; see OpenVecIssue for the overlapped form.
 func (e *Engine) OpenVec(xs []Share) []*big.Int {
-	e.Stats.Opens++
-	e.Stats.OpenValues += int64(len(xs))
-	e.Stats.Rounds++
-	mine := make([]*big.Int, len(xs))
-	for i, x := range xs {
-		mine[i] = x.V
-	}
-	if err := e.broadcastInts(mine[:len(xs)]); err != nil {
-		panic(fmt.Sprintf("mpc: open broadcast: %v", err))
-	}
-	totals := make([]*big.Int, len(xs))
-	for i := range totals {
-		totals[i] = new(big.Int).Set(xs[i].V)
-	}
-	for p := 0; p < e.n; p++ {
-		if p == e.id {
-			continue
-		}
-		theirs, err := transport.RecvInts(e.ep, p)
-		if err != nil {
-			panic(fmt.Sprintf("mpc: open recv: %v", err))
-		}
-		if len(theirs) != len(xs) {
-			panic(fmt.Sprintf("mpc: open length mismatch: got %d want %d", len(theirs), len(xs)))
-		}
-		for i := range totals {
-			totals[i].Add(totals[i], theirs[i])
-		}
-	}
-	for i := range totals {
-		modQ(totals[i])
-		if e.cfg.Authenticated {
-			e.pendingA = append(e.pendingA, totals[i])
-			e.pendingM = append(e.pendingM, xs[i].M)
-		}
-	}
-	return totals
+	return e.OpenVecIssue(xs).Await()
 }
 
 // Open reconstructs a single value.
@@ -442,6 +411,7 @@ func (e *Engine) OpenSigned(x Share) *big.Int {
 // masks ⟨r⟩ with r revealed to the owner, the owner broadcasts δ = x - r,
 // and everyone computes ⟨x⟩ = ⟨r⟩ + δ.
 func (e *Engine) InputVec(owner int, xs []*big.Int) []Share {
+	e.drainPendingOpens() // the owner's delta recv must not race an issued open
 	count := e.inputCount(owner, len(xs))
 	masks := e.takeInputMasks(owner, count)
 	var deltas []*big.Int
@@ -573,6 +543,7 @@ func (e *Engine) CheckMACs() error {
 // commitReveal broadcasts H(seed), then seed, verifying peers' commitments,
 // and returns the XOR of all seeds.
 func (e *Engine) commitReveal(seed []byte) ([]byte, error) {
+	e.drainPendingOpens()
 	h := sha256.Sum256(seed)
 	if err := e.broadcast(h[:]); err != nil {
 		return nil, err
@@ -617,6 +588,7 @@ func (e *Engine) commitReveal(seed []byte) ([]byte, error) {
 // commitRevealValues commit-reveals one field element per party and returns
 // all parties' values (own value included).
 func (e *Engine) commitRevealValues(vals []*big.Int) ([]*big.Int, error) {
+	e.drainPendingOpens()
 	payload := transport.MarshalInts(vals)
 	nonce := e.local.read(16)
 	blob := append(append([]byte{}, payload...), nonce...)

@@ -22,6 +22,66 @@ type delayedMsg struct {
 	due time.Time
 }
 
+// latencyQueue is one destination's simulated wire: an unbounded (or
+// optionally capacity-bounded) FIFO feeding the deliver goroutine.  An
+// unbounded queue matches real TCP-with-async-writer behaviour — the
+// sender never blocks on the simulated link — which matters for the
+// pipelined level driver, whose frontier-sized bursts can exceed any fixed
+// channel capacity and would otherwise silently re-serialize the sender.
+type latencyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []delayedMsg
+	cap    int // 0 = unbounded
+	closed bool
+}
+
+func newLatencyQueue(capacity int) *latencyQueue {
+	q := &latencyQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues m, blocking only when a finite capacity is set and
+// reached.  It reports false if the wire shut down while waiting.
+func (q *latencyQueue) push(m delayedMsg) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.cap > 0 && len(q.msgs) >= q.cap && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.msgs = append(q.msgs, m)
+	q.cond.Signal()
+	return true
+}
+
+// pop dequeues the oldest message, blocking until one arrives or the wire
+// shuts down.
+func (q *latencyQueue) pop() (delayedMsg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.msgs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.msgs) == 0 {
+		return delayedMsg{}, false
+	}
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	q.cond.Signal() // wake a capacity-blocked sender
+	return m, true
+}
+
+func (q *latencyQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 // LatencyEndpoint wraps an Endpoint, delaying every Send by delay plus a
 // uniform random jitter in [0, jitter).  Recv is pass-through: the latency
 // is paid on the wire, not at the receiver.
@@ -33,7 +93,7 @@ type LatencyEndpoint struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	qs      []chan delayedMsg
+	qs      []*latencyQueue
 	done    chan struct{}
 	once    sync.Once
 	sendErr atomic.Value // sendFailure from an async delivery, surfaced on later Sends
@@ -46,22 +106,31 @@ type sendFailure struct{ err error }
 
 // WithLatency wraps ep so that every message is delivered delay + U[0,
 // jitter) after it was sent.  The jitter stream is deterministic in seed.
-// Zero delay and jitter still route through the queues (useful for tests);
-// callers normally skip wrapping entirely in that case.
+// The simulated wire's queue is unbounded, like the async TCP writer FIFO:
+// Send never blocks.  Zero delay and jitter still route through the queues
+// (useful for tests); callers normally skip wrapping entirely in that case.
 func WithLatency(ep Endpoint, delay, jitter time.Duration, seed int64) *LatencyEndpoint {
+	return WithLatencyCapacity(ep, delay, jitter, seed, 0)
+}
+
+// WithLatencyCapacity is WithLatency with a bounded per-destination queue:
+// once `capacity` messages are in flight to one peer, Send blocks until the
+// wire drains — a crude bandwidth/backpressure model.  capacity <= 0 means
+// unbounded.
+func WithLatencyCapacity(ep Endpoint, delay, jitter time.Duration, seed int64, capacity int) *LatencyEndpoint {
 	l := &LatencyEndpoint{
 		inner:  ep,
 		delay:  delay,
 		jitter: jitter,
 		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15)),
-		qs:     make([]chan delayedMsg, ep.N()),
+		qs:     make([]*latencyQueue, ep.N()),
 		done:   make(chan struct{}),
 	}
 	for to := range l.qs {
 		if to == ep.ID() {
 			continue
 		}
-		q := make(chan delayedMsg, 4096)
+		q := newLatencyQueue(capacity)
 		l.qs[to] = q
 		go l.deliver(to, q)
 	}
@@ -72,25 +141,24 @@ func WithLatency(ep Endpoint, delay, jitter time.Duration, seed int64) *LatencyE
 // forwards each once its deadline passes.  Deadlines are non-decreasing in
 // intent but jitter can invert them; processing strictly in FIFO order
 // means a late predecessor simply absorbs its successor's wait.
-func (l *LatencyEndpoint) deliver(to int, q chan delayedMsg) {
+func (l *LatencyEndpoint) deliver(to int, q *latencyQueue) {
 	for {
-		select {
-		case <-l.done:
+		m, ok := q.pop()
+		if !ok {
 			return
-		case m := <-q:
-			if d := time.Until(m.due); d > 0 {
-				t := time.NewTimer(d)
-				select {
-				case <-t.C:
-				case <-l.done:
-					t.Stop()
-					return
-				}
-			}
-			if err := l.inner.Send(to, m.b); err != nil {
-				l.sendErr.CompareAndSwap(nil, sendFailure{err})
+		}
+		if d := time.Until(m.due); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-l.done:
+				t.Stop()
 				return
 			}
+		}
+		if err := l.inner.Send(to, m.b); err != nil {
+			l.sendErr.CompareAndSwap(nil, sendFailure{err})
+			return
 		}
 	}
 }
@@ -115,7 +183,8 @@ func (l *LatencyEndpoint) N() int { return l.inner.N() }
 func (l *LatencyEndpoint) Stats() *Stats { return l.inner.Stats() }
 
 // Send enqueues b on the simulated wire to party `to` and returns
-// immediately.  A delivery failure on the wire surfaces on the next Send.
+// immediately (unless a finite queue capacity was set and is full).  A
+// delivery failure on the wire surfaces on the next Send.
 func (l *LatencyEndpoint) Send(to int, b []byte) error {
 	if f, ok := l.sendErr.Load().(sendFailure); ok {
 		return f.err
@@ -130,12 +199,10 @@ func (l *LatencyEndpoint) Send(to int, b []byte) error {
 	}
 	// Copy: the caller may reuse b, and the wire retains it until delivery.
 	msg := delayedMsg{b: append([]byte(nil), b...), due: time.Now().Add(l.sample())}
-	select {
-	case l.qs[to] <- msg:
-		return nil
-	case <-l.done:
+	if !l.qs[to].push(msg) {
 		return ErrClosed
 	}
+	return nil
 }
 
 // Recv blocks for the next delivered message from `from`.
@@ -145,6 +212,13 @@ func (l *LatencyEndpoint) Recv(from int) ([]byte, error) {
 
 // Close drops any undelivered messages and closes the wrapped endpoint.
 func (l *LatencyEndpoint) Close() error {
-	l.once.Do(func() { close(l.done) })
+	l.once.Do(func() {
+		close(l.done)
+		for _, q := range l.qs {
+			if q != nil {
+				q.close()
+			}
+		}
+	})
 	return l.inner.Close()
 }

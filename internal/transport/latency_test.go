@@ -90,3 +90,65 @@ func TestLatencySendAfterCloseFails(t *testing.T) {
 		t.Fatal("send after close succeeded")
 	}
 }
+
+func TestLatencyUnboundedBurstDoesNotBlockSender(t *testing.T) {
+	// The simulated wire's queue is unbounded by default: a pipelined
+	// frontier burst far beyond the old 4096-message channel capacity
+	// must be absorbed without blocking the sender, and still deliver in
+	// FIFO order.  The delay keeps the wire from draining during the
+	// send loop, so the queue really holds the whole burst at once.
+	const burst = 5000
+	eps := NewMemoryNetwork(2, burst+8)
+	a := WithLatency(eps[0], 50*time.Millisecond, 0, 1)
+	defer a.Close()
+	defer eps[1].Close()
+
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		if err := a.Send(1, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if queued := time.Since(start); queued > 40*time.Millisecond {
+		t.Fatalf("sender blocked for %v queueing the burst; the wire queue must be unbounded", queued)
+	}
+	for i := 0; i < burst; i++ {
+		msg, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%d", i); string(msg) != want {
+			t.Fatalf("frame %d: got %q, want %q", i, msg, want)
+		}
+	}
+}
+
+func TestLatencyBoundedCapacityBlocksSender(t *testing.T) {
+	// With an explicit capacity, Send applies backpressure once the wire
+	// holds that many undelivered messages.
+	eps := NewMemoryNetwork(2, 64)
+	a := WithLatencyCapacity(eps[0], 20*time.Millisecond, 0, 1, 4)
+	defer a.Close()
+	defer eps[1].Close()
+
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 sends through a capacity-4 queue draining one message per 20 ms
+	// cannot complete instantly: at least a few drain intervals elapse.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("8 sends through a capacity-4 wire finished in %v; expected backpressure", elapsed)
+	}
+	for i := 0; i < 8; i++ {
+		msg, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %v", i, msg)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Tag-multiplexed transport: the pipelined level driver runs several
+// independent round chains ("lanes") on one party pair at the same time —
+// the leaf chain of level d overlaps the winner opening and update chain,
+// and random-forest trees train concurrently.  The Endpoint contract only
+// guarantees FIFO per ordered pair, so interleaved chains on a bare
+// endpoint would cross-deliver.  TagMux prefixes every frame with a 4-byte
+// big-endian lane tag and demultiplexes on Recv, so each lane sees its own
+// private FIFO while all lanes share the single underlying connection (and
+// its async writer, latency queue and traffic counters).
+//
+// Demux protocol: per source there is one arrival FIFO plus at most one
+// "active reader" — the first lane that finds neither a queued frame for
+// its tag nor a competing reader calls inner.Recv, stashes frames for other
+// lanes, and returns its own.  Everyone else waits on a condition variable.
+// This keeps the mux passive (no pump goroutine per pair) and preserves
+// per-(pair, tag) FIFO order: frames enter the queue in arrival order and
+// each lane pops its oldest match.
+
+const tagHeaderLen = 4
+
+// taggedFrame is one demultiplexed-but-unclaimed inbound frame.
+type taggedFrame struct {
+	tag uint32
+	b   []byte
+}
+
+// TaggedEndpoint is implemented by endpoints that can route concurrent
+// lanes.  The dealer type-asserts it to serve requests from any lane and
+// answer on the lane the request arrived on.
+type TaggedEndpoint interface {
+	Endpoint
+	// Lane returns a view of this endpoint that sends and receives only
+	// frames carrying the given tag.  Lane views share the underlying
+	// endpoint and its Stats; closing a lane is a no-op.
+	Lane(tag uint32) Endpoint
+	// RecvTagged blocks for the next frame from `from` regardless of tag
+	// and returns the tag alongside the payload.  Only one goroutine may
+	// call RecvTagged per source at a time, and it must not race Recv
+	// calls on lanes of the same source.
+	RecvTagged(from int) (uint32, []byte, error)
+}
+
+// TagMux wraps an Endpoint with lane multiplexing.  The mux itself
+// implements Endpoint as lane 0, so tag-unaware code (the barrier path,
+// predictors, the serve daemon) works unchanged on a wrapped endpoint.
+type TagMux struct {
+	inner Endpoint
+
+	mu      []sync.Mutex // per-source demux state
+	cond    []*sync.Cond // signalled when queues/reading/errs change
+	queues  [][]taggedFrame
+	reading []bool // a lane is currently blocked inside inner.Recv(from)
+	errs    []error
+}
+
+// NewTagMux wraps inner with lane demultiplexing.
+func NewTagMux(inner Endpoint) *TagMux {
+	n := inner.N()
+	m := &TagMux{
+		inner:   inner,
+		mu:      make([]sync.Mutex, n),
+		cond:    make([]*sync.Cond, n),
+		queues:  make([][]taggedFrame, n),
+		reading: make([]bool, n),
+		errs:    make([]error, n),
+	}
+	for i := range m.cond {
+		m.cond[i] = sync.NewCond(&m.mu[i])
+	}
+	return m
+}
+
+// ID returns the wrapped endpoint's party index.
+func (m *TagMux) ID() int { return m.inner.ID() }
+
+// N returns the mesh size.
+func (m *TagMux) N() int { return m.inner.N() }
+
+// Stats returns the wrapped endpoint's counters; lanes share them, so
+// traffic is counted once regardless of how many lanes are live.
+func (m *TagMux) Stats() *Stats { return m.inner.Stats() }
+
+// Send transmits b on lane 0.
+func (m *TagMux) Send(to int, b []byte) error { return m.sendTag(to, 0, b) }
+
+// Recv blocks for the next lane-0 frame from `from`.
+func (m *TagMux) Recv(from int) ([]byte, error) { return m.recvTag(from, 0) }
+
+// Close closes the underlying endpoint, waking any blocked lane readers.
+func (m *TagMux) Close() error { return m.inner.Close() }
+
+// Lane returns the Endpoint view for one tag.
+func (m *TagMux) Lane(tag uint32) Endpoint { return &laneView{m: m, tag: tag} }
+
+func (m *TagMux) sendTag(to int, tag uint32, b []byte) error {
+	buf := make([]byte, tagHeaderLen+len(b))
+	binary.BigEndian.PutUint32(buf, tag)
+	copy(buf[tagHeaderLen:], b)
+	return m.inner.Send(to, buf)
+}
+
+// recvTag blocks for the oldest frame from `from` carrying tag.
+func (m *TagMux) recvTag(from int, tag uint32) ([]byte, error) {
+	if from < 0 || from >= m.inner.N() {
+		return nil, fmt.Errorf("transport: bad source %d", from)
+	}
+	m.mu[from].Lock()
+	for {
+		// Oldest queued frame for this lane, if any.
+		for i, f := range m.queues[from] {
+			if f.tag == tag {
+				m.queues[from] = append(m.queues[from][:i:i], m.queues[from][i+1:]...)
+				m.mu[from].Unlock()
+				return f.b, nil
+			}
+		}
+		if m.errs[from] != nil {
+			err := m.errs[from]
+			m.mu[from].Unlock()
+			return nil, err
+		}
+		if m.reading[from] {
+			// Another lane owns the socket; it will stash our frame (or
+			// hand the reader role back) and signal.
+			m.cond[from].Wait()
+			continue
+		}
+		// Become the active reader.
+		m.reading[from] = true
+		m.mu[from].Unlock()
+		gotTag, payload, err := m.readFrame(from)
+		m.mu[from].Lock()
+		m.reading[from] = false
+		if err != nil {
+			m.errs[from] = err
+			m.cond[from].Broadcast()
+			m.mu[from].Unlock()
+			return nil, err
+		}
+		if gotTag == tag {
+			m.cond[from].Broadcast() // hand the reader role to a waiter
+			m.mu[from].Unlock()
+			return payload, nil
+		}
+		m.queues[from] = append(m.queues[from], taggedFrame{tag: gotTag, b: payload})
+		m.cond[from].Broadcast() // the frame's lane may be waiting
+	}
+}
+
+// RecvTagged blocks for the next frame from `from` in arrival order.
+func (m *TagMux) RecvTagged(from int) (uint32, []byte, error) {
+	if from < 0 || from >= m.inner.N() {
+		return 0, nil, fmt.Errorf("transport: bad source %d", from)
+	}
+	m.mu[from].Lock()
+	if len(m.queues[from]) > 0 {
+		f := m.queues[from][0]
+		m.queues[from] = m.queues[from][1:]
+		m.mu[from].Unlock()
+		return f.tag, f.b, nil
+	}
+	if m.errs[from] != nil {
+		err := m.errs[from]
+		m.mu[from].Unlock()
+		return 0, nil, err
+	}
+	m.reading[from] = true
+	m.mu[from].Unlock()
+	tag, payload, err := m.readFrame(from)
+	m.mu[from].Lock()
+	m.reading[from] = false
+	if err != nil {
+		m.errs[from] = err
+	}
+	m.cond[from].Broadcast()
+	m.mu[from].Unlock()
+	return tag, payload, err
+}
+
+// readFrame receives one raw frame from the inner endpoint and splits off
+// the tag header.
+func (m *TagMux) readFrame(from int) (uint32, []byte, error) {
+	raw, err := m.inner.Recv(from)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < tagHeaderLen {
+		return 0, nil, fmt.Errorf("transport: tagged frame of %d bytes from party %d is shorter than the %d-byte tag header", len(raw), from, tagHeaderLen)
+	}
+	return binary.BigEndian.Uint32(raw), raw[tagHeaderLen:], nil
+}
+
+// laneView is one lane's Endpoint view of a TagMux.
+type laneView struct {
+	m   *TagMux
+	tag uint32
+}
+
+func (l *laneView) ID() int       { return l.m.inner.ID() }
+func (l *laneView) N() int        { return l.m.inner.N() }
+func (l *laneView) Stats() *Stats { return l.m.inner.Stats() }
+
+func (l *laneView) Send(to int, b []byte) error { return l.m.sendTag(to, l.tag, b) }
+
+func (l *laneView) Recv(from int) ([]byte, error) { return l.m.recvTag(from, l.tag) }
+
+// Close is a no-op: lanes borrow the mux's connection; only closing the
+// mux (or the inner endpoint) releases resources.
+func (l *laneView) Close() error { return nil }

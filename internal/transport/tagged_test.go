@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Two lanes exchange interleaved traffic on one pair; each lane must see
+// only its own frames, in its own send order, no matter how the sends were
+// interleaved on the shared endpoint.
+func TestTagMuxLaneIsolation(t *testing.T) {
+	eps := NewMemoryNetwork(2, 256)
+	a, b := NewTagMux(eps[0]), NewTagMux(eps[1])
+	defer a.Close()
+	defer b.Close()
+
+	const perLane = 50
+	for i := 0; i < perLane; i++ {
+		// Interleave: lane 2, lane 1, lane 2, ... in one FIFO.
+		if err := a.Lane(2).Send(1, []byte(fmt.Sprintf("two-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Lane(1).Send(1, []byte(fmt.Sprintf("one-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, lane := range []struct {
+		tag    uint32
+		prefix string
+	}{{1, "one"}, {2, "two"}} {
+		wg.Add(1)
+		go func(tag uint32, prefix string) {
+			defer wg.Done()
+			ep := b.Lane(tag)
+			for i := 0; i < perLane; i++ {
+				msg, err := ep.Recv(0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("%s-%d", prefix, i); string(msg) != want {
+					errs <- fmt.Errorf("lane %d frame %d: got %q, want %q", tag, i, msg, want)
+					return
+				}
+			}
+		}(lane.tag, lane.prefix)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// The mux itself is lane 0, so tag-unaware code keeps working on a wrapped
+// endpoint.
+func TestTagMuxLaneZeroIsDefault(t *testing.T) {
+	eps := NewMemoryNetwork(2, 8)
+	a, b := NewTagMux(eps[0]), NewTagMux(eps[1])
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(1, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Lane(0).Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "plain" {
+		t.Fatalf("got %q", msg)
+	}
+	if err := b.Lane(0).Send(0, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = a.Recv(1); err != nil || string(msg) != "reply" {
+		t.Fatalf("got %q, %v", msg, err)
+	}
+}
+
+// RecvTagged (the dealer's receive) sees frames from all lanes in arrival
+// order, with the right tag attached.
+func TestTagMuxRecvTagged(t *testing.T) {
+	eps := NewMemoryNetwork(2, 64)
+	a, b := NewTagMux(eps[0]), NewTagMux(eps[1])
+	defer a.Close()
+	defer b.Close()
+
+	tags := []uint32{3, 0, 7, 3, 1}
+	for i, tag := range tags {
+		if err := a.Lane(tag).Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range tags {
+		tag, msg, err := b.RecvTagged(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != want || len(msg) != 1 || msg[0] != byte(i) {
+			t.Fatalf("frame %d: got tag %d payload %v, want tag %d payload [%d]", i, tag, msg, want, i)
+		}
+	}
+}
+
+// A lane blocked in Recv must be woken when a frame for it is stashed by
+// another lane's active reader, and closing the mux must unblock everyone.
+func TestTagMuxReaderHandoffAndClose(t *testing.T) {
+	eps := NewMemoryNetwork(2, 8)
+	a, b := NewTagMux(eps[0]), NewTagMux(eps[1])
+	defer a.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		msg, err := b.Lane(5).Recv(0)
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(msg)
+	}()
+	// Lane 6's reader will pull lane 5's frame off the wire and stash it.
+	if err := a.Lane(5).Send(1, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lane(6).Send(1, []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Lane(6).Recv(0)
+	if err != nil || string(msg) != "mine" {
+		t.Fatalf("lane 6: got %q, %v", msg, err)
+	}
+	if s := <-got; s != "late" {
+		t.Fatalf("lane 5: got %q", s)
+	}
+
+	// Now block lane 5 again with nothing in flight and close the mux.
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Lane(5).Recv(0)
+		done <- err
+	}()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("Recv on closed mux returned nil error")
+	}
+}
+
+// Frames shorter than the tag header must error out, not panic.
+func TestTagMuxShortFrame(t *testing.T) {
+	eps := NewMemoryNetwork(2, 8)
+	b := NewTagMux(eps[1])
+	defer b.Close()
+	defer eps[0].Close()
+
+	if err := eps[0].Send(1, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(0); err == nil {
+		t.Fatal("short frame did not error")
+	}
+}
+
+// Many goroutines on distinct lanes hammer one pair concurrently; run
+// under -race this exercises the demux locking.
+func TestTagMuxConcurrentLanes(t *testing.T) {
+	eps := NewMemoryNetwork(2, 256)
+	a, b := NewTagMux(eps[0]), NewTagMux(eps[1])
+	defer a.Close()
+	defer b.Close()
+
+	const lanes, msgs = 8, 40
+	var send, recv sync.WaitGroup
+	errs := make(chan error, lanes*2)
+	for lane := 0; lane < lanes; lane++ {
+		send.Add(1)
+		go func(tag uint32) {
+			defer send.Done()
+			ep := a.Lane(tag)
+			var buf [8]byte
+			binary.BigEndian.PutUint32(buf[:4], tag)
+			for i := 0; i < msgs; i++ {
+				binary.BigEndian.PutUint32(buf[4:], uint32(i))
+				if err := ep.Send(1, buf[:]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(uint32(lane))
+		recv.Add(1)
+		go func(tag uint32) {
+			defer recv.Done()
+			ep := b.Lane(tag)
+			for i := 0; i < msgs; i++ {
+				msg, err := ep.Recv(0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if binary.BigEndian.Uint32(msg[:4]) != tag || binary.BigEndian.Uint32(msg[4:]) != uint32(i) {
+					errs <- fmt.Errorf("lane %d: out-of-order or cross-delivered frame %v", tag, msg)
+					return
+				}
+			}
+		}(uint32(lane))
+	}
+	send.Wait()
+	recv.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Endpoint is one party's connection to all other parties.  Parties are
@@ -52,7 +53,20 @@ type Stats struct {
 	QueuedBytes    atomic.Int64
 	QueuePeakBytes atomic.Int64
 
+	// RecvWaitNs accumulates nanoseconds Recv callers spent blocked
+	// waiting for a frame that had not yet arrived — the endpoint's idle
+	// "dead air".  Compute time between Recv calls is excluded; a Recv
+	// that finds its frame already queued costs ~0.
+	RecvWaitNs atomic.Int64
+
 	peers []PeerStats
+}
+
+// CountRecvWait records d spent blocked inside Recv.
+func (s *Stats) CountRecvWait(d time.Duration) {
+	if d > 0 {
+		s.RecvWaitNs.Add(int64(d))
+	}
 }
 
 // CountQueued records n bytes entering (n > 0) or leaving (n < 0) an
@@ -132,6 +146,7 @@ type TrafficSnapshot struct {
 	BytesRecv      int64         `json:"bytes_recv"`
 	QueuedBytes    int64         `json:"send_queue_bytes,omitempty"`
 	QueuePeakBytes int64         `json:"send_queue_peak_bytes,omitempty"`
+	RecvWaitNs     int64         `json:"recv_wait_ns,omitempty"`
 	Peers          []PeerTraffic `json:"peers,omitempty"`
 }
 
@@ -144,6 +159,7 @@ func (s *Stats) Snapshot() TrafficSnapshot {
 		BytesRecv:      s.BytesRecv.Load(),
 		QueuedBytes:    s.QueuedBytes.Load(),
 		QueuePeakBytes: s.QueuePeakBytes.Load(),
+		RecvWaitNs:     s.RecvWaitNs.Load(),
 	}
 	if s.peers != nil {
 		out.Peers = make([]PeerTraffic, len(s.peers))
@@ -165,6 +181,7 @@ func (t *TrafficSnapshot) Accumulate(other TrafficSnapshot) {
 	t.MsgsRecv += other.MsgsRecv
 	t.BytesSent += other.BytesSent
 	t.BytesRecv += other.BytesRecv
+	t.RecvWaitNs += other.RecvWaitNs
 	if len(other.Peers) > len(t.Peers) {
 		grown := make([]PeerTraffic, len(other.Peers))
 		copy(grown, t.Peers)
