@@ -23,7 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict, serve or update: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict, serve, update, pipeline or recovery: write the machine-readable perf baseline to this file")
 	latency := flag.Duration("latency", 0, "simulated WAN one-way delay per message for -exp predict (0 = experiment default)")
 	jitter := flag.Duration("jitter", 0, "simulated WAN jitter bound per message for -exp predict (0 = experiment default)")
 	flag.Parse()
@@ -144,6 +144,19 @@ func main() {
 				leg.InFlightPeak, leg.TreesIdentical)
 		}
 		fmt.Printf("pipeline baseline -> %s in %s\n", *jsonOut, experiments.Elapsed(start))
+		return
+	}
+
+	if *exp == "recovery" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WriteRecoveryBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recovery baseline -> %s (crash at level %d: resume %d rounds vs retrain %d, %.2fx wall; model match: %v) in %s\n",
+			*jsonOut, st.CrashLevel, st.ResumeRounds, st.RetrainRounds,
+			st.ResumeSpeedup, st.ModelMatch, experiments.Elapsed(start))
 		return
 	}
 

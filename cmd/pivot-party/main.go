@@ -50,6 +50,10 @@ func main() {
 	out := flag.String("out", "model.json", "model output (client 0)")
 	compress := flag.Bool("compress", false, "flate-compress wire frames (all parties must agree; helps structured frames only — ciphertexts are incompressible)")
 	sendQueue := flag.Int64("sendqueue", 0, "per-peer send-queue high-water mark in bytes (0 = default)")
+	reconnect := flag.Bool("reconnect", false, "run every peer wire over the reliable transport: sequence-numbered acknowledged frames, automatic redial and resume after a dropped link (all parties must agree)")
+	heartbeat := flag.Duration("heartbeat", 0, "keepalive interval for -reconnect wires; a peer missing 3 beats is redialed (0 = no heartbeats)")
+	resumeTimeout := flag.Duration("resume-timeout", 0, "how long a broken -reconnect wire keeps redialing before failing terminally (0 = 10s default)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "per-peer dial bound during mesh bring-up and redials (0 = 15s default)")
 	flag.Parse()
 
 	addrList := strings.Split(*addrs, ",")
@@ -62,6 +66,10 @@ func main() {
 		Addrs:          addrList,
 		Compress:       *compress,
 		SendQueueBytes: *sendQueue,
+		Reconnect:      *reconnect,
+		Heartbeat:      *heartbeat,
+		ResumeTimeout:  *resumeTimeout,
+		DialTimeout:    *dialTimeout,
 	}, *id)
 	if err != nil {
 		fail(err)

@@ -313,6 +313,20 @@ type Config struct {
 
 	// Seed drives all deterministic randomness (dealer, data order).
 	Seed int64
+
+	// Checkpoint, when non-nil, enables phase-boundary crash recovery: at
+	// every completed tree level each party snapshots its recoverable state
+	// into the store, and ResumeSession rebuilds a crashed federation from
+	// the last checkpoint all parties committed (recovery.go).  Only the
+	// barrier-synchronous semi-honest path checkpoints; pipelined,
+	// malicious and DP runs leave the store untouched.
+	Checkpoint *CheckpointStore
+
+	// Chaos, when non-nil, wraps party ChaosParty's endpoint with the
+	// deterministic fault injector (transport.WithChaos): seeded drops,
+	// resets, delays and crash-at-round/level schedules for recovery tests.
+	Chaos      *transport.ChaosConfig
+	ChaosParty int
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's
@@ -541,6 +555,12 @@ type ServeStats struct {
 	Batches   int64
 	Coalesced int64
 	MaxBatch  int
+
+	// Degradation counters: Unavailable counts samples refused or failed
+	// because the serving session was dead, Rebuilds counts successful
+	// session replacements behind the registry.
+	Unavailable int64
+	Rebuilds    int64
 
 	// Histograms: coalesced batch sizes (samples), MPC rounds per batch,
 	// and request latency in milliseconds (queue wait + round chain).

@@ -42,15 +42,28 @@ func (p *Party) TrainRF() (*ForestModel, error) {
 		return p.trainRFPipelined()
 	}
 	fm := &ForestModel{Classes: p.part.Classes}
-	for w := 0; w < p.cfg.NumTrees; w++ {
+	if err := p.rfRounds(fm, 0); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// rfRounds trains forest trees w = start..NumTrees-1, arming the recovery
+// unit context at each tree boundary so a level checkpoint inside tree w
+// records the completed trees alongside it.
+func (p *Party) rfRounds(fm *ForestModel, start int) error {
+	for w := start; w < p.cfg.NumTrees; w++ {
+		if p.ck != nil {
+			p.rctx = &outerSnap{kind: kindRF, unit: w, trees: append([]*Model(nil), fm.Trees...)}
+		}
 		counts := bootstrapCounts(p.part.N, p.cfg.Subsample, uint64(p.cfg.Seed)+uint64(w))
 		tree, err := p.trainTree(counts, nil, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fm.Trees = append(fm.Trees, tree)
 	}
-	return fm, nil
+	return nil
 }
 
 func bootstrapCounts(n int, frac float64, seed uint64) []int64 {
@@ -176,24 +189,38 @@ func (p *Party) trainGBDTRegression() (*BoostModel, error) {
 		return nil, err
 	}
 
-	for w := 0; w < p.cfg.NumTrees; w++ {
+	if err := p.gbdtRegRounds(bm, encY, 0); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
+
+// gbdtRegRounds runs boosting rounds w = start..NumTrees-1 on the encrypted
+// residuals, arming the recovery unit context at each round boundary.
+func (p *Party) gbdtRegRounds(bm *BoostModel, encY []*paillier.Ciphertext, start int) error {
+	for w := start; w < p.cfg.NumTrees; w++ {
+		if p.ck != nil {
+			p.rctx = &outerSnap{kind: kindGBDTReg, unit: w, base: bm.Base,
+				forests: [][]*Model{append([]*Model(nil), bm.Forests[0]...)},
+				encY:    [][]*paillier.Ciphertext{encY}}
+		}
 		encY2, err := p.squareChannel(encY)
 		if err != nil {
-			return nil, p.errf("round %d label squaring: %v", w, err)
+			return p.errf("round %d label squaring: %v", w, err)
 		}
 		p.captureLeaves = true
 		p.leafAlphas = nil
 		tree, err := p.trainTree(nil, encY, encY2)
 		p.captureLeaves = false
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bm.Forests[0] = append(bm.Forests[0], tree)
 		if w+1 < p.cfg.NumTrees {
 			encY = p.residualUpdate(encY, tree, p.leafAlphas, p.cfg.LearningRate)
 		}
 	}
-	return bm, nil
+	return nil
 }
 
 // squareChannel derives [y²] (2f-scaled) from [y] by one round of MPC
@@ -339,16 +366,45 @@ func (p *Party) trainGBDTClassification() (*BoostModel, error) {
 
 	// Encrypted raw scores per class, accumulated across rounds.
 	scores := make([][]*paillier.Ciphertext, c)
+	if err := p.gbdtClsRounds(bm, onehot, encY, scores, 0, nil, nil); err != nil {
+		return nil, err
+	}
+	return bm, nil
+}
 
-	for w := 0; w < p.cfg.NumTrees; w++ {
-		trees, las, err := p.trainBoostRound(encY)
-		if err != nil {
-			return nil, p.errf("round %d: %v", w, err)
+// gbdtClsRounds runs classification boosting rounds w = start..NumTrees-1.
+// When trees is non-nil, round start's class trees are already trained (a
+// checkpoint resume finished them) and only the post-round bookkeeping —
+// score accumulation and the softmax residual update — runs for that round.
+func (p *Party) gbdtClsRounds(bm *BoostModel, onehot [][]mpc.Share,
+	encY, scores [][]*paillier.Ciphertext, start int,
+	trees []*Model, las [][][]*paillier.Ciphertext) error {
+
+	c := bm.Classes
+	n := p.part.N
+	for w := start; w < p.cfg.NumTrees; w++ {
+		if trees == nil {
+			if p.ck != nil {
+				forests := make([][]*Model, c)
+				for k := 0; k < c; k++ {
+					forests[k] = append([]*Model(nil), bm.Forests[k]...)
+				}
+				p.rctx = &outerSnap{kind: kindGBDTCls, unit: w, forests: forests,
+					encY:   append([][]*paillier.Ciphertext(nil), encY...),
+					scores: append([][]*paillier.Ciphertext(nil), scores...),
+					onehot: onehot}
+			}
+			var err error
+			trees, las, err = p.trainBoostRound(encY)
+			if err != nil {
+				return p.errf("round %d: %v", w, err)
+			}
 		}
 		for k := 0; k < c; k++ {
 			bm.Forests[k] = append(bm.Forests[k], trees[k])
 			scores[k] = p.accumulateScores(scores[k], trees[k], las[k], p.cfg.LearningRate)
 		}
+		trees, las = nil, nil
 		if w+1 == p.cfg.NumTrees {
 			break
 		}
@@ -360,7 +416,7 @@ func (p *Party) trainGBDTClassification() (*BoostModel, error) {
 		}
 		scoreShares, err := p.encToShares(flat, len(flat), p.w.stat)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		probs := p.softmaxPerSample(scoreShares, c, n)
 		for k := 0; k < c; k++ {
@@ -370,11 +426,11 @@ func (p *Party) trainGBDTClassification() (*BoostModel, error) {
 			}
 			encY[k], err = p.shareToEnc(resid, p.w.value+4, p.Super)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return bm, nil
+	return nil
 }
 
 // accumulateScores adds ν·[Ŷ] for the freshly trained tree to the running

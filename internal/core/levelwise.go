@@ -70,14 +70,9 @@ func (p *Party) buildLevelsMulti(tasks []*treeTask, roots []nodeData) error {
 	for i := range roots {
 		frontier[i] = frontierNode{nd: roots[i], tree: i, parent: -1}
 	}
-	for depth := 0; len(frontier) > 0; depth++ {
-		next, err := p.trainLevel(tasks, frontier, depth)
-		if err != nil {
-			return err
-		}
-		frontier = next
-	}
-	return nil
+	// runLevels (recovery.go) drives the per-depth loop so the same code
+	// path serves both fresh training and checkpoint resume.
+	return p.runLevels(tasks, frontier, 0)
 }
 
 // trainLevel trains every frontier node at one depth and returns the next

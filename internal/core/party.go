@@ -71,6 +71,14 @@ type Party struct {
 	// the multi-frame chunked messaging paths can be exercised without
 	// gigabyte-scale vectors.
 	testCtChunk int
+
+	// Fault-tolerance hooks (recovery.go).  ck is the session's checkpoint
+	// store (nil disables checkpointing); rctx is the training driver's
+	// current unit context, armed at each tree/round boundary; onLevel
+	// ticks the chaos injector's level marker at each completed barrier.
+	ck      *CheckpointStore
+	rctx    *outerSnap
+	onLevel func()
 }
 
 // NewParty binds a client to the session.  parts is this client's vertical

@@ -3,7 +3,9 @@ package core
 import (
 	"crypto/rand"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/mpc"
@@ -26,6 +28,7 @@ type Session struct {
 	cmds    []chan func(*Party)
 	wg      sync.WaitGroup
 	abort   sync.Once
+	dead    atomic.Bool // set by abortNetwork and Close; read by Healthy
 
 	// phaseMu serializes protocol phases: Each holds it for the whole
 	// phase, so concurrent callers (e.g. the serving layer's queue
@@ -35,6 +38,10 @@ type Session struct {
 	phaseMu   sync.Mutex
 	closed    bool
 	closeOnce sync.Once
+
+	// resumeCk is the checkpoint a ResumeSession was built from (nil for a
+	// fresh session); Resume re-enters training from it.
+	resumeCk *Checkpoint
 }
 
 // ErrSessionClosed is returned by Each (and everything built on it) once
@@ -44,6 +51,29 @@ var ErrSessionClosed = fmt.Errorf("core: session closed")
 // NewSession builds the federation over vertical partitions (one per
 // client; partition i must have Client == i, labels only at client 0).
 func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
+	return newSession(parts, cfg, nil)
+}
+
+// ResumeSession rebuilds a crashed federation from the latest committed
+// checkpoint in cfg.Checkpoint: the threshold key material captured at the
+// original session's creation is reused (checkpointed ciphertexts must stay
+// decryptable), the dealer restarts at its snapshotted PRG cursor, and
+// Resume re-enters training at the checkpointed level barrier.
+func ResumeSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
+	if cfg.Checkpoint == nil {
+		return nil, fmt.Errorf("core: ResumeSession needs cfg.Checkpoint")
+	}
+	ck := cfg.Checkpoint.Latest()
+	if ck == nil {
+		return nil, fmt.Errorf("core: no committed checkpoint to resume from")
+	}
+	if len(ck.parties) != len(parts) {
+		return nil, fmt.Errorf("core: checkpoint has %d parties, resume has %d", len(ck.parties), len(parts))
+	}
+	return newSession(parts, cfg, ck)
+}
+
+func newSession(parts []*dataset.Partition, cfg Config, resume *Checkpoint) (*Session, error) {
 	cfg = cfg.withDefaults()
 	m := len(parts)
 	if m < 1 {
@@ -79,18 +109,57 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 		}
 	}
 
-	// Offline dealer (its traffic is excluded from measured phases).
+	// Deterministic fault injection: the chaos party's endpoint gets the
+	// outermost wrapper, so drops, delays and armed crashes hit exactly the
+	// frames the protocol would otherwise deliver (WithChaos preserves the
+	// tagged-lane interface when the mux is underneath).
+	if cfg.Chaos != nil {
+		i := cfg.ChaosParty
+		if i < 0 || i >= m {
+			s.shutdown()
+			return nil, fmt.Errorf("core: ChaosParty %d out of range (have %d clients)", i, m)
+		}
+		s.eps[i] = transport.WithChaos(s.eps[i], *cfg.Chaos)
+	}
+
+	// Offline dealer (its traffic is excluded from measured phases).  With
+	// checkpointing enabled it snapshots into the store on request; on
+	// resume it restarts at the snapshotted PRG cursor so the material
+	// stream continues exactly where the checkpoint left it.
+	dealerCfg := mpc.DealerConfig{Seed: cfg.Seed, Authenticated: cfg.Malicious}
+	if cfg.Checkpoint != nil {
+		dealerCfg.Store = cfg.Checkpoint.dealerStore()
+	}
+	if resume != nil {
+		dealerCfg.Resume = resume.dealer
+	}
 	go func() {
-		_ = mpc.RunDealer(s.eps[m], mpc.DealerConfig{Seed: cfg.Seed, Authenticated: cfg.Malicious})
+		_ = mpc.RunDealer(s.eps[m], dealerCfg)
 	}()
 
 	// Initialization stage (§3.4): threshold key generation.  The paper
 	// assumes a DKG ceremony; the dealer split happens here, outside all
-	// measured phases.
-	pk, _, pkeys, err := paillier.KeyGen(rand.Reader, cfg.KeyBits, m)
-	if err != nil {
-		s.shutdown()
-		return nil, err
+	// measured phases.  A resumed session reuses the crashed federation's
+	// key material — KeyGen draws from crypto/rand, so regenerating would
+	// orphan every checkpointed ciphertext.
+	var pk *paillier.PublicKey
+	var pkeys []*paillier.PartialKey
+	if resume != nil {
+		pk, pkeys = cfg.Checkpoint.keys()
+		if pk == nil || len(pkeys) != m {
+			s.shutdown()
+			return nil, fmt.Errorf("core: checkpoint store holds no key material for %d clients", m)
+		}
+	} else {
+		var err error
+		pk, _, pkeys, err = paillier.KeyGen(rand.Reader, cfg.KeyBits, m)
+		if err != nil {
+			s.shutdown()
+			return nil, err
+		}
+		if cfg.Checkpoint != nil {
+			cfg.Checkpoint.setKeys(pk, pkeys)
+		}
 	}
 	s.PK = pk
 
@@ -127,6 +196,22 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 			return nil, err
 		}
 	}
+
+	// Fault-tolerance hooks: the checkpoint store (the per-party
+	// checkpointing() gate keeps pipelined/malicious/DP runs out) and the
+	// chaos injector's level marker on the faulty party.
+	if cfg.Checkpoint != nil {
+		cfg.Checkpoint.beginAttempt()
+		for _, p := range s.parties {
+			p.ck = cfg.Checkpoint
+		}
+	}
+	if cfg.Chaos != nil {
+		if lm, ok := s.eps[cfg.ChaosParty].(transport.LevelMarker); ok {
+			s.parties[cfg.ChaosParty].onLevel = lm.AdvanceLevel
+		}
+	}
+	s.resumeCk = resume
 
 	// Client goroutines consuming submitted phases.
 	s.cmds = make([]chan func(*Party), m)
@@ -170,7 +255,7 @@ func (s *Session) Each(fn func(*Party) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("client %d panicked: %v", i, r)
+					errs[i] = fmt.Errorf("client %d panicked: %v\n%s", i, r, debug.Stack())
 				}
 				if errs[i] != nil {
 					s.abortNetwork()
@@ -192,11 +277,18 @@ func (s *Session) Each(fn func(*Party) error) error {
 // on a peer that has failed.
 func (s *Session) abortNetwork() {
 	s.abort.Do(func() {
+		s.dead.Store(true)
 		for _, ep := range s.eps {
 			_ = ep.Close()
 		}
 	})
 }
+
+// Healthy reports whether the session can still run protocol phases: it
+// turns false once Close begins or a failed phase aborts the network.
+// It never blocks, so the serving layer can use it as a liveness probe
+// even while a phase is in flight.
+func (s *Session) Healthy() bool { return !s.dead.Load() }
 
 // Party returns client i's context (for inspecting stats).
 func (s *Session) Party(i int) *Party { return s.parties[i] }
@@ -244,6 +336,7 @@ func (s *Session) Stats() RunStats {
 // has completed and then returns.
 func (s *Session) Close() {
 	s.closeOnce.Do(func() {
+		s.dead.Store(true)
 		s.phaseMu.Lock()
 		s.closed = true
 		for i := range s.cmds {

@@ -21,6 +21,9 @@ type nodeData struct {
 // cfg.Protocol == Enhanced).  Every client calls this concurrently; all
 // return the same model.
 func (p *Party) TrainDT() (*Model, error) {
+	if p.ck != nil {
+		p.rctx = &outerSnap{kind: kindDT}
+	}
 	return p.trainTree(nil, nil, nil)
 }
 

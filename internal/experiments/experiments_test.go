@@ -138,6 +138,28 @@ func TestTable3ProducesAllSixColumns(t *testing.T) {
 	}
 }
 
+func TestRecoveryBenchResumesCheaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash/recovery bench")
+	}
+	// Quick, not tiny: the armed crash must land inside a level that the
+	// last checkpoint precedes, which needs the full H=3 tree.
+	st, err := RecoveryBenchRaw(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModelMatch {
+		t.Fatal("resumed model differs from the fault-free oracle")
+	}
+	if st.ResumeRounds <= 0 || st.ResumeRounds >= st.RetrainRounds {
+		t.Fatalf("resume rounds %d vs retrain %d: resuming must do less work",
+			st.ResumeRounds, st.RetrainRounds)
+	}
+	if st.ResumeMsgs >= st.RetrainMsgs {
+		t.Fatalf("resume msgs %d vs retrain %d", st.ResumeMsgs, st.RetrainMsgs)
+	}
+}
+
 func TestFormatRendersAllSeries(t *testing.T) {
 	r := &Result{ID: "x", Title: "demo", XLabel: "n", Unit: "s",
 		Rows: []Row{{X: 1, Series: map[string]float64{"a": 0.5, "b": 1.5}}}}

@@ -151,6 +151,7 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"serve":     ServeBench,
 	"update":    UpdateBench,
 	"pipeline":  PipelineBench,
+	"recovery":  RecoveryBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

@@ -1,0 +1,207 @@
+package mpc
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Phase-boundary checkpointing: at a level barrier every party snapshots
+// the consumable state of its Engine — the dealer-material buffers
+// (triples, bits, masks) and the local PRG cursor — while party 0 asks the
+// dealer to snapshot its own PRG cursor and MAC key material.  Because the
+// dealer serves material from one PRG in request-arrival order and every
+// request originates from party 0, a checkpoint taken after the dealer has
+// acknowledged is globally consistent: restoring every engine and the
+// dealer from the same checkpoint replays the exact material stream the
+// fault-free run would have seen, so a resumed session is bit-identical.
+//
+// Not recoverable: authenticated (malicious-mode) sessions.  The SPDZ MAC
+// check folds the entire transcript of opened values into one deferred
+// verification; a restarted party has lost the pendingA/pendingM
+// transcript, so a checkpoint cannot vouch for openings that happened
+// before it.  Snapshot refuses authenticated engines.
+
+// PRGState is a resumable snapshot of a deterministic PRG cursor.
+type PRGState struct {
+	Key [32]byte
+	Ctr uint64
+	Buf []byte
+}
+
+// state snapshots the PRG (deep copy).
+func (p *prg) state() PRGState {
+	return PRGState{Key: p.key, Ctr: p.ctr, Buf: append([]byte(nil), p.buf...)}
+}
+
+// prgFromState rebuilds a PRG at the snapshotted cursor.
+func prgFromState(st PRGState) *prg {
+	return &prg{key: st.Key, ctr: st.Ctr, buf: append([]byte(nil), st.Buf...)}
+}
+
+// EngineState is one party's deep snapshot of its engine's consumable
+// state.  It is immutable once taken: Restore copies out of it, so the
+// same snapshot can seed several recovery attempts.
+type EngineState struct {
+	alphaShare *big.Int
+	local      PRGState
+	triples    []triple
+	bndTriples map[twidth][]triple
+	bits       []Share
+	inputMasks map[int][]inputMask
+	encMasks   map[uint][]encMask
+}
+
+func copyInt(x *big.Int) *big.Int {
+	if x == nil {
+		return nil
+	}
+	return new(big.Int).Set(x)
+}
+
+func copyShare(s Share) Share {
+	return Share{V: copyInt(s.V), M: copyInt(s.M)}
+}
+
+func copyTriples(ts []triple) []triple {
+	out := make([]triple, len(ts))
+	for i, t := range ts {
+		out[i] = triple{a: copyShare(t.a), b: copyShare(t.b), c: copyShare(t.c)}
+	}
+	return out
+}
+
+// Snapshot deep-copies the engine's consumable state.  The engine must be
+// quiescent (no pending opens) and semi-honest.
+func (e *Engine) Snapshot() (*EngineState, error) {
+	if e.cfg.Authenticated {
+		return nil, fmt.Errorf("mpc: authenticated sessions are not checkpointable (the MAC transcript cannot be replayed)")
+	}
+	if len(e.pendingOpens) > 0 {
+		return nil, fmt.Errorf("mpc: cannot snapshot with %d opens in flight", len(e.pendingOpens))
+	}
+	st := &EngineState{
+		alphaShare: copyInt(e.alphaShare),
+		local:      e.local.state(),
+		triples:    copyTriples(e.triples),
+		bndTriples: make(map[twidth][]triple, len(e.bndTriples)),
+		bits:       make([]Share, len(e.bits)),
+		inputMasks: make(map[int][]inputMask, len(e.inputMasks)),
+		encMasks:   make(map[uint][]encMask, len(e.encMasks)),
+	}
+	for w, ts := range e.bndTriples {
+		st.bndTriples[w] = copyTriples(ts)
+	}
+	for i, b := range e.bits {
+		st.bits[i] = copyShare(b)
+	}
+	for owner, ms := range e.inputMasks {
+		out := make([]inputMask, len(ms))
+		for i, m := range ms {
+			out[i] = inputMask{share: copyShare(m.share), plain: copyInt(m.plain)}
+		}
+		st.inputMasks[owner] = out
+	}
+	for w, ms := range e.encMasks {
+		out := make([]encMask, len(ms))
+		for i, m := range ms {
+			out[i] = encMask{share: copyShare(m.share), plain: copyInt(m.plain)}
+		}
+		st.encMasks[w] = out
+	}
+	return st, nil
+}
+
+// Restore overwrites the engine's consumable state from a snapshot (deep
+// copy — the snapshot stays reusable).  The engine keeps its endpoint and
+// identity; only material buffers, the local PRG cursor and the MAC key
+// share are rewound.
+func (e *Engine) Restore(st *EngineState) error {
+	if e.cfg.Authenticated {
+		return fmt.Errorf("mpc: authenticated sessions are not recoverable")
+	}
+	if len(e.pendingOpens) > 0 {
+		return fmt.Errorf("mpc: cannot restore with %d opens in flight", len(e.pendingOpens))
+	}
+	donor := &Engine{ // reuse Snapshot's deep-copy logic in reverse
+		cfg:        e.cfg,
+		alphaShare: st.alphaShare,
+		local:      prgFromState(st.local),
+		triples:    st.triples,
+		bndTriples: st.bndTriples,
+		bits:       st.bits,
+		inputMasks: st.inputMasks,
+		encMasks:   st.encMasks,
+	}
+	copied, err := donor.Snapshot()
+	if err != nil {
+		return err
+	}
+	e.alphaShare = copied.alphaShare
+	e.local = prgFromState(st.local)
+	e.triples = copied.triples
+	e.bndTriples = copied.bndTriples
+	e.bits = copied.bits
+	e.inputMasks = copied.inputMasks
+	e.encMasks = copied.encMasks
+	return nil
+}
+
+// DealerCheckpoint triggers and synchronizes a dealer-side snapshot: party
+// 0 sends the checkpoint request (like all dealer traffic) and every party
+// waits for the dealer's acknowledgement, so material requested before the
+// barrier is guaranteed served — and therefore captured by the engines'
+// own snapshots — before the dealer's PRG cursor is recorded.
+func (e *Engine) DealerCheckpoint() error {
+	e.request(reqCheckpoint)
+	ack := e.recvDealer()
+	if len(ack) != 1 || ack[0].Sign() == 0 {
+		return fmt.Errorf("mpc: dealer refused checkpoint (no store configured?)")
+	}
+	return nil
+}
+
+// DealerState is the dealer's resumable snapshot: the MAC key and its
+// shares exactly as dealt at startup (so a resumed hello replays the saved
+// values without advancing the PRG) plus the PRG cursor after the last
+// served request.
+type DealerState struct {
+	Alpha       *big.Int
+	AlphaShares []*big.Int
+	PRG         PRGState
+}
+
+func (st *DealerState) clone() *DealerState {
+	out := &DealerState{Alpha: copyInt(st.Alpha), PRG: PRGState{Key: st.PRG.Key, Ctr: st.PRG.Ctr, Buf: append([]byte(nil), st.PRG.Buf...)}}
+	out.AlphaShares = make([]*big.Int, len(st.AlphaShares))
+	for i, s := range st.AlphaShares {
+		out.AlphaShares[i] = copyInt(s)
+	}
+	return out
+}
+
+// DealerCheckpointStore is the in-process mailbox the dealer writes its
+// snapshots into; the recovery driver reads the latest when rebuilding a
+// session.
+type DealerCheckpointStore struct {
+	mu sync.Mutex
+	st *DealerState
+}
+
+// put records the latest dealer snapshot.
+func (s *DealerCheckpointStore) put(st *DealerState) {
+	s.mu.Lock()
+	s.st = st
+	s.mu.Unlock()
+}
+
+// State returns a deep copy of the latest dealer snapshot (nil if no
+// checkpoint has committed).
+func (s *DealerCheckpointStore) State() *DealerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return nil
+	}
+	return s.st.clone()
+}

@@ -25,6 +25,7 @@ const (
 	reqHello
 	reqShutdown
 	reqBoundedTriples
+	reqCheckpoint
 )
 
 type triple struct {
@@ -47,6 +48,14 @@ type DealerConfig struct {
 	Seed int64
 	// Authenticated enables SPDZ MACs on all dealt material.
 	Authenticated bool
+	// Store, when set, receives the dealer's snapshot each time party 0
+	// requests a checkpoint (reqCheckpoint).
+	Store *DealerCheckpointStore
+	// Resume, when set, restarts the dealer at a snapshot instead of from
+	// the seed: the MAC key shares are replayed verbatim and the PRG
+	// resumes at the recorded cursor, so the material stream continues
+	// exactly where the checkpoint left it.
+	Resume *DealerState
 }
 
 // RunDealer serves offline material on ep (which must be the endpoint with
@@ -54,13 +63,28 @@ type DealerConfig struct {
 // i.e. until it receives a shutdown request.  Run it in its own goroutine.
 func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
 	n := ep.N() - 1 // compute parties
-	g := newPRG([]byte(fmt.Sprintf("pivot-dealer-%d", cfg.Seed)))
-	alpha := big.NewInt(0)
-	if cfg.Authenticated {
-		alpha = g.fieldElem()
+	var g *prg
+	var alpha *big.Int
+	var alphaShares []*big.Int
+	if cfg.Resume != nil {
+		// Resume: replay the saved hello (no PRG draws — the shares were
+		// dealt before the snapshot) and continue the PRG at its cursor.
+		st := cfg.Resume.clone()
+		g = prgFromState(st.PRG)
+		alpha = st.Alpha
+		alphaShares = st.AlphaShares
+		if len(alphaShares) != n {
+			return fmt.Errorf("mpc: dealer resume state has %d alpha shares, want %d", len(alphaShares), n)
+		}
+	} else {
+		g = newPRG([]byte(fmt.Sprintf("pivot-dealer-%d", cfg.Seed)))
+		alpha = big.NewInt(0)
+		if cfg.Authenticated {
+			alpha = g.fieldElem()
+		}
+		alphaShares = shareValue(g, alpha, n)
 	}
 	// Hello: send each party its MAC key share.
-	alphaShares := shareValue(g, alpha, n)
 	for p := 0; p < n; p++ {
 		if err := transport.SendInts(ep, p, []*big.Int{alphaShares[p]}); err != nil {
 			return err
@@ -104,6 +128,24 @@ func RunDealer(ep transport.Endpoint, cfg DealerConfig) error {
 		switch kind {
 		case reqShutdown:
 			return nil
+		case reqCheckpoint:
+			// Snapshot the PRG cursor *after* all previously requested
+			// material (the request channel is FIFO from party 0, so
+			// everything the engines buffered is already served), then ack
+			// every party — the ack doubles as the barrier that tells each
+			// engine its own snapshot may commit.
+			ok := big.NewInt(0)
+			if cfg.Store != nil {
+				cfg.Store.put((&DealerState{Alpha: alpha, AlphaShares: alphaShares, PRG: g.state()}).clone())
+				ok = big.NewInt(1)
+			}
+			out := make([][]*big.Int, n)
+			for p := 0; p < n; p++ {
+				out[p] = []*big.Int{ok}
+			}
+			if err := sendAll(lane, n, out); err != nil {
+				return err
+			}
 		case reqTriples:
 			count := int(req[1].Int64())
 			if err := dealTriples(lane, g, alpha, n, count, cfg.Authenticated); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -19,13 +20,32 @@ type Client struct {
 	r    *bufio.Reader
 }
 
-// Dial connects to a pivot-serve daemon.
+// Dial connects to a pivot-serve daemon, retrying refused connections
+// with a capped full-jitter exponential backoff for up to 5 seconds —
+// long enough to ride out a daemon restart or a not-yet-bound listener.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout is Dial with an explicit retry window; timeout <= 0
+// attempts the connection exactly once.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	delay := 10 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+		}
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		// Full jitter: sleep uniformly in [0, delay), then double the cap.
+		time.Sleep(time.Duration(rand.Int63n(int64(delay))))
+		if delay *= 2; delay > 500*time.Millisecond {
+			delay = 500 * time.Millisecond
+		}
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
 }
 
 // Close closes the connection.
@@ -39,6 +59,13 @@ func (c *Client) roundTrip(op byte, req, out any) error {
 	rop, body, err := readFrame(c.r)
 	if err != nil {
 		return err
+	}
+	if rop == opUnavail {
+		var u unavailResp
+		if json.Unmarshal(body, &u) == nil && u.RetryAfterMs > 0 {
+			return &UnavailableError{RetryAfter: time.Duration(u.RetryAfterMs) * time.Millisecond}
+		}
+		return &UnavailableError{}
 	}
 	if rop == opErr {
 		var msg string
@@ -94,6 +121,15 @@ func (c *Client) Models() ([]Info, error) {
 func (c *Client) Stats() (core.RunStats, error) {
 	var out core.RunStats
 	err := c.roundTrip(opStats, struct{}{}, &out)
+	return out, err
+}
+
+// Health probes the daemon's liveness: an unhealthy response means the
+// serving session is down (RetryAfterMs hints when to come back) or the
+// daemon is draining.
+func (c *Client) Health() (Health, error) {
+	var out Health
+	err := c.roundTrip(opHealth, struct{}{}, &out)
 	return out, err
 }
 

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// degradeFixture builds a small live service with a trained DT registered
+// under "dt" and returns the pieces the degradation tests poke at.
+func degradeFixture(t *testing.T, svcCfg Config) (*Service, []*dataset.Partition, []float64, [][]float64) {
+	t.Helper()
+	ds := dataset.SyntheticClassification(12, 4, 2, 3.0, 9)
+	parts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewSession(parts, fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(sess, parts, svcCfg)
+	if err != nil {
+		sess.Close()
+		t.Fatal(err)
+	}
+	mdl, err := core.Train(sess, core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("dt", mdl); err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	oracle, err := core.PredictAll(sess, mdl, parts)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	return svc, parts, oracle, flatRows(parts, svc.Width())
+}
+
+// TestServiceDegradeAndRebuild is the graceful-degradation round trip: a
+// session killed under the service fails requests with the retry-after
+// hint, the Rebuild factory restarts it behind the registry, and the
+// basic-protocol model keeps serving the same predictions afterwards.
+func TestServiceDegradeAndRebuild(t *testing.T) {
+	var parts []*dataset.Partition
+	cfg := Config{RetryAfter: 250 * time.Millisecond}
+	cfg.Rebuild = func() (*core.Session, error) {
+		return core.NewSession(parts, fixtureConfig())
+	}
+	svc, p, oracle, rows := degradeFixture(t, cfg)
+	parts = p
+	defer svc.Close()
+
+	if got, err := svc.Predict("dt", rows[0]); err != nil || got != oracle[0] {
+		t.Fatalf("healthy predict = %v, %v (want %v)", got, err, oracle[0])
+	}
+	if h := svc.Health(); !h.Healthy {
+		t.Fatalf("health before fault: %+v", h)
+	}
+
+	// Fault injection: kill the session out from under the service, as a
+	// crashed peer or aborted network would.
+	svc.Session().Close()
+	if h := svc.Health(); h.Healthy || h.RetryAfterMs != 250 {
+		t.Fatalf("health after fault: %+v", h)
+	}
+
+	// The request that trips over the corpse gets the retry-after error.
+	_, err := svc.Predict("dt", rows[0])
+	var ue *UnavailableError
+	if !errors.Is(err, ErrUnavailable) || !errors.As(err, &ue) || ue.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("predict on dead session = %v", err)
+	}
+
+	// The background rebuild must restore service.
+	deadline := time.Now().Add(15 * time.Second)
+	for !svc.Health().Healthy {
+		if time.Now().After(deadline) {
+			t.Fatal("service did not recover")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, row := range rows {
+		got, err := svc.Predict("dt", row)
+		if err != nil {
+			t.Fatalf("post-rebuild sample %d: %v", i, err)
+		}
+		if got != oracle[i] {
+			t.Fatalf("post-rebuild sample %d = %v, want %v", i, got, oracle[i])
+		}
+	}
+	st := svc.Stats()
+	if st.Serve.Rebuilds != 1 || st.Serve.Unavailable < 1 {
+		t.Fatalf("degradation counters: %+v", st.Serve)
+	}
+}
+
+// TestServiceUnavailableNoRebuild pins the degradation floor without a
+// factory: the service keeps refusing work with the hint instead of
+// panicking or hanging, and still closes cleanly.
+func TestServiceUnavailableNoRebuild(t *testing.T) {
+	svc, _, _, rows := degradeFixture(t, Config{RetryAfter: 1500 * time.Millisecond})
+	defer svc.Close()
+
+	svc.Session().Close()
+	// First request trips the fault; later ones are refused at admission.
+	for i := 0; i < 2; i++ {
+		_, err := svc.Predict("dt", rows[0])
+		var ue *UnavailableError
+		if !errors.As(err, &ue) || ue.RetryAfter != 1500*time.Millisecond {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if h := svc.Health(); h.Healthy || h.RetryAfterMs != 1500 {
+		t.Fatalf("health: %+v", h)
+	}
+	st := svc.Stats()
+	if st.Serve.Rebuilds != 0 || st.Serve.Unavailable < 1 {
+		t.Fatalf("degradation counters: %+v", st.Serve)
+	}
+}
+
+// TestServerUnavailableWire checks the degradation surface over the wire:
+// opUnavail round-trips into an *UnavailableError with the hint, and the
+// health probe reports unhealthy.
+func TestServerUnavailableWire(t *testing.T) {
+	svc, _, oracle, rows := degradeFixture(t, Config{RetryAfter: 300 * time.Millisecond})
+	srv, err := NewServer(svc, "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer func() { srv.Shutdown(); time.Sleep(50 * time.Millisecond) }()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if h, err := cli.Health(); err != nil || !h.Healthy {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	if preds, err := cli.Predict("dt", rows[:1]); err != nil || preds[0] != oracle[0] {
+		t.Fatalf("predict = %v, %v", preds, err)
+	}
+
+	svc.Session().Close()
+	_, err = cli.Predict("dt", rows[:1])
+	var ue *UnavailableError
+	if !errors.Is(err, ErrUnavailable) || !errors.As(err, &ue) || ue.RetryAfter != 300*time.Millisecond {
+		t.Fatalf("predict over wire on dead session = %v", err)
+	}
+	if h, err := cli.Health(); err != nil || h.Healthy || h.RetryAfterMs != 300 {
+		t.Fatalf("health after fault = %+v, %v", h, err)
+	}
+}
+
+// TestDialRetry pins the client-side backoff: a listener that comes up
+// after the first attempt must still be reached within the retry window,
+// and a zero window must fail in one attempt.
+func TestDialRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	cli0, err := DialTimeout(addr, 0)
+	if err != nil {
+		t.Fatalf("one-shot dial to a live listener: %v", err)
+	}
+	cli0.Close()
+	ln.Close()
+
+	if _, err := DialTimeout(addr, 0); err == nil {
+		t.Fatal("one-shot dial to a closed listener must fail")
+	}
+
+	// Bring the listener back mid-retry; Dial's backoff must find it.
+	ready := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			ready <- nil
+			return
+		}
+		ready <- ln
+	}()
+	cli, err := DialTimeout(addr, 5*time.Second)
+	ln2 := <-ready
+	if ln2 == nil {
+		t.Skip("could not rebind the probe port")
+	}
+	defer ln2.Close()
+	if err != nil {
+		t.Fatalf("retrying dial: %v", err)
+	}
+	cli.Close()
+}

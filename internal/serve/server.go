@@ -146,6 +146,10 @@ func (srv *Server) serveOp(conn net.Conn, op byte, body []byte) bool {
 		}
 		preds, err := srv.svc.PredictManyEntry(entry, req.Samples, deadline)
 		if err != nil {
+			var ue *UnavailableError
+			if errors.As(err, &ue) {
+				return writeFrame(conn, opUnavail, unavailResp{RetryAfterMs: ue.RetryAfter.Milliseconds()}) == nil
+			}
 			return writeFrame(conn, opErr, err.Error()) == nil
 		}
 		if preds == nil {
@@ -158,6 +162,9 @@ func (srv *Server) serveOp(conn net.Conn, op byte, body []byte) bool {
 
 	case opStats:
 		return writeFrame(conn, opOK, srv.svc.Stats()) == nil
+
+	case opHealth:
+		return writeFrame(conn, opOK, srv.svc.Health()) == nil
 
 	case opDrain:
 		if err := writeFrame(conn, opOK, "draining"); err != nil {

@@ -27,6 +27,21 @@ type Config struct {
 	// DefaultDeadline applies to requests that carry none (0 = no
 	// deadline).
 	DefaultDeadline time.Duration
+	// Rebuild, when set, is the session factory behind graceful
+	// degradation: after a protocol failure kills the session, the
+	// service fails in-flight work with UnavailableError, keeps refusing
+	// new samples with the RetryAfter hint, and a background goroutine
+	// calls Rebuild (retrying with a capped backoff) and swaps the fresh
+	// session in, restoring service without a daemon restart.
+	// Basic-protocol models in the registry survive the swap unchanged;
+	// enhanced models hold ciphertexts bound to the dead session's key
+	// material and stay servable only if the factory reuses it (e.g.
+	// core.ResumeSession over the same CheckpointStore).  Nil disables
+	// automatic restart: the service stays unavailable until closed.
+	Rebuild func() (*core.Session, error)
+	// RetryAfter is the back-off hint attached to UnavailableError while
+	// the session is down (default 2s).
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
 	}
 	return c
 }
@@ -51,7 +69,25 @@ var (
 	// ErrDeadline is returned when a sample's deadline passes before its
 	// round chain ran.
 	ErrDeadline = fmt.Errorf("serve: deadline exceeded")
+	// ErrUnavailable matches (errors.Is) samples refused or failed
+	// because the serving session died; the concrete error is an
+	// *UnavailableError carrying the retry-after hint.
+	ErrUnavailable = fmt.Errorf("serve: session unavailable")
 )
+
+// UnavailableError reports a dead serving session together with the
+// configured client back-off hint.  errors.Is(err, ErrUnavailable)
+// matches it.
+type UnavailableError struct {
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("serve: session unavailable (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrUnavailable) match.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
 
 type result struct {
 	pred float64
@@ -81,10 +117,11 @@ type Service struct {
 	width int     // total feature count
 	cfg   Config
 
-	mu       sync.Mutex
-	queue    []*request
-	stats    core.ServeStats
-	draining bool
+	mu          sync.Mutex
+	queue       []*request
+	stats       core.ServeStats
+	draining    bool
+	unavailable bool // session dead; rebuild (if configured) in flight
 
 	wake chan struct{}
 	done chan struct{}
@@ -120,8 +157,14 @@ func New(sess *core.Session, parts []*dataset.Partition, cfg Config) (*Service, 
 	return s, nil
 }
 
-// Session exposes the underlying session (stats, advanced use).
-func (s *Service) Session() *core.Session { return s.sess }
+// Session exposes the underlying session (stats, advanced use).  A
+// rebuild may swap it, so callers must not cache the pointer across a
+// degradation event.
+func (s *Service) Session() *core.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess
+}
 
 // Register installs mdl under name (see Registry.Register) and evicts
 // the replaced model's cached secret-shared conversion from the session,
@@ -222,6 +265,12 @@ func (s *Service) submitEntry(entry *Entry, rows [][]float64, deadline time.Time
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if s.unavailable {
+		s.stats.Rejected += int64(len(rows))
+		s.stats.Unavailable += int64(len(rows))
+		s.mu.Unlock()
+		return nil, &UnavailableError{RetryAfter: s.cfg.RetryAfter}
+	}
 	if len(s.queue)+len(rows) > s.cfg.MaxQueue {
 		s.stats.Rejected += int64(len(rows))
 		s.mu.Unlock()
@@ -279,6 +328,7 @@ func (s *Service) flushOne() bool {
 	now := time.Now()
 	var batch []*request
 	s.mu.Lock()
+	sess := s.sess // a rebuild may swap s.sess; this batch rides one session
 	entry := s.queue[0].entry
 	rest := s.queue[:0]
 	for _, rq := range s.queue {
@@ -311,18 +361,33 @@ func (s *Service) flushOne() bool {
 			X[c][t] = local
 		}
 	}
-	preds, rounds, err := core.PredictSamples(s.sess, entry.Model, X)
+	preds, rounds, err := core.PredictSamples(sess, entry.Model, X)
+
+	// A protocol failure that killed the session (a crashed peer, an
+	// aborted network) degrades the service: this batch and everything
+	// queued behind it fail with the retry-after hint, and the rebuild
+	// factory — when configured — restarts the session in the background.
+	// Errors on a healthy session (e.g. a model the protocol cannot
+	// evaluate) fail only their own batch.
+	degraded := false
+	if err != nil && !sess.Healthy() {
+		err = s.degrade(sess)
+		degraded = true
+	}
 
 	// A batch admitted under a replaced registry entry re-caches the old
 	// model's secret-shared conversion; evict it again once served, so
 	// retraining cycles racing in-flight requests don't leak conversions
 	// for the session's lifetime.
 	if cur, lookupErr := s.Lookup(entry.Name); lookupErr != nil || cur != entry {
-		s.sess.EvictShared(entry.Model)
+		sess.EvictShared(entry.Model)
 	}
 
 	done := time.Now()
 	s.mu.Lock()
+	if degraded {
+		s.stats.Unavailable += int64(len(batch))
+	}
 	s.stats.Batches++
 	s.stats.Coalesced += int64(len(batch))
 	if len(batch) > s.stats.MaxBatch {
@@ -345,10 +410,111 @@ func (s *Service) flushOne() bool {
 	return more
 }
 
+// degrade marks the service unavailable after sess died: everything
+// queued fails with the retry-after hint (new submissions are refused
+// the same way), and the Rebuild factory — when configured — is kicked
+// off in the background.  It returns the error the failed batch should
+// surface.  Idempotent per dead session: only the first caller for a
+// given session drops the queue and starts a rebuild.
+func (s *Service) degrade(sess *core.Session) error {
+	uerr := &UnavailableError{RetryAfter: s.cfg.RetryAfter}
+	s.mu.Lock()
+	if s.unavailable || s.sess != sess {
+		// Already degraded, or a rebuild already replaced this session.
+		s.mu.Unlock()
+		return uerr
+	}
+	s.unavailable = true
+	dropped := s.queue
+	s.queue = nil
+	s.stats.Unavailable += int64(len(dropped))
+	rebuild := s.cfg.Rebuild
+	s.mu.Unlock()
+	for _, rq := range dropped {
+		rq.res <- result{err: uerr}
+	}
+	if rebuild != nil {
+		go s.rebuild(sess, rebuild)
+	}
+	return uerr
+}
+
+// rebuild replaces a dead session: the corpse is torn down first (its
+// endpoints and randomness pool release before the replacement's come
+// up), then the factory is retried with a capped backoff until it yields
+// a session or the service starts draining.
+func (s *Service) rebuild(dead *core.Session, factory func() (*core.Session, error)) {
+	dead.Close()
+	delay := 50 * time.Millisecond
+	for {
+		s.mu.Lock()
+		stop := s.draining
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+		ns, err := factory()
+		if err == nil {
+			s.mu.Lock()
+			if s.draining {
+				// Lost the race with Close: the service owns no live
+				// session anymore, so tear the fresh one down here.
+				s.mu.Unlock()
+				ns.Close()
+				return
+			}
+			s.sess = ns
+			s.unavailable = false
+			s.stats.Rebuilds++
+			s.mu.Unlock()
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+			return
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// Health is the service's liveness snapshot (served over the wire as
+// opHealth): Healthy is false while the session is dead (rebuild
+// pending) or the service is draining, and RetryAfterMs then carries the
+// back-off hint.
+type Health struct {
+	Healthy      bool  `json:"healthy"`
+	Draining     bool  `json:"draining,omitempty"`
+	QueueDepth   int   `json:"queue_depth"`
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Health probes the service.  The session's own liveness flag is folded
+// in, so a session killed between batches reads unhealthy before any
+// request trips over it.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Healthy:    !s.unavailable && !s.draining && s.sess.Healthy(),
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+	}
+	if !h.Healthy && !s.draining {
+		h.RetryAfterMs = s.cfg.RetryAfter.Milliseconds()
+	}
+	return h
+}
+
 // Stats returns the session's protocol statistics with the serving
 // counters attached (RunStats.Serve).
 func (s *Service) Stats() core.RunStats {
-	rs := s.sess.Stats()
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	rs := sess.Stats()
 	s.mu.Lock()
 	sv := s.stats
 	sv.QueueDepth = len(s.queue)
@@ -375,6 +541,9 @@ func (s *Service) Drain() {
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.Drain()
-		s.sess.Close()
+		s.mu.Lock()
+		sess := s.sess
+		s.mu.Unlock()
+		sess.Close()
 	})
 }

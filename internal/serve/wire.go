@@ -24,13 +24,15 @@ const (
 	opPredict byte = 'P' // predictReq  -> opOK predictResp
 	opModels  byte = 'M' // empty       -> opOK []Info
 	opStats   byte = 'S' // empty       -> opOK core.RunStats
+	opHealth  byte = 'H' // empty       -> opOK Health
 	opDrain   byte = 'D' // empty       -> opOK "draining", then server shutdown
 )
 
 // Response opcodes.
 const (
-	opOK  byte = 'K'
-	opErr byte = 'E' // body: JSON string with the error message
+	opOK      byte = 'K'
+	opErr     byte = 'E' // body: JSON string with the error message
+	opUnavail byte = 'U' // body: unavailResp — session down, back off and retry
 )
 
 type predictReq struct {
@@ -42,6 +44,12 @@ type predictReq struct {
 type predictResp struct {
 	Predictions []float64 `json:"predictions"`
 	Version     int       `json:"version"`
+}
+
+// unavailResp is the opUnavail body: the daemon's session is dead (a
+// rebuild may be in flight) and the client should retry after the hint.
+type unavailResp struct {
+	RetryAfterMs int64 `json:"retry_after_ms"`
 }
 
 // writeFrame marshals v and writes one frame.

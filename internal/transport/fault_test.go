@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -42,7 +43,7 @@ func TestFaultEndpointRecvBudgetAndCustomErr(t *testing.T) {
 	eps := NewMemoryNetwork(2, 4)
 	defer closeAll(eps)
 	custom := fmt.Errorf("link down")
-	f := WithFaults(eps[1], 0, 1)
+	f := WithFaults(eps[1], 0, 1).(*FaultEndpoint)
 	f.Err = custom
 	if err := eps[0].Send(1, []byte("x")); err != nil {
 		t.Fatal(err)
@@ -70,5 +71,148 @@ func TestFaultEndpointUnlimitedBudgets(t *testing.T) {
 	}
 	if f.Stats().MsgsSent.Load() != 10 {
 		t.Fatalf("stats not delegated: %d", f.Stats().MsgsSent.Load())
+	}
+}
+
+// TestFaultEndpointTaggedLanes is the regression test for the pipelined
+// path: wrapping a tag-multiplexed endpoint must preserve the
+// TaggedEndpoint interface and charge lane traffic against the shared
+// budgets, instead of silently bypassing injection.
+func TestFaultEndpointTaggedLanes(t *testing.T) {
+	eps := NewMemoryNetwork(2, 16)
+	defer closeAll(eps)
+	mux0 := NewTagMux(eps[0])
+	mux1 := NewTagMux(eps[1])
+
+	f := WithFaults(mux0, 2, 0)
+	tf, ok := f.(TaggedEndpoint)
+	if !ok {
+		t.Fatal("WithFaults over a TagMux must stay a TaggedEndpoint")
+	}
+	lane := tf.Lane(7)
+	if err := lane.Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(1, []byte("b")); err != nil { // lane 0, shares the budget
+		t.Fatal(err)
+	}
+	if err := lane.Send(1, []byte("c")); err != ErrInjected {
+		t.Fatalf("third send (via lane) must hit the shared budget, got %v", err)
+	}
+	// Frames sent before the fault are deliverable with their tags intact.
+	tag, b, err := mux1.RecvTagged(0)
+	if err != nil || tag != 7 || string(b) != "a" {
+		t.Fatalf("RecvTagged = (%d, %q, %v), want (7, \"a\", nil)", tag, b, err)
+	}
+	if b, err := mux1.Recv(0); err != nil || string(b) != "b" {
+		t.Fatalf("Recv = (%q, %v)", b, err)
+	}
+
+	// Recv budgets gate tagged receives too.
+	g := WithFaults(mux1, 0, 1).(TaggedEndpoint)
+	if err := mux0.Lane(9).Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux0.Lane(9).Send(1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.RecvTagged(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Lane(9).Recv(0); err != ErrInjected {
+		t.Fatalf("second tagged recv must hit the shared budget, got %v", err)
+	}
+}
+
+// TestChaosDeterministic pins the chaos injector's schedule: the same seed
+// over the same operation sequence crashes at the same operation.
+func TestChaosDeterministic(t *testing.T) {
+	run := func(seed int64) (int, error) {
+		eps := NewMemoryNetwork(2, 1024)
+		defer closeAll(eps)
+		c := WithChaos(eps[0], ChaosConfig{Seed: seed, ResetProb: 0.02})
+		for i := 0; i < 1000; i++ {
+			if err := c.Send(1, []byte{byte(i)}); err != nil {
+				return i, err
+			}
+			b, err := eps[1].Recv(0)
+			if err != nil {
+				return i, err
+			}
+			_ = b
+		}
+		return -1, nil
+	}
+	i1, err1 := run(42)
+	i2, err2 := run(42)
+	if i1 != i2 || !errors.Is(err1, ErrCrashed) || !errors.Is(err2, ErrCrashed) {
+		t.Fatalf("chaos not deterministic: run1=(%d,%v) run2=(%d,%v)", i1, err1, i2, err2)
+	}
+	i3, _ := run(43)
+	if i3 == i1 {
+		t.Logf("different seeds crashed at the same op (%d); legal but suspicious", i3)
+	}
+}
+
+// TestChaosCrashAfterSends pins the send-count schedule.
+func TestChaosCrashAfterSends(t *testing.T) {
+	eps := NewMemoryNetwork(2, 64)
+	defer closeAll(eps)
+	c := WithChaos(eps[0], ChaosConfig{Seed: 1, CrashAfterSends: 3})
+	for i := 0; i < 3; i++ {
+		if err := c.Send(1, []byte("m")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Send(1, []byte("m")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("4th send: got %v, want ErrCrashed", err)
+	}
+	if !c.(*ChaosEndpoint).Crashed() {
+		t.Fatal("endpoint should report crashed")
+	}
+}
+
+// TestChaosCrashAtLevel verifies the barrier-keyed schedule: the crash
+// fires a few operations after the configured AdvanceLevel mark, and the
+// tagged wrapper preserves lane routing.
+func TestChaosCrashAtLevel(t *testing.T) {
+	eps := NewMemoryNetwork(2, 1024)
+	defer closeAll(eps)
+	c := WithChaos(NewTagMux(eps[0]), ChaosConfig{Seed: 5, CrashAtLevel: 2})
+	tc, ok := c.(TaggedEndpoint)
+	if !ok {
+		t.Fatal("WithChaos over a TagMux must stay a TaggedEndpoint")
+	}
+	marker := c.(LevelMarker)
+	send := func() error { return tc.Lane(3).Send(1, []byte("z")) }
+
+	// Level 1: many ops, no crash.
+	for i := 0; i < 50; i++ {
+		if err := send(); err != nil {
+			t.Fatalf("pre-schedule op %d failed: %v", i, err)
+		}
+	}
+	marker.AdvanceLevel()
+	for i := 0; i < 50; i++ {
+		if err := send(); err != nil {
+			t.Fatalf("level-2 op %d failed: %v", i, err)
+		}
+	}
+	marker.AdvanceLevel() // arms the crash
+	var crashed bool
+	for i := 0; i < 50; i++ {
+		if err := send(); err != nil {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("op %d: got %v, want ErrCrashed", i, err)
+			}
+			if i >= 8 {
+				t.Fatalf("crash fired %d ops after the barrier, want < 8", i)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("crash-at-level schedule never fired")
 	}
 }

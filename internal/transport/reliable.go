@@ -1,0 +1,489 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Reliable link: a sequence-numbered, acknowledged frame stream over one
+// TCP connection that survives the connection dying.  Every data frame
+// carries a sequence number and a cumulative acknowledgement; unacked
+// frames stay in a bounded retransmit window.  When the connection breaks
+// (read/write error, or heartbeat silence), the link redials, exchanges a
+// resume handshake — each side announces the next sequence number it
+// expects — and retransmits exactly the frames the peer has not seen.
+// Receivers drop duplicates by sequence number, so a frame that raced the
+// reconnect is delivered exactly once, in order.
+//
+// Wire format (all big-endian):
+//
+//	kind(1) | seq(8) | ack(8) | len(4) | payload(len)
+//
+//	kindData  — payload frame; seq is its sequence number.
+//	kindAck   — heartbeat/acknowledgement; seq unused, len = 0.
+//	kindHello — resume handshake; ack announces the next expected
+//	            sequence number, seq and payload unused.
+//
+// Acks are cumulative: ack = next expected inbound sequence number, so a
+// frame with seq < ack has been delivered and may leave the window.
+
+const (
+	kindData  = 1
+	kindAck   = 2
+	kindHello = 3
+
+	relHeaderLen = 1 + 8 + 8 + 4
+)
+
+// ReliableConfig tunes a ReliableConn.
+type ReliableConfig struct {
+	// WindowFrames bounds the retransmit buffer: Send blocks once this
+	// many frames are unacked (default 4096).
+	WindowFrames int
+	// Heartbeat is the idle interval between keepalive frames; 0
+	// disables heartbeats (the link then detects death only on I/O
+	// errors).
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many silent heartbeat intervals declare the
+	// connection dead (default 3).
+	HeartbeatMiss int
+	// ResumeTimeout bounds the total time spent re-establishing a broken
+	// connection before the link fails terminally (default 10s).
+	ResumeTimeout time.Duration
+	// Redial re-establishes the underlying connection.  nil disables
+	// reconnection: the first connection failure is terminal.
+	Redial func() (net.Conn, error)
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.WindowFrames <= 0 {
+		c.WindowFrames = 4096
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 3
+	}
+	if c.ResumeTimeout <= 0 {
+		c.ResumeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// relFrame is one unacked outbound frame.
+type relFrame struct {
+	seq uint64
+	b   []byte
+}
+
+// ReliableConn is one reliable, resumable frame link.  Send retains the
+// byte slice until it is acknowledged; callers must not reuse it.
+type ReliableConn struct {
+	cfg ReliableConfig
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	conn net.Conn // nil while disconnected/reconnecting
+
+	nextSend  uint64 // seq for the next outbound data frame (1-based)
+	sendAcked uint64 // highest cumulative ack received (frames <= are free)
+	window    []relFrame
+
+	nextRecv  uint64 // next expected inbound data seq
+	recvQ     [][]byte
+	lastHeard time.Time
+
+	reconnecting bool
+	resumes      int64
+	err          error
+	closed       bool
+
+	wmu sync.Mutex // serializes writes to the current connection
+	wc  net.Conn   // connection the write path targets
+	bw  *bufio.Writer
+}
+
+// NewReliableConn wraps an established connection.  The link starts its
+// reader (and heartbeat, if configured) goroutines immediately.
+func NewReliableConn(conn net.Conn, cfg ReliableConfig) *ReliableConn {
+	r := &ReliableConn{cfg: cfg.withDefaults(), nextSend: 1, nextRecv: 1, lastHeard: time.Now()}
+	r.cond = sync.NewCond(&r.mu)
+	r.install(conn)
+	go r.readLoop(conn)
+	if r.cfg.Heartbeat > 0 {
+		go r.heartbeatLoop()
+	}
+	return r
+}
+
+// install makes conn the live connection for both paths.
+func (r *ReliableConn) install(conn net.Conn) {
+	r.mu.Lock()
+	r.conn = conn
+	r.lastHeard = time.Now()
+	r.mu.Unlock()
+	r.wmu.Lock()
+	r.wc = conn
+	r.bw = bufio.NewWriterSize(conn, 1<<16)
+	r.wmu.Unlock()
+}
+
+// Resumes reports how many successful resume handshakes the link has
+// completed.
+func (r *ReliableConn) Resumes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resumes
+}
+
+func putHeader(hdr []byte, kind byte, seq, ack uint64, n int) {
+	hdr[0] = kind
+	binary.BigEndian.PutUint64(hdr[1:], seq)
+	binary.BigEndian.PutUint64(hdr[9:], ack)
+	binary.BigEndian.PutUint32(hdr[17:], uint32(n))
+}
+
+// writeFrame writes one frame to the current connection.  A nil or stale
+// connection is not an error: the frame stays in the window and the resume
+// handshake retransmits it.
+func (r *ReliableConn) writeFrame(kind byte, seq uint64, b []byte) {
+	r.mu.Lock()
+	ack := r.nextRecv
+	conn := r.conn
+	r.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	r.wmu.Lock()
+	if r.wc != conn {
+		r.wmu.Unlock()
+		return
+	}
+	var hdr [relHeaderLen]byte
+	putHeader(hdr[:], kind, seq, ack, len(b))
+	_, err := r.bw.Write(hdr[:])
+	if err == nil && len(b) > 0 {
+		_, err = r.bw.Write(b)
+	}
+	if err == nil {
+		err = r.bw.Flush()
+	}
+	r.wmu.Unlock()
+	if err != nil {
+		r.connBroken(conn, err)
+	}
+}
+
+// Send queues b for exactly-once in-order delivery.  It blocks while the
+// retransmit window is full, and returns the link's terminal error once
+// reconnection has been exhausted.  The slice is retained until acked.
+func (r *ReliableConn) Send(b []byte) error {
+	r.mu.Lock()
+	for len(r.window) >= r.cfg.WindowFrames && r.err == nil && !r.closed {
+		r.cond.Wait()
+	}
+	if r.err != nil {
+		err := r.err
+		r.mu.Unlock()
+		return err
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	seq := r.nextSend
+	r.nextSend++
+	r.window = append(r.window, relFrame{seq: seq, b: b})
+	r.mu.Unlock()
+	r.writeFrame(kindData, seq, b)
+	return nil
+}
+
+// Recv blocks for the next in-order frame.
+func (r *ReliableConn) Recv() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.recvQ) == 0 {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.closed {
+			return nil, ErrClosed
+		}
+		r.cond.Wait()
+	}
+	b := r.recvQ[0]
+	r.recvQ = r.recvQ[1:]
+	return b, nil
+}
+
+// Close shuts the link down; queued-but-unacked frames are abandoned.
+func (r *ReliableConn) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	conn := r.conn
+	r.conn = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// fail records the terminal error and wakes everyone.
+func (r *ReliableConn) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil && !r.closed {
+		r.err = err
+	}
+	conn := r.conn
+	r.conn = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// connBroken reacts to a failure of a specific connection incarnation:
+// stale reports (from a goroutine still holding the previous conn) are
+// ignored, the first report closes the conn and starts reconnection.
+func (r *ReliableConn) connBroken(conn net.Conn, cause error) {
+	r.mu.Lock()
+	if r.closed || r.err != nil || r.conn != conn || r.reconnecting {
+		r.mu.Unlock()
+		return
+	}
+	r.conn = nil
+	if r.cfg.Redial == nil {
+		r.mu.Unlock()
+		r.fail(fmt.Errorf("transport: reliable link lost (no redial): %w", cause))
+		conn.Close()
+		return
+	}
+	r.reconnecting = true
+	r.mu.Unlock()
+	conn.Close()
+	go r.reconnect(cause)
+}
+
+// reconnect redials with capped exponential backoff and runs the resume
+// handshake; it fails the link terminally once ResumeTimeout is spent.
+func (r *ReliableConn) reconnect(cause error) {
+	deadline := time.Now().Add(r.cfg.ResumeTimeout)
+	backoff := 5 * time.Millisecond
+	for {
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		if time.Now().After(deadline) {
+			r.mu.Lock()
+			r.reconnecting = false
+			r.mu.Unlock()
+			r.fail(fmt.Errorf("transport: reliable link resume timed out: %w", cause))
+			return
+		}
+		conn, err := r.cfg.Redial()
+		if err == nil {
+			err = r.resume(conn)
+			if err == nil {
+				return
+			}
+			conn.Close()
+		}
+		sleep := backoff + time.Duration(rand.Int64N(int64(backoff)))
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// resume runs the handshake on a fresh connection: exchange hellos (each
+// side announces the next seq it expects), drop acked frames, retransmit
+// the rest, and restart the reader.
+func (r *ReliableConn) resume(conn net.Conn) error {
+	r.mu.Lock()
+	nextRecv := r.nextRecv
+	r.mu.Unlock()
+
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	var hdr [relHeaderLen]byte
+	putHeader(hdr[:], kindHello, 0, nextRecv, 0)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: resume hello: %w", err)
+	}
+	var peer [relHeaderLen]byte
+	if _, err := io.ReadFull(conn, peer[:]); err != nil {
+		return fmt.Errorf("transport: resume hello read: %w", err)
+	}
+	if peer[0] != kindHello {
+		return fmt.Errorf("transport: resume handshake got frame kind %d", peer[0])
+	}
+	peerNext := binary.BigEndian.Uint64(peer[9:])
+	conn.SetDeadline(time.Time{})
+
+	// The peer has everything below peerNext; retransmit the remainder in
+	// order.  The write lock is held across the whole replay so a racing
+	// Send cannot interleave a newer frame before the backlog.
+	r.wmu.Lock()
+	r.mu.Lock()
+	if peerNext > r.sendAcked+1 {
+		r.ackTo(peerNext - 1)
+	}
+	backlog := make([]relFrame, len(r.window))
+	copy(backlog, r.window)
+	r.conn = conn
+	r.lastHeard = time.Now()
+	r.reconnecting = false
+	r.resumes++
+	ack := r.nextRecv
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wc = conn
+	r.bw = bufio.NewWriterSize(conn, 1<<16)
+	var err error
+	for _, f := range backlog {
+		if f.seq < peerNext {
+			continue
+		}
+		putHeader(hdr[:], kindData, f.seq, ack, len(f.b))
+		if _, err = r.bw.Write(hdr[:]); err != nil {
+			break
+		}
+		if _, err = r.bw.Write(f.b); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = r.bw.Flush()
+	}
+	r.wmu.Unlock()
+	if err != nil {
+		r.mu.Lock()
+		r.conn = nil
+		r.reconnecting = true
+		r.mu.Unlock()
+		return err
+	}
+	go r.readLoop(conn)
+	return nil
+}
+
+// ackTo drops window frames with seq <= acked (caller holds mu).
+func (r *ReliableConn) ackTo(acked uint64) {
+	if acked <= r.sendAcked {
+		return
+	}
+	r.sendAcked = acked
+	i := 0
+	for i < len(r.window) && r.window[i].seq <= acked {
+		i++
+	}
+	if i > 0 {
+		r.window = append(r.window[:0:0], r.window[i:]...)
+		r.cond.Broadcast()
+	}
+}
+
+// readLoop consumes frames from one connection incarnation until it
+// breaks.
+func (r *ReliableConn) readLoop(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hdr [relHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			r.connBroken(conn, err)
+			return
+		}
+		kind := hdr[0]
+		seq := binary.BigEndian.Uint64(hdr[1:])
+		ack := binary.BigEndian.Uint64(hdr[9:])
+		n := binary.BigEndian.Uint32(hdr[17:])
+		if n > MaxFrameSize {
+			r.fail(fmt.Errorf("transport: reliable frame of %d bytes exceeds the %d-byte limit", n, MaxFrameSize))
+			return
+		}
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				r.connBroken(conn, err)
+				return
+			}
+		}
+		var deliver bool
+		r.mu.Lock()
+		r.lastHeard = time.Now()
+		if ack > 0 {
+			r.ackTo(ack - 1)
+		}
+		switch kind {
+		case kindData:
+			switch {
+			case seq == r.nextRecv:
+				r.nextRecv++
+				r.recvQ = append(r.recvQ, payload)
+				r.cond.Broadcast()
+				deliver = true
+			case seq < r.nextRecv:
+				// Duplicate from a retransmit that raced the old ack.
+			default:
+				r.mu.Unlock()
+				r.fail(fmt.Errorf("transport: reliable stream gap: got seq %d, want %d", seq, r.nextRecv))
+				return
+			}
+		case kindAck, kindHello:
+			// Ack/heartbeat: state already updated above.  A hello on a
+			// live connection is a protocol error but harmless; ignore.
+		default:
+			r.mu.Unlock()
+			r.fail(fmt.Errorf("transport: unknown reliable frame kind %d", kind))
+			return
+		}
+		r.mu.Unlock()
+		if deliver {
+			// Cumulative ack so the sender can free its window.  Riding
+			// on every delivered frame keeps the window tight without a
+			// delayed-ack timer.
+			r.writeFrame(kindAck, 0, nil)
+		}
+	}
+}
+
+// heartbeatLoop emits keepalives and declares the connection dead after
+// HeartbeatMiss silent intervals, triggering reconnection.
+func (r *ReliableConn) heartbeatLoop() {
+	ticker := time.NewTicker(r.cfg.Heartbeat)
+	defer ticker.Stop()
+	for range ticker.C {
+		r.mu.Lock()
+		if r.closed || r.err != nil {
+			r.mu.Unlock()
+			return
+		}
+		conn := r.conn
+		silent := time.Since(r.lastHeard)
+		r.mu.Unlock()
+		if conn == nil {
+			continue // reconnecting
+		}
+		if silent > time.Duration(r.cfg.HeartbeatMiss)*r.cfg.Heartbeat {
+			r.connBroken(conn, fmt.Errorf("transport: heartbeat timeout after %s", silent.Round(time.Millisecond)))
+			continue
+		}
+		r.writeFrame(kindAck, 0, nil)
+	}
+}

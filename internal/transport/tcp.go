@@ -2,9 +2,11 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -34,11 +36,23 @@ import (
 // depth gauges in Stats (QueuedBytes / QueuePeakBytes) make the actual
 // occupancy observable.  A write failure is recorded and surfaced on
 // subsequent Sends; the peer's broken connection surfaces on its Recv.
+//
+// With TCPConfig.Reconnect, each peer wire is a ReliableConn instead of a
+// bare socket: frames are sequence-numbered and acknowledged, heartbeats
+// detect dead connections, and a broken connection is redialed (dialer
+// side) or re-accepted (listener side) with a resume handshake that
+// replays exactly the unacked frames — the mesh survives any single
+// connection dying without losing or duplicating a frame.
 type tcpEndpoint struct {
 	id, n int
+	cfg   TCPConfig
+	ctx   context.Context
 	conns []net.Conn
 	rd    []*bufio.Reader
 	wr    []*bufio.Writer
+	links []*ReliableConn // reconnect mode; nil otherwise
+	accpt []chan net.Conn // reconnect mode: re-accepted conns, per dialing peer
+	ln    net.Listener    // retained in reconnect mode for re-accepts
 	out   []*sendQueue
 	hwm   int64
 	stats Stats
@@ -114,11 +128,42 @@ type TCPConfig struct {
 	// Compress enables per-frame flate compression (see WithCompression).
 	// All parties in the mesh must agree on this setting.
 	Compress bool
+
+	// DialTimeout bounds each peer dial during mesh setup (and redials in
+	// reconnect mode).  Zero selects 15s.
+	DialTimeout time.Duration
+
+	// Reconnect runs every peer wire over a ReliableConn: sequence-
+	// numbered acknowledged frames, heartbeats, and crash/reconnect
+	// recovery with a resume handshake.  All parties in the mesh must
+	// agree on this setting (the wire format changes).
+	Reconnect bool
+
+	// Heartbeat is the keepalive interval for reconnect-mode wires
+	// (0 = no heartbeats; death is then detected only on I/O errors).
+	Heartbeat time.Duration
+
+	// ResumeTimeout bounds how long a broken reconnect-mode wire keeps
+	// trying to re-establish before failing terminally (default 10s).
+	ResumeTimeout time.Duration
+}
+
+func (c TCPConfig) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 15 * time.Second
 }
 
 // NewTCPEndpoint joins the mesh as party id.  It blocks until connections to
 // all peers are established.  All parties must call this concurrently.
 func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
+	return NewTCPEndpointContext(context.Background(), cfg, id)
+}
+
+// NewTCPEndpointContext is NewTCPEndpoint with a cancellable context: mesh
+// setup (and reconnect-mode redials) abort cleanly when ctx is done.
+func NewTCPEndpointContext(ctx context.Context, cfg TCPConfig, id int) (Endpoint, error) {
 	n := len(cfg.Addrs)
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("transport: party id %d out of range [0,%d)", id, n)
@@ -127,7 +172,7 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[id], err)
 	}
-	return newTCPEndpointOn(cfg, id, ln)
+	return newTCPEndpointOn(ctx, cfg, id, ln)
 }
 
 // NewLoopbackTCPNetwork brings up an n-party TCP mesh on 127.0.0.1 with
@@ -138,6 +183,12 @@ func NewTCPEndpoint(cfg TCPConfig, id int) (Endpoint, error) {
 // cost should be represented rather than idealized away.  cfg.Addrs is
 // ignored (the reserved listener addresses replace it).
 func NewLoopbackTCPNetwork(n int, cfg TCPConfig) ([]Endpoint, error) {
+	return NewLoopbackTCPNetworkContext(context.Background(), n, cfg)
+}
+
+// NewLoopbackTCPNetworkContext is NewLoopbackTCPNetwork with a cancellable
+// setup context.
+func NewLoopbackTCPNetworkContext(ctx context.Context, n int, cfg TCPConfig) ([]Endpoint, error) {
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := range lns {
@@ -159,7 +210,7 @@ func NewLoopbackTCPNetwork(n int, cfg TCPConfig) ([]Endpoint, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			eps[i], errs[i] = newTCPEndpointOn(cfg, i, lns[i])
+			eps[i], errs[i] = newTCPEndpointOn(ctx, cfg, i, lns[i])
 		}(i)
 	}
 	wg.Wait()
@@ -177,11 +228,15 @@ func NewLoopbackTCPNetwork(n int, cfg TCPConfig) ([]Endpoint, error) {
 }
 
 // newTCPEndpointOn joins the mesh as party id, accepting on the provided
-// listener (closed before returning).
-func newTCPEndpointOn(cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) {
+// listener.  Without Reconnect the listener is closed once the mesh is up;
+// with Reconnect it stays open for the endpoint's lifetime so broken
+// inbound connections can be re-accepted.
+func newTCPEndpointOn(ctx context.Context, cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) {
 	n := len(cfg.Addrs)
 	e := &tcpEndpoint{
 		id: id, n: n,
+		cfg:   cfg,
+		ctx:   ctx,
 		conns: make([]net.Conn, n),
 		rd:    make([]*bufio.Reader, n),
 		wr:    make([]*bufio.Writer, n),
@@ -189,7 +244,16 @@ func newTCPEndpointOn(cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) 
 		hwm:   cfg.SendQueueBytes,
 	}
 	e.stats.TrackPeers(n)
-	defer ln.Close()
+	if cfg.Reconnect {
+		e.links = make([]*ReliableConn, n)
+		e.accpt = make([]chan net.Conn, n)
+		for j := id + 1; j < n; j++ {
+			e.accpt[j] = make(chan net.Conn, 1)
+		}
+		e.ln = ln
+	} else {
+		defer ln.Close()
+	}
 
 	errc := make(chan error, n)
 	var wg sync.WaitGroup
@@ -217,12 +281,8 @@ func newTCPEndpointOn(cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) 
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			conn, err := dialRetry(cfg.Addrs[j])
+			conn, err := e.dialPeer(j)
 			if err != nil {
-				errc <- err
-				return
-			}
-			if err := binary.Write(conn, binary.BigEndian, uint32(id)); err != nil {
 				errc <- err
 				return
 			}
@@ -236,16 +296,75 @@ func newTCPEndpointOn(cfg TCPConfig, id int, ln net.Listener) (Endpoint, error) 
 		return nil, fmt.Errorf("transport: mesh setup: %w", err)
 	default:
 	}
+	if cfg.Reconnect {
+		go e.acceptLoop()
+	}
 	if cfg.Compress {
 		return WithCompression(e), nil
 	}
 	return e, nil
 }
 
-func dialRetry(addr string) (net.Conn, error) {
+// dialPeer dials party j and runs the 4-byte peer-id handshake.
+func (e *tcpEndpoint) dialPeer(j int) (net.Conn, error) {
+	conn, err := dialRetry(e.ctx, e.cfg.Addrs[j], e.cfg.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Write(conn, binary.BigEndian, uint32(e.id)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// acceptLoop (reconnect mode) keeps accepting after mesh setup, routing
+// each re-established connection to the peer's waiting reliable link.
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed (endpoint Close)
+		}
+		go func(conn net.Conn) {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var peer uint32
+			if err := binary.Read(conn, binary.BigEndian, &peer); err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			p := int(peer)
+			if p <= e.id || p >= e.n || e.accpt[p] == nil {
+				conn.Close()
+				return
+			}
+			select {
+			case e.accpt[p] <- conn:
+			default:
+				conn.Close() // a fresher reconnect is already queued
+			}
+		}(conn)
+	}
+}
+
+// dialRetry dials addr with capped exponential backoff plus jitter until
+// it succeeds, the timeout elapses, or ctx is cancelled — so mesh startup
+// tolerates parties launching in any order and can be aborted cleanly.
+func dialRetry(ctx context.Context, addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 5 * time.Millisecond
 	var lastErr error
-	for i := 0; i < 200; i++ {
-		conn, err := net.Dial("tcp", addr)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("deadline elapsed")
+			}
+			return nil, fmt.Errorf("transport: dial %s timed out after %s: %w", addr, timeout, lastErr)
+		}
+		d := net.Dialer{Timeout: remain}
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
@@ -253,20 +372,59 @@ func dialRetry(addr string) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
-		// Without a pause the 200 attempts burn out in milliseconds, making
-		// mesh startup depend on launch order; ~10s of patience lets the
-		// parties come up in any order.
-		time.Sleep(50 * time.Millisecond)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dial %s cancelled: %w", addr, ctx.Err())
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %s timed out after %s: %w", addr, timeout, lastErr)
+		}
+		// Full jitter on a doubling base, capped: fast when the peer is
+		// about to come up, polite when it is genuinely down.
+		sleep := time.Duration(rand.Int64N(int64(backoff))) + backoff/2
+		if backoff *= 2; backoff > 400*time.Millisecond {
+			backoff = 400 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: dial %s cancelled: %w", addr, ctx.Err())
+		case <-time.After(sleep):
+		}
 	}
-	return nil, lastErr
 }
 
 func (e *tcpEndpoint) attach(peer int, conn net.Conn) {
 	e.conns[peer] = conn
-	e.rd[peer] = bufio.NewReaderSize(conn, 1<<16)
-	e.wr[peer] = bufio.NewWriterSize(conn, 1<<16)
+	if e.cfg.Reconnect {
+		e.links[peer] = NewReliableConn(conn, ReliableConfig{
+			Heartbeat:     e.cfg.Heartbeat,
+			ResumeTimeout: e.cfg.ResumeTimeout,
+			Redial:        e.redialFn(peer),
+		})
+	} else {
+		e.rd[peer] = bufio.NewReaderSize(conn, 1<<16)
+		e.wr[peer] = bufio.NewWriterSize(conn, 1<<16)
+	}
 	e.out[peer] = newSendQueue(e.hwm, &e.stats)
 	go e.writeLoop(peer, e.out[peer])
+}
+
+// redialFn builds the reliable link's reconnection hook for one peer:
+// lower-numbered peers are redialed, higher-numbered peers re-dial us and
+// the accept loop hands their fresh connection over.
+func (e *tcpEndpoint) redialFn(peer int) func() (net.Conn, error) {
+	if peer < e.id {
+		return func() (net.Conn, error) { return e.dialPeer(peer) }
+	}
+	return func() (net.Conn, error) {
+		select {
+		case conn := <-e.accpt[peer]:
+			return conn, nil
+		case <-time.After(2 * time.Second):
+			return nil, fmt.Errorf("transport: party %d has not redialed", peer)
+		case <-e.ctx.Done():
+			return nil, e.ctx.Err()
+		}
+	}
 }
 
 // writeLoop drains one peer's send queue in FIFO order, flushing once per
@@ -286,21 +444,30 @@ func (e *tcpEndpoint) writeLoop(peer int, q *sendQueue) {
 		q.inflight = true
 		q.mu.Unlock()
 
-		w := e.wr[peer]
 		var err error
-		for _, b := range batch {
-			var hdr [4]byte
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-			if _, err = w.Write(hdr[:]); err != nil {
-				break
+		if link := e.link(peer); link != nil {
+			for _, b := range batch {
+				if err = link.Send(b); err != nil {
+					break
+				}
+				e.stats.CountSent(peer, len(b))
 			}
-			if _, err = w.Write(b); err != nil {
-				break
+		} else {
+			w := e.wr[peer]
+			for _, b := range batch {
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+				if _, err = w.Write(hdr[:]); err != nil {
+					break
+				}
+				if _, err = w.Write(b); err != nil {
+					break
+				}
+				e.stats.CountSent(peer, len(b))
 			}
-			e.stats.CountSent(peer, len(b))
-		}
-		if err == nil {
-			err = w.Flush()
+			if err == nil {
+				err = w.Flush()
+			}
 		}
 		var written int64
 		for _, b := range batch {
@@ -319,6 +486,13 @@ func (e *tcpEndpoint) writeLoop(peer int, q *sendQueue) {
 			return
 		}
 	}
+}
+
+func (e *tcpEndpoint) link(peer int) *ReliableConn {
+	if e.links == nil {
+		return nil
+	}
+	return e.links[peer]
 }
 
 func (e *tcpEndpoint) ID() int       { return e.id }
@@ -363,6 +537,16 @@ func (e *tcpEndpoint) Send(to int, b []byte) error {
 func (e *tcpEndpoint) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= e.n || from == e.id {
 		return nil, fmt.Errorf("transport: bad source %d", from)
+	}
+	if link := e.link(from); link != nil {
+		start := time.Now()
+		msg, err := link.Recv()
+		if err != nil {
+			return nil, err
+		}
+		e.stats.CountRecvWait(time.Since(start))
+		e.stats.CountRecv(from, len(msg))
+		return msg, nil
 	}
 	r := e.rd[from]
 	if r == nil {
@@ -417,6 +601,14 @@ func (e *tcpEndpoint) Close() error {
 				e.closeErr = q.err
 			}
 			q.mu.Unlock()
+		}
+		if e.ln != nil {
+			e.ln.Close()
+		}
+		for _, l := range e.links {
+			if l != nil {
+				l.Close()
+			}
 		}
 		for _, c := range e.conns {
 			if c != nil {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/big"
@@ -379,7 +380,7 @@ func TestTCPHostileFramePrefix(t *testing.T) {
 	}()
 	// Pose as party 1: complete the mesh handshake manually, then send a
 	// frame whose length prefix claims far more than MaxFrameSize.
-	conn, err := dialRetry(cfg.Addrs[0])
+	conn, err := dialRetry(context.Background(), cfg.Addrs[0], 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

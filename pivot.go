@@ -24,6 +24,7 @@ package pivot
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -364,8 +365,21 @@ type ServeModelInfo = serve.Info
 //
 // A client serializes its own requests; open several clients for
 // concurrent load — the daemon coalesces their samples into shared MPC
-// round chains.
+// round chains.  Refused connections are retried with a capped
+// full-jitter backoff for up to 5 seconds, riding out daemon restarts;
+// DialTimeout tunes that window.
 func Dial(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// DialTimeout is Dial with an explicit connection-retry window
+// (timeout <= 0 attempts exactly once).
+func DialTimeout(addr string, timeout time.Duration) (*ServeClient, error) {
+	return serve.DialTimeout(addr, timeout)
+}
+
+// ErrServeUnavailable matches (errors.Is) predictions a daemon refused
+// because its serving session died and is being rebuilt; the concrete
+// *serve.UnavailableError carries a RetryAfter back-off hint.
+var ErrServeUnavailable = serve.ErrUnavailable
 
 // LRModel is the §7.3 vertical logistic regression model.
 type LRModel = core.LRModel
