@@ -117,6 +117,21 @@ func main() {
 		return
 	}
 
+	if *exp == "servescale" && *jsonOut != "" {
+		start := time.Now()
+		st, err := experiments.WriteServeScaleBenchJSON(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("servescale baseline -> %s (S=%d scaling %.2fx at %gms WAN; lane batch %d = %d rounds / %d msgs; kill: ok=%d unavail=%d other=%d requeued=%d; identical: %v) in %s\n",
+			*jsonOut, st.Points[len(st.Points)-1].Lanes, st.ScalingX, st.NetDelayMs,
+			st.LaneBatch, st.LaneRoundsPerBatch, st.LaneMsgsPerBatch,
+			st.Kill.Succeeded, st.Kill.Unavailable, st.Kill.FailedOther, st.Kill.Requeued,
+			st.ResultsIdentical, experiments.Elapsed(start))
+		return
+	}
+
 	if *exp == "update" && *jsonOut != "" {
 		start := time.Now()
 		st, err := experiments.WriteUpdateBenchJSON(*jsonOut, p)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	pivot "repro"
 	"repro/internal/core"
@@ -36,6 +37,10 @@ func main() {
 	name := flag.String("name", "dt", "registry model name (with -remote)")
 	conns := flag.Int("conns", 8, "concurrent daemon connections (with -remote)")
 	shutdown := flag.Bool("shutdown", false, "ask the daemon to drain and exit afterwards (with -remote)")
+	tlsCA := flag.String("tls-ca", "", "PEM CA bundle to verify the daemon's TLS cert (with -remote)")
+	insecureTLS := flag.Bool("insecure-tls", false, "TLS without certificate verification (with -remote; testing only)")
+	auth := flag.String("auth", "", "shared auth token matching the daemon's -auth (with -remote)")
+	retryWait := flag.Duration("retry", 0, "ride out daemon degradation for up to this long per request (with -remote)")
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -53,7 +58,14 @@ func main() {
 
 	var preds []float64
 	if *remote != "" {
-		preds, err = predictRemote(*remote, *name, *conns, *shutdown, ds.X)
+		opts := pivot.ServeDialOptions{AuthToken: *auth}
+		if *tlsCA != "" || *insecureTLS {
+			opts.TLS, err = pivot.LoadClientTLS(*tlsCA, "", *insecureTLS)
+			if err != nil {
+				fail(err)
+			}
+		}
+		preds, err = predictRemote(*remote, *name, *conns, *shutdown, *retryWait, opts, ds.X)
 	} else {
 		preds, err = predictLocal(*modelPath, ds, *m, *keyBits, *batch)
 	}
@@ -109,8 +121,10 @@ func predictLocal(modelPath string, ds *pivot.Dataset, m, keyBits, batch int) ([
 
 // predictRemote fans the samples out over conns connections, one sample
 // per request, so the daemon's micro-batching coalesces them into shared
-// round chains; it prints the daemon's serving stats afterwards.
-func predictRemote(addr, name string, conns int, shutdown bool, rows [][]float64) ([]float64, error) {
+// round chains; it prints the daemon's serving stats afterwards.  With
+// retryWait > 0 each request rides out daemon degradation (lane failover,
+// drain windows) via the RetryAfter-hinted retry loop.
+func predictRemote(addr, name string, conns int, shutdown bool, retryWait time.Duration, opts pivot.ServeDialOptions, rows [][]float64) ([]float64, error) {
 	n := len(rows)
 	if conns < 1 {
 		conns = 1
@@ -131,14 +145,20 @@ func predictRemote(addr, name string, conns int, shutdown bool, rows [][]float64
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cli, err := pivot.Dial(addr)
+			cli, err := pivot.DialOpts(addr, opts)
 			if err != nil {
 				errs[w] = err
 				return
 			}
 			defer cli.Close()
 			for i := range next {
-				ps, err := cli.Predict(name, [][]float64{rows[i]})
+				var ps []float64
+				var err error
+				if retryWait > 0 {
+					ps, err = cli.PredictRetry(name, [][]float64{rows[i]}, retryWait)
+				} else {
+					ps, err = cli.Predict(name, [][]float64{rows[i]})
+				}
 				if err != nil {
 					errs[w] = err
 					return
@@ -154,7 +174,7 @@ func predictRemote(addr, name string, conns int, shutdown bool, rows [][]float64
 		}
 	}
 
-	cli, err := pivot.Dial(addr)
+	cli, err := pivot.DialOpts(addr, opts)
 	if err != nil {
 		return nil, err
 	}

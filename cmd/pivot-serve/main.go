@@ -6,13 +6,23 @@
 // chains (micro-batching), so serving throughput scales with the batch
 // pipeline instead of paying one round chain per request.
 //
+// With -lanes S > 1 the daemon runs a session pool: S independent
+// federated meshes behind one registry and a cross-model fair scheduler,
+// so throughput scales with lanes and a dead lane degrades to S-1 and
+// rebuilds in the background instead of taking the daemon down.  The
+// wire can be secured with TLS (-tls-cert/-tls-key) and a shared auth
+// token (-auth), and -state-dir journals the registry (models +
+// versions) across restarts.
+//
 // Usage:
 //
 //	pivot-serve -data train.csv -classes 2 -m 3 -train dt,rf -addr 127.0.0.1:9100
 //	pivot-serve -synth 64 -classes 2 -train dt     # synthetic data, smoke tests
+//	pivot-serve -synth 64 -train dt -lanes 4 -auth tok -state-dir /var/lib/pivot
 //
-// Talk to it with pivot.Dial (see cmd/pivot-predict -remote), which can
-// submit samples, list models, fetch stats and request a graceful drain.
+// Talk to it with pivot.Dial / pivot.DialOpts (see cmd/pivot-predict
+// -remote), which can submit samples, list models, fetch stats and
+// request a graceful drain.
 package main
 
 import (
@@ -27,7 +37,15 @@ import (
 	pivot "repro"
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/transport"
 )
+
+// engine is what both serving backends (single-session Service, sharded
+// Pool) offer the daemon beyond the wire-facing Backend surface.
+type engine interface {
+	serve.Backend
+	Register(name string, mdl core.Predictor) (*serve.Entry, error)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
@@ -48,6 +66,11 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 256, "max samples per coalesced round chain")
 	maxQueue := flag.Int("queue", 1024, "admission bound on queued samples")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	lanes := flag.Int("lanes", 1, "independent serving sessions (1 = classic single-session daemon)")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate for a TLS wire (requires -tls-key)")
+	tlsKey := flag.String("tls-key", "", "PEM private key for -tls-cert")
+	auth := flag.String("auth", "", "shared auth token clients must present (pair with TLS off-loopback)")
+	stateDir := flag.String("state-dir", "", "journal the model registry here and reload it on boot")
 	flag.Parse()
 
 	var ds *pivot.Dataset
@@ -73,39 +96,99 @@ func main() {
 		cfg.Protocol = pivot.Enhanced
 	}
 
-	fed, err := pivot.NewFederation(ds, *m, cfg)
-	if err != nil {
-		fail(err)
-	}
-	defer fed.Close()
-
-	svc, err := serve.New(fed.Session(), fed.Parts(), serve.Config{
+	svcCfg := serve.Config{
 		Window:          *window,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		DefaultDeadline: *deadline,
-	})
-	if err != nil {
-		fail(err)
 	}
 
-	// Registry: freshly trained models under their kind name, plus any
-	// model JSONs (basic protocol — enhanced models are bound to their
-	// training session's keys and must be trained here).
+	// Serving engine: one session, or a pool of independent lanes.
+	var backend engine
+	var registry *serve.Registry
+	var trainSess *core.Session
+	if *lanes > 1 {
+		if cfg.Protocol == pivot.Enhanced {
+			// Enhanced models hold ciphertexts bound to one session's key
+			// material; independent lanes each deal their own keys.
+			fail(fmt.Errorf("-lanes %d requires the basic protocol (enhanced models are bound to a single session's keys)", *lanes))
+		}
+		parts, err := pivot.VerticalPartition(ds, *m, 0)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		pool, err := serve.NewPool(parts, serve.PoolConfig{
+			Config: svcCfg,
+			Lanes:  *lanes,
+			LaneFactory: func(lane int) (*core.Session, error) {
+				laneCfg := cfg
+				laneCfg.Seed = cfg.Seed + int64(lane)
+				return core.NewSession(parts, laneCfg)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("spawned %d lanes in %s\n", *lanes, time.Since(start).Round(time.Millisecond))
+		backend, registry, trainSess = pool, pool.Registry, pool.LaneSession(0)
+	} else {
+		fed, err := pivot.NewFederation(ds, *m, cfg)
+		if err != nil {
+			fail(err)
+		}
+		svc, err := serve.New(fed.Session(), fed.Parts(), svcCfg)
+		if err != nil {
+			fed.Close()
+			fail(err)
+		}
+		backend, registry, trainSess = svc, svc.Registry, fed.Session()
+	}
+	defer backend.Close()
+
+	// Registry persistence: reload the journal first (restored entries
+	// keep their versions), then journal everything registered below.
+	var store *serve.Store
+	if *stateDir != "" {
+		store, err = serve.OpenStore(*stateDir)
+		if err != nil {
+			fail(err)
+		}
+		n, errs := store.Restore(registry)
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "pivot-serve: state-dir:", e)
+		}
+		if n > 0 {
+			fmt.Printf("restored %d model(s) from %s\n", n, *stateDir)
+		}
+	}
+	journal := func(e *serve.Entry) {
+		if store == nil {
+			return
+		}
+		if err := store.Save(e); err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-serve: journal %s v%d: %v\n", e.Name, e.Version, err)
+		}
+	}
+
+	// Freshly trained models under their kind name, plus any model JSONs
+	// (basic protocol — enhanced models are bound to their training
+	// session's keys and must be trained here).
 	for _, kind := range strings.Split(*train, ",") {
 		kind = strings.TrimSpace(kind)
 		if kind == "" {
 			continue
 		}
 		start := time.Now()
-		mdl, err := fed.Train(pivot.TrainSpec{Model: pivot.ModelKind(kind)})
+		mdl, err := core.Train(trainSess, core.TrainSpec{Model: core.ModelKind(kind)})
 		if err != nil {
 			fail(fmt.Errorf("training %s: %w", kind, err))
 		}
-		entry, err := svc.Register(kind, mdl)
+		entry, err := backend.Register(kind, mdl)
 		if err != nil {
 			fail(err)
 		}
+		journal(entry)
 		fmt.Printf("trained and registered %s v%d in %s\n", entry.Name, entry.Version, time.Since(start).Round(time.Millisecond))
 	}
 	for _, pair := range strings.Split(*models, ",") {
@@ -129,14 +212,28 @@ func main() {
 		if mdl.Protocol == core.Enhanced {
 			fail(fmt.Errorf("model %q: enhanced models are bound to their training session's keys; train them in-daemon with -train", name))
 		}
-		entry, err := svc.Register(name, mdl)
+		entry, err := backend.Register(name, mdl)
 		if err != nil {
 			fail(err)
 		}
+		journal(entry)
 		fmt.Printf("loaded and registered %s v%d from %s\n", entry.Name, entry.Version, path)
 	}
 
-	srv, err := serve.NewServer(svc, *addr)
+	// Wire security.
+	var wire serve.WireConfig
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fail(fmt.Errorf("-tls-cert and -tls-key must be set together"))
+	}
+	if *tlsCert != "" {
+		wire.TLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey)
+		if err != nil {
+			fail(err)
+		}
+	}
+	wire.AuthToken = *auth
+
+	srv, err := serve.NewServerWire(backend, *addr, wire)
 	if err != nil {
 		fail(err)
 	}
@@ -148,14 +245,26 @@ func main() {
 		srv.Shutdown()
 	}()
 
-	fmt.Printf("pivot-serve listening on %s (m=%d, window=%s, maxbatch=%d)\n", srv.Addr(), *m, *window, *maxBatch)
+	security := "plaintext"
+	if wire.TLS != nil {
+		security = "tls"
+	}
+	if wire.AuthToken != "" {
+		security += "+auth"
+	}
+	fmt.Printf("pivot-serve listening on %s (m=%d, lanes=%d, window=%s, maxbatch=%d, wire=%s)\n",
+		srv.Addr(), *m, *lanes, *window, *maxBatch, security)
 	if err := srv.Serve(); err != nil {
 		fail(err)
 	}
-	st := svc.Stats()
+	st := backend.Stats()
 	if st.Serve != nil {
-		fmt.Printf("served %d samples in %d batches (max batch %d, rejected %d, expired %d)\n",
-			st.Serve.Coalesced, st.Serve.Batches, st.Serve.MaxBatch, st.Serve.Rejected, st.Serve.Expired)
+		fmt.Printf("served %d samples in %d batches (max batch %d, rejected %d, expired %d, requeued %d)\n",
+			st.Serve.Coalesced, st.Serve.Batches, st.Serve.MaxBatch, st.Serve.Rejected, st.Serve.Expired, st.Serve.Requeued)
+		for _, ls := range st.Serve.Lanes {
+			fmt.Printf("  lane %d: healthy=%v batches=%d samples=%d rebuilds=%d\n",
+				ls.Lane, ls.Healthy, ls.Batches, ls.Samples, ls.Rebuilds)
+		}
 	}
 }
 

@@ -562,9 +562,30 @@ type ServeStats struct {
 	Unavailable int64
 	Rebuilds    int64
 
+	// Requeued counts samples re-admitted after their lane died mid-batch
+	// (pool serving only: the batch migrates to a surviving lane instead
+	// of failing).
+	Requeued int64
+
+	// Pool serving (internal/serve.Pool): per-lane health and load, nil
+	// for a single-session Service.  LanesHealthy is the number of lanes
+	// currently accepting batches.
+	LanesHealthy int         `json:",omitempty"`
+	Lanes        []LaneStats `json:",omitempty"`
+
 	// Histograms: coalesced batch sizes (samples), MPC rounds per batch,
 	// and request latency in milliseconds (queue wait + round chain).
 	BatchSizes ServeHist
 	Rounds     ServeHist
 	LatencyMs  ServeHist
+}
+
+// LaneStats is one pool lane's health and load snapshot (ServeStats.Lanes).
+type LaneStats struct {
+	Lane     int   `json:"lane"`
+	Healthy  bool  `json:"healthy"`
+	Batches  int64 `json:"batches"`
+	Samples  int64 `json:"samples"`
+	Rounds   int64 `json:"lane_mpc_rounds"`
+	Rebuilds int64 `json:"rebuilds"`
 }

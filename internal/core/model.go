@@ -143,6 +143,14 @@ type nodeJSON struct {
 
 // Save writes the model as JSON.
 func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.encode())
+}
+
+// encode lowers the model to its serialization schema (shared by Save and
+// the multi-family SavePredictor envelope).
+func (m *Model) encode() modelJSON {
 	out := modelJSON{Classes: m.Classes, Protocol: m.Protocol.String(), Hide: int(m.Hide), Leaves: m.Leaves}
 	for _, n := range m.Nodes {
 		nj := nodeJSON{
@@ -169,9 +177,7 @@ func (m *Model) Save(w io.Writer) error {
 		}
 		out.Nodes = append(out.Nodes, nj)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }
 
 // LoadModel reads a model written by Save.
@@ -180,6 +186,11 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, err
 	}
+	return decodeModel(in)
+}
+
+// decodeModel raises the serialization schema back to a model.
+func decodeModel(in modelJSON) (*Model, error) {
 	m := &Model{Classes: in.Classes, Hide: HideLevel(in.Hide), Leaves: in.Leaves}
 	if in.Protocol == Enhanced.String() {
 		m.Protocol = Enhanced

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Multi-family model persistence: SavePredictor / LoadPredictor wrap the
+// single-tree schema (model.go) in a kind-tagged envelope so a serving
+// registry can journal any registered Predictor — DT, RF, or GBDT — to
+// disk and reload it on boot without knowing the concrete type.
+
+// predictorJSON is the kind-tagged serialization envelope.
+type predictorJSON struct {
+	Kind         ModelKind     `json:"kind"`
+	Classes      int           `json:"classes"`
+	LearningRate float64       `json:"learning_rate,omitempty"`
+	Base         float64       `json:"base,omitempty"`
+	Trees        []modelJSON   `json:"trees,omitempty"`   // dt (one) and rf
+	Forests      [][]modelJSON `json:"forests,omitempty"` // gbdt: Forests[k] is class k's sequence
+}
+
+// SavePredictor writes any trained Predictor as JSON.
+func SavePredictor(w io.Writer, mdl Predictor) error {
+	out := predictorJSON{Kind: mdl.Kind(), Classes: mdl.NumClasses()}
+	switch m := mdl.(type) {
+	case *Model:
+		out.Trees = []modelJSON{m.encode()}
+	case *ForestModel:
+		out.Trees = make([]modelJSON, len(m.Trees))
+		for i, t := range m.Trees {
+			out.Trees[i] = t.encode()
+		}
+	case *BoostModel:
+		out.LearningRate = m.LearningRate
+		out.Base = m.Base
+		out.Forests = make([][]modelJSON, len(m.Forests))
+		for k, seq := range m.Forests {
+			out.Forests[k] = make([]modelJSON, len(seq))
+			for i, t := range seq {
+				out.Forests[k][i] = t.encode()
+			}
+		}
+	default:
+		return fmt.Errorf("core: cannot serialize predictor of kind %q", mdl.Kind())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadPredictor reads a Predictor written by SavePredictor.
+func LoadPredictor(r io.Reader) (Predictor, error) {
+	var in predictorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	decodeAll := func(raw []modelJSON) ([]*Model, error) {
+		out := make([]*Model, len(raw))
+		for i, mj := range raw {
+			m, err := decodeModel(mj)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		}
+		return out, nil
+	}
+	switch in.Kind {
+	case KindDT:
+		if len(in.Trees) != 1 {
+			return nil, fmt.Errorf("core: dt envelope holds %d trees", len(in.Trees))
+		}
+		return decodeModel(in.Trees[0])
+	case KindRF:
+		trees, err := decodeAll(in.Trees)
+		if err != nil {
+			return nil, err
+		}
+		if len(trees) == 0 {
+			return nil, fmt.Errorf("core: rf envelope holds no trees")
+		}
+		return &ForestModel{Trees: trees, Classes: in.Classes}, nil
+	case KindGBDT:
+		if len(in.Forests) == 0 {
+			return nil, fmt.Errorf("core: gbdt envelope holds no forests")
+		}
+		bm := &BoostModel{Classes: in.Classes, LearningRate: in.LearningRate, Base: in.Base}
+		bm.Forests = make([][]*Model, len(in.Forests))
+		for k, seq := range in.Forests {
+			trees, err := decodeAll(seq)
+			if err != nil {
+				return nil, err
+			}
+			bm.Forests[k] = trees
+		}
+		return bm, nil
+	default:
+		return nil, fmt.Errorf("core: unknown predictor kind %q", in.Kind)
+	}
+}
+
+// IsEnhanced reports whether any tree of mdl was trained under the
+// enhanced protocol.  Enhanced models hold ciphertexts bound to their
+// training session's threshold-key material, so they cannot be journaled
+// to disk and served from a freshly keyed session — persistence and
+// pooled serving skip them.
+func IsEnhanced(mdl Predictor) bool {
+	check := func(trees []*Model) bool {
+		for _, t := range trees {
+			if t.Protocol == Enhanced {
+				return true
+			}
+		}
+		return false
+	}
+	switch m := mdl.(type) {
+	case *Model:
+		return m.Protocol == Enhanced
+	case *ForestModel:
+		return check(m.Trees)
+	case *BoostModel:
+		for _, seq := range m.Forests {
+			if check(seq) {
+				return true
+			}
+		}
+	}
+	return false
+}

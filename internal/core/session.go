@@ -54,6 +54,46 @@ func NewSession(parts []*dataset.Partition, cfg Config) (*Session, error) {
 	return newSession(parts, cfg, nil)
 }
 
+// NewSessions brings up n independent federations over the same vertical
+// partitions — the serving pool's lane-factory plumbing.  Each session is a
+// complete federation of its own: its own transport mesh, its own dealer
+// stream and its own threshold key material, so the sessions can run
+// protocol phases fully concurrently (basic-protocol models are plaintext
+// and servable on any of them).  Lane i's seed is offset by i so the dealer
+// PRGs are distinct; the synchronous round structure of any given phase is
+// seed-independent, so per-lane round and message counters stay identical
+// across lanes.  The sessions are constructed concurrently (key generation
+// dominates); on any failure the already-built sessions are closed.
+func NewSessions(parts []*dataset.Partition, cfg Config, n int) ([]*Session, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: need at least one session, got %d", n)
+	}
+	sessions := make([]*Session, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			laneCfg := cfg
+			laneCfg.Seed = cfg.Seed + int64(i)
+			sessions[i], errs[i] = NewSession(parts, laneCfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, s := range sessions {
+				if s != nil {
+					s.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return sessions, nil
+}
+
 // ResumeSession rebuilds a crashed federation from the latest committed
 // checkpoint in cfg.Checkpoint: the threshold key material captured at the
 // original session's creation is reused (checkpointed ciphertexts must stay

@@ -2,14 +2,31 @@ package serve
 
 import (
 	"bufio"
+	"crypto/tls"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"time"
 
 	"repro/internal/core"
 )
+
+// DialOptions tunes a client connection to a pivot-serve daemon.  The
+// zero value is plaintext, unauthenticated, with the default 5 s connect
+// retry window.
+type DialOptions struct {
+	// Timeout bounds the connect retry loop; 0 keeps the 5 s default and
+	// a negative value attempts the connection exactly once.
+	Timeout time.Duration
+	// TLS, when set, wraps the connection (see transport.LoadClientTLS).
+	TLS *tls.Config
+	// AuthToken, when non-empty, is presented in an opAuth frame right
+	// after connecting, matching the daemon's -auth token.
+	AuthToken string
+}
 
 // Client is a connection to a pivot-serve daemon.  A Client serializes
 // its own requests (one in flight per connection); open several clients
@@ -18,24 +35,42 @@ import (
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
+
+	// Redial state for PredictRetry: a degraded daemon may drop the
+	// connection, and the retry loop needs to come back on a fresh one.
+	addr string
+	opts DialOptions
 }
 
 // Dial connects to a pivot-serve daemon, retrying refused connections
 // with a capped full-jitter exponential backoff for up to 5 seconds —
 // long enough to ride out a daemon restart or a not-yet-bound listener.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 5*time.Second)
+	return DialOpts(addr, DialOptions{})
 }
 
 // DialTimeout is Dial with an explicit retry window; timeout <= 0
 // attempts the connection exactly once.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = -1
+	}
+	return DialOpts(addr, DialOptions{Timeout: timeout})
+}
+
+// DialOpts is Dial with transport security (TLS and/or the shared-token
+// handshake) and an explicit retry window.
+func DialOpts(addr string, opts DialOptions) (*Client, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
 	deadline := time.Now().Add(timeout)
 	delay := 10 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		conn, err := dialOnce(addr, opts)
 		if err == nil {
-			return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+			return &Client{conn: conn, r: bufio.NewReader(conn), addr: addr, opts: opts}, nil
 		}
 		if timeout <= 0 || !time.Now().Before(deadline) {
 			return nil, err
@@ -48,8 +83,69 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	}
 }
 
+// dialOnce makes one connection attempt: TCP, optional TLS, optional
+// shared-token handshake.
+func dialOnce(addr string, opts DialOptions) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TLS != nil {
+		cfg := opts.TLS
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			// Derive the verified name from the dialed address, as
+			// net/http does; callers can still pin one explicitly.
+			cfg = cfg.Clone()
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				cfg.ServerName = host
+			}
+		}
+		tc := tls.Client(conn, cfg)
+		tc.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := tc.Handshake(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		tc.SetDeadline(time.Time{})
+		conn = tc
+	}
+	if opts.AuthToken != "" {
+		if err := writeFrame(conn, opAuth, authReq{Token: opts.AuthToken}); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		op, body, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if op != opOK {
+			conn.Close()
+			var msg string
+			if json.Unmarshal(body, &msg) == nil && msg != "" {
+				return nil, fmt.Errorf("%s", msg)
+			}
+			return nil, fmt.Errorf("serve: authentication rejected")
+		}
+	}
+	return conn, nil
+}
+
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// redial replaces a broken connection (one attempt, no retry window —
+// the caller owns the retry policy).
+func (c *Client) redial() error {
+	c.conn.Close()
+	conn, err := dialOnce(c.addr, c.opts)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	return nil
+}
 
 // roundTrip sends one request frame and decodes the OK response into out.
 func (c *Client) roundTrip(op byte, req, out any) error {
@@ -106,6 +202,66 @@ func (c *Client) PredictVersioned(model string, samples [][]float64, deadline ti
 		return nil, 0, err
 	}
 	return resp.Predictions, resp.Version, nil
+}
+
+// retryDelay picks the sleep before the next PredictRetry attempt: the
+// daemon's RetryAfter hint verbatim when the error carries one, otherwise
+// a capped full-jitter fallback (connection errors and hint-less
+// unavailability don't say when to come back).  Either way the delay is
+// clipped to the budget left before the deadline.
+func retryDelay(err error, attempt int, deadline time.Time) time.Duration {
+	var d time.Duration
+	var ue *UnavailableError
+	if errors.As(err, &ue) && ue.RetryAfter > 0 {
+		d = ue.RetryAfter
+	} else {
+		cap := 50 * time.Millisecond << uint(attempt)
+		if cap > time.Second {
+			cap = time.Second
+		}
+		d = time.Duration(rand.Int63n(int64(cap))) + 10*time.Millisecond
+	}
+	if left := time.Until(deadline); d > left {
+		d = left
+	}
+	return d
+}
+
+// PredictRetry is Predict that rides out daemon degradation: on
+// unavailability it sleeps exactly the daemon's RetryAfter hint (falling
+// back to capped jitter when no hint arrives, e.g. when the connection
+// itself dropped, in which case it also redials) and tries again until
+// maxWait is spent.  A model-level error (unknown name, bad width) is
+// returned immediately — retrying cannot fix it.
+func (c *Client) PredictRetry(model string, samples [][]float64, maxWait time.Duration) ([]float64, error) {
+	deadline := time.Now().Add(maxWait)
+	for attempt := 0; ; attempt++ {
+		preds, _, err := c.PredictVersioned(model, samples, 0)
+		if err == nil {
+			return preds, nil
+		}
+		retriable := errors.Is(err, ErrUnavailable)
+		if !retriable {
+			// A transport failure (daemon restart dropped the socket) is
+			// retriable too, but only through a fresh connection.
+			var ne net.Error
+			if errors.As(err, &ne) || errors.Is(err, net.ErrClosed) ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				retriable = true
+			}
+		}
+		if !retriable || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		if d := retryDelay(err, attempt, deadline); d > 0 {
+			time.Sleep(d)
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			if rerr := c.redial(); rerr != nil && !time.Now().Before(deadline) {
+				return nil, rerr
+			}
+		}
+	}
 }
 
 // Models lists the daemon's registry.

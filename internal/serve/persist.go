@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Store journals registry state (models + versions) to a state directory
+// so a daemon restart serves the same registry it went down with: one
+// JSON file per model name, written atomically (temp file + rename), with
+// the version preserved across reloads.  Enhanced-protocol models are
+// refused — their ciphertexts are bound to the training session's key
+// material and cannot be served from a freshly keyed session.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// ErrEnhancedModel is returned by Store.Save for enhanced-protocol models.
+var ErrEnhancedModel = fmt.Errorf("serve: enhanced-protocol models are key-bound and cannot be persisted")
+
+// storedModel is the on-disk schema of one registry slot.
+type storedModel struct {
+	Name    string          `json:"name"`
+	Version int             `json:"version"`
+	Model   json.RawMessage `json:"model"` // core.SavePredictor envelope
+}
+
+// OpenStore opens (creating if needed) a registry state directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// path maps a model name to its journal file; PathEscape keeps hostile
+// names ("../x", "a/b") inside the state directory.
+func (st *Store) path(name string) string {
+	return filepath.Join(st.dir, url.PathEscape(name)+".json")
+}
+
+// Save journals one registry entry, replacing any previous version of the
+// same name.
+func (st *Store) Save(e *Entry) error {
+	if core.IsEnhanced(e.Model) {
+		return ErrEnhancedModel
+	}
+	var mdl bytes.Buffer
+	if err := core.SavePredictor(&mdl, e.Model); err != nil {
+		return err
+	}
+	body, err := json.MarshalIndent(storedModel{Name: e.Name, Version: e.Version, Model: mdl.Bytes()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(e.Name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Load reads every journaled entry, sorted by name.  A file that fails to
+// parse is skipped with its error collected into the second return, so
+// one corrupt journal doesn't take the whole registry down on boot.
+func (st *Store) Load() ([]*Entry, []error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	files, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var entries []*Entry
+	var errs []error
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") || strings.HasPrefix(f.Name(), ".tmp-") {
+			continue
+		}
+		path := filepath.Join(st.dir, f.Name())
+		body, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var sm storedModel
+		if err := json.Unmarshal(body, &sm); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		mdl, err := core.LoadPredictor(bytes.NewReader(sm.Model))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		if sm.Name == "" || sm.Version < 1 {
+			errs = append(errs, fmt.Errorf("%s: bad name/version %q/%d", path, sm.Name, sm.Version))
+			continue
+		}
+		entries = append(entries, &Entry{Name: sm.Name, Version: sm.Version, Model: mdl})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, errs
+}
+
+// Restore loads the journal into r, preserving each entry's version (a
+// later Register of the same name bumps from there).  It returns how many
+// entries were installed plus any per-file parse errors.
+func (st *Store) Restore(r *Registry) (int, []error) {
+	entries, errs := st.Load()
+	for _, e := range entries {
+		r.restore(e)
+	}
+	return len(entries), errs
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyTree builds a small basic-protocol tree by hand (persistence is a
+// pure serialization concern; no MPC needed to pin it).
+func tinyTree(threshold, left, right float64) *core.Model {
+	return &core.Model{
+		Classes: 2,
+		Leaves:  2,
+		Nodes: []core.Node{
+			{Owner: 0, Feature: 1, Threshold: threshold, SplitIndex: 2, Left: 1, Right: 2},
+			{Leaf: true, Label: left, LeafPos: 0},
+			{Leaf: true, Label: right, LeafPos: 1},
+		},
+	}
+}
+
+// TestPredictorRoundTrip pins the kind-tagged envelope for all three
+// model families: save → load must be structurally identical.
+func TestPredictorRoundTrip(t *testing.T) {
+	rf := &core.ForestModel{Classes: 2, Trees: []*core.Model{tinyTree(0.25, 0, 1), tinyTree(1.5, 1, 0)}}
+	gbdt := &core.BoostModel{
+		Classes: 2, LearningRate: 0.3, Base: 0.125,
+		Forests: [][]*core.Model{
+			{tinyTree(0.5, -0.25, 0.75)},
+			{tinyTree(2.5, 0.1, -0.9)},
+		},
+	}
+	for _, mdl := range []core.Predictor{tinyTree(0.5, 0, 1), rf, gbdt} {
+		var buf bytes.Buffer
+		if err := core.SavePredictor(&buf, mdl); err != nil {
+			t.Fatalf("save %s: %v", mdl.Kind(), err)
+		}
+		back, err := core.LoadPredictor(&buf)
+		if err != nil {
+			t.Fatalf("load %s: %v", mdl.Kind(), err)
+		}
+		if back.Kind() != mdl.Kind() {
+			t.Fatalf("kind drift: %s -> %s", mdl.Kind(), back.Kind())
+		}
+		if !reflect.DeepEqual(mdl, back) {
+			t.Fatalf("%s round trip drifted:\n saved %+v\nloaded %+v", mdl.Kind(), mdl, back)
+		}
+	}
+}
+
+// TestStoreRestore pins the registry journal: versions survive a restart,
+// a later Register bumps from the restored version, hostile names stay
+// inside the state dir, and enhanced models are refused.
+func TestStoreRestore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a daemon lifetime: register, re-register (v2), journal.
+	reg := NewRegistry()
+	if _, err := reg.Register("fraud", tinyTree(0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Register("fraud", tinyTree(0.75, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(e); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg.Register("churn/../weird name", tinyTree(1.5, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(e2); err != nil {
+		t.Fatal(err)
+	}
+	// The escaped journal file must live directly in the state dir.
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("state dir holds %d files, want 2", len(files))
+	}
+
+	// "Restart": a fresh registry restores both entries at their versions.
+	reg2 := NewRegistry()
+	n, errs := OpenStoreRestore(t, dir, reg2)
+	if len(errs) != 0 || n != 2 {
+		t.Fatalf("restore: n=%d errs=%v", n, errs)
+	}
+	got, err := reg2.Lookup("fraud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("restored version %d, want 2", got.Version)
+	}
+	if !reflect.DeepEqual(got.Model, e.Model) {
+		t.Fatal("restored model drifted")
+	}
+	if g2, err := reg2.Lookup("churn/../weird name"); err != nil || g2.Version != 1 {
+		t.Fatalf("weird-name entry: %+v, %v", g2, err)
+	}
+	// Post-restore registration keeps the version chain monotonic.
+	e3, err := reg2.Register("fraud", tinyTree(0.9, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Version != 3 {
+		t.Fatalf("post-restore re-register version %d, want 3", e3.Version)
+	}
+
+	// A corrupt journal file is skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := NewRegistry()
+	n, errs = OpenStoreRestore(t, dir, reg3)
+	if n != 2 || len(errs) != 1 {
+		t.Fatalf("restore with corrupt file: n=%d errs=%v", n, errs)
+	}
+
+	// Enhanced models are key-bound: the journal refuses them.
+	enh := tinyTree(0.5, 0, 1)
+	enh.Protocol = core.Enhanced
+	if err := st.Save(&Entry{Name: "enh", Version: 1, Model: enh}); !errors.Is(err, ErrEnhancedModel) {
+		t.Fatalf("enhanced save = %v, want ErrEnhancedModel", err)
+	}
+}
+
+// OpenStoreRestore is a test helper: open dir and restore into r.
+func OpenStoreRestore(t *testing.T, dir string, r *Registry) (int, []error) {
+	t.Helper()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Restore(r)
+}

@@ -1,0 +1,752 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// LaneFactory builds the session behind one pool lane.  Each lane owns an
+// independent federated mesh (its own transport endpoints, dealer state,
+// randomness pool), so the factory is also the lane's rebuild path: when a
+// lane's session dies mid-batch the pool calls the factory again, with the
+// same lane index, until it yields a replacement.  Factories are invoked
+// concurrently (pool construction spawns all lanes at once), so they must
+// not share mutable state without their own locking.
+type LaneFactory func(lane int) (*core.Session, error)
+
+// PoolConfig tunes a session pool.  The embedded Config's queueing knobs
+// (Window, MaxBatch, MaxQueue, DefaultDeadline, RetryAfter) keep their
+// Service semantics; Config.Rebuild is ignored — the LaneFactory is the
+// per-lane rebuild path.
+type PoolConfig struct {
+	Config
+	// Lanes is the number of independent federated sessions (S in the
+	// serve-scale bench).  Each lane serves whole micro-batches, so
+	// throughput scales with lanes while per-batch latency stays that of
+	// a single round chain.
+	Lanes int
+	// LaneFactory spawns (and respawns) lane sessions.
+	LaneFactory LaneFactory
+	// Weights biases the cross-model weighted round-robin scheduler: a
+	// model with weight w is offered w micro-batch dispatches per
+	// scheduling cycle.  Unlisted models get weight 1.  Fairness
+	// invariant: over any interval where k models stay backlogged, model
+	// i receives dispatch opportunities proportional to its weight — one
+	// hot model cannot starve the rest of the registry.
+	Weights map[string]int
+}
+
+// Validate extends Config.Validate with the pool-only knobs.
+func (c PoolConfig) Validate() error {
+	if c.Lanes < 1 {
+		return &ConfigError{Field: "Lanes", Reason: fmt.Sprintf("must be at least 1, got %d", c.Lanes)}
+	}
+	if c.LaneFactory == nil {
+		return &ConfigError{Field: "LaneFactory", Reason: "must be set"}
+	}
+	for name, w := range c.Weights {
+		if w < 1 {
+			return &ConfigError{Field: "Weights", Reason: fmt.Sprintf("model %q has weight %d, want >= 1", name, w)}
+		}
+	}
+	return c.Config.Validate()
+}
+
+// lane is one pooled serving session plus its scheduling state, guarded by
+// Pool.mu.  sess is only swapped by rebuildLane while the lane is marked
+// unhealthy, so a dispatched batch can use its session without the lock.
+type lane struct {
+	id      int
+	sess    *core.Session
+	healthy bool
+	busy    bool
+
+	batches  int64
+	samples  int64
+	rounds   int64
+	rebuilds int64
+}
+
+// modelQueue is one model's FIFO of pending requests plus its WRR credit.
+type modelQueue struct {
+	name   string
+	weight int
+	credit int
+	reqs   []*request
+}
+
+// Pool is the sharded serving engine: S independent lanes (each a full
+// federated session) behind one registry and one cross-model fair
+// scheduler.  Requests queue per model; a single scheduler goroutine
+// performs credit-based weighted round-robin over the model queues and
+// hands each micro-batch to the least-loaded idle healthy lane, where a
+// per-batch goroutine runs the MPC round chain.  Lanes fail independently:
+// a dead lane degrades the pool to S-1 lanes, its batch is requeued at the
+// front (bounded by an attempts counter), and a background goroutine
+// rebuilds the lane from the LaneFactory.  Only when every lane is dead
+// does the pool refuse work with UnavailableError + retry-after.
+type Pool struct {
+	*Registry
+
+	feats   [][]int // per-client global feature indices
+	width   int     // total feature count
+	cfg     Config
+	weights map[string]int
+	factory LaneFactory
+
+	mu       sync.Mutex
+	lanes    []*lane
+	queues   map[string]*modelQueue
+	order    []string // round-robin order over queues
+	rr       int
+	stats    core.ServeStats
+	draining bool
+
+	wake chan struct{}
+	done chan struct{}
+
+	runWG     sync.WaitGroup // in-flight batches + lane rebuilds
+	closeOnce sync.Once
+}
+
+// NewPool spawns cfg.Lanes sessions from the LaneFactory (concurrently)
+// and starts the scheduler.  parts are the federation's vertical
+// partitions — the per-client feature layout tells the pool how to slice
+// flat sample rows, exactly as with New.  The pool owns every lane
+// session: Close tears them all down.
+func NewPool(parts []*dataset.Partition, cfg PoolConfig) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sessions := make([]*core.Session, cfg.Lanes)
+	errs := make([]error, cfg.Lanes)
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sessions[i], errs[i] = cfg.LaneFactory(i)
+		}(i)
+	}
+	wg.Wait()
+	fail := func(err error) (*Pool, error) {
+		for _, s := range sessions {
+			if s != nil {
+				s.Close()
+			}
+		}
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return fail(fmt.Errorf("serve: lane spawn: %w", err))
+		}
+	}
+	for i, s := range sessions {
+		if s.M != len(parts) {
+			return fail(fmt.Errorf("serve: lane %d has %d clients, %d partitions", i, s.M, len(parts)))
+		}
+	}
+
+	p := &Pool{
+		Registry: NewRegistry(),
+		cfg:      cfg.Config.withDefaults(),
+		weights:  cfg.Weights,
+		factory:  cfg.LaneFactory,
+		queues:   make(map[string]*modelQueue),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	p.feats = make([][]int, len(parts))
+	for c, part := range parts {
+		p.feats[c] = part.Features
+		for _, f := range part.Features {
+			if f+1 > p.width {
+				p.width = f + 1
+			}
+		}
+	}
+	p.lanes = make([]*lane, cfg.Lanes)
+	for i, s := range sessions {
+		p.lanes[i] = &lane{id: i, sess: s, healthy: true}
+	}
+	go p.schedule()
+	return p, nil
+}
+
+// Width returns the flat feature-row width requests must carry.
+func (p *Pool) Width() int { return p.width }
+
+// Lanes returns the configured lane count.
+func (p *Pool) Lanes() int { return len(p.lanes) }
+
+// LaneSession exposes lane i's current session (fault injection in tests
+// and the serve-scale kill leg; stats).  A rebuild may swap it, so callers
+// must not cache the pointer across a degradation event.
+func (p *Pool) LaneSession(i int) *core.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lanes[i].sess
+}
+
+// Register installs mdl under name (see Registry.Register) and evicts the
+// replaced model's cached secret-shared conversion from every lane, so
+// periodic retraining doesn't grow the per-party caches without bound.
+func (p *Pool) Register(name string, mdl core.Predictor) (*Entry, error) {
+	old, _ := p.Registry.Lookup(name)
+	e, err := p.Registry.Register(name, mdl)
+	if err == nil && old != nil && old.Model != mdl {
+		// Snapshot the sessions under the pool lock, evict outside it:
+		// EvictShared serializes against protocol phases, and a lane can
+		// hold its phase lock for a whole round chain.
+		p.mu.Lock()
+		sessions := make([]*core.Session, len(p.lanes))
+		for i, ln := range p.lanes {
+			sessions[i] = ln.sess
+		}
+		p.mu.Unlock()
+		for _, s := range sessions {
+			s.EvictShared(old.Model)
+		}
+	}
+	return e, err
+}
+
+// Predict serves one sample (row in global column order) from the named
+// model.  Safe for concurrent use; concurrent callers of the same model
+// coalesce into shared micro-batches.
+func (p *Pool) Predict(model string, row []float64) (float64, error) {
+	return p.PredictDeadline(model, row, time.Time{})
+}
+
+// PredictDeadline is Predict with an explicit deadline (zero = none).
+func (p *Pool) PredictDeadline(model string, row []float64, deadline time.Time) (float64, error) {
+	reqs, err := p.submit(model, [][]float64{row}, deadline)
+	if err != nil {
+		return 0, err
+	}
+	r := <-reqs[0].res
+	return r.pred, r.err
+}
+
+// PredictMany serves a multi-sample request through the pool.
+func (p *Pool) PredictMany(model string, rows [][]float64, deadline time.Time) ([]float64, error) {
+	entry, err := p.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return p.PredictManyEntry(entry, rows, deadline)
+}
+
+// PredictManyEntry is PredictMany pinned to a resolved registry entry: the
+// caller is guaranteed that exactly entry.Model serves the samples, even
+// if the name is re-registered concurrently.
+func (p *Pool) PredictManyEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	reqs, err := p.submitEntry(entry, rows, deadline)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(reqs))
+	for i, rq := range reqs {
+		r := <-rq.res
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.pred
+	}
+	return out, nil
+}
+
+func (p *Pool) submit(model string, rows [][]float64, deadline time.Time) ([]*request, error) {
+	entry, err := p.Lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return p.submitEntry(entry, rows, deadline)
+}
+
+// submitEntry admits rows into the entry's model queue (all or nothing).
+func (p *Pool) submitEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]*request, error) {
+	for _, row := range rows {
+		if len(row) != p.width {
+			return nil, fmt.Errorf("serve: sample has %d features, federation has %d", len(row), p.width)
+		}
+	}
+	now := time.Now()
+	if deadline.IsZero() && p.cfg.DefaultDeadline > 0 {
+		deadline = now.Add(p.cfg.DefaultDeadline)
+	}
+	reqs := make([]*request, len(rows))
+	for i, row := range rows {
+		reqs[i] = &request{entry: entry, row: row, enq: now, deadline: deadline, res: make(chan result, 1)}
+	}
+
+	p.mu.Lock()
+	if p.draining {
+		p.stats.Rejected += int64(len(rows))
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if p.healthyLanesLocked() == 0 {
+		p.stats.Rejected += int64(len(rows))
+		p.stats.Unavailable += int64(len(rows))
+		p.mu.Unlock()
+		return nil, &UnavailableError{RetryAfter: p.cfg.RetryAfter}
+	}
+	if p.queuedLocked()+len(rows) > p.cfg.MaxQueue {
+		p.stats.Rejected += int64(len(rows))
+		p.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	q := p.queueLocked(entry.Name)
+	q.reqs = append(q.reqs, reqs...)
+	p.stats.Requests += int64(len(rows))
+	p.mu.Unlock()
+
+	p.kick()
+	return reqs, nil
+}
+
+// queueLocked returns (creating on first use) the model's queue.
+func (p *Pool) queueLocked(name string) *modelQueue {
+	q, ok := p.queues[name]
+	if !ok {
+		w := p.weights[name]
+		if w < 1 {
+			w = 1
+		}
+		q = &modelQueue{name: name, weight: w, credit: w}
+		p.queues[name] = q
+		p.order = append(p.order, name)
+	}
+	return q
+}
+
+func (p *Pool) queuedLocked() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q.reqs)
+	}
+	return n
+}
+
+func (p *Pool) healthyLanesLocked() int {
+	n := 0
+	for _, ln := range p.lanes {
+		if ln.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatchableLocked reports whether q's head batch should run now: the
+// coalescing window has elapsed (or doesn't apply), a full batch is
+// waiting, the head is a requeued retry (a failover must not re-wait the
+// window), or the pool is draining.
+func (p *Pool) dispatchableLocked(q *modelQueue, now time.Time) bool {
+	if len(q.reqs) == 0 {
+		return false
+	}
+	if p.draining || p.cfg.Window <= 0 || len(q.reqs) >= p.cfg.MaxBatch || q.reqs[0].attempts > 0 {
+		return true
+	}
+	return now.Sub(q.reqs[0].enq) >= p.cfg.Window
+}
+
+// idleLaneLocked picks the least-loaded dispatch target: among healthy
+// idle lanes, the one that has served the fewest samples.
+func (p *Pool) idleLaneLocked() *lane {
+	var best *lane
+	for _, ln := range p.lanes {
+		if !ln.healthy || ln.busy {
+			continue
+		}
+		if best == nil || ln.samples < best.samples {
+			best = ln
+		}
+	}
+	return best
+}
+
+// nextQueueLocked runs one step of credit-based weighted round-robin:
+// scan the queues in rotation for a dispatchable one with credit left,
+// replenishing every queue's credit (to its weight) when the dispatchable
+// set has collectively run dry.  Consumes one credit from the winner.
+func (p *Pool) nextQueueLocked(now time.Time) *modelQueue {
+	n := len(p.order)
+	if n == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			q := p.queues[p.order[(p.rr+i)%n]]
+			if q.credit > 0 && p.dispatchableLocked(q, now) {
+				q.credit--
+				p.rr = (p.rr + i + 1) % n
+				return q
+			}
+		}
+		any := false
+		for _, q := range p.queues {
+			if p.dispatchableLocked(q, now) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		for _, q := range p.queues {
+			q.credit = q.weight
+		}
+	}
+	return nil
+}
+
+// takeBatchLocked pops the longest same-entry prefix (up to MaxBatch) off
+// q, dropping expired requests as it scans.  FIFO order within the model
+// queue is preserved: a version swap mid-queue ends the batch rather than
+// pulling later same-version requests ahead of the swap point.
+func (p *Pool) takeBatchLocked(q *modelQueue, now time.Time) []*request {
+	var batch []*request
+	rest := q.reqs[:0]
+	var entry *Entry
+	for _, rq := range q.reqs {
+		switch {
+		case !rq.deadline.IsZero() && now.After(rq.deadline):
+			p.stats.Expired++
+			rq.res <- result{err: ErrDeadline}
+		case len(rest) == 0 && (entry == nil || rq.entry == entry) && len(batch) < p.cfg.MaxBatch:
+			entry = rq.entry
+			batch = append(batch, rq)
+		default:
+			rest = append(rest, rq)
+		}
+	}
+	q.reqs = rest
+	return batch
+}
+
+// nextWindowLocked returns how long until the earliest pending coalescing
+// window expires (0 = nothing to time out on; just wait for a wake).
+func (p *Pool) nextWindowLocked(now time.Time) time.Duration {
+	if p.cfg.Window <= 0 || p.idleLaneLocked() == nil {
+		return 0
+	}
+	var wait time.Duration
+	for _, q := range p.queues {
+		if len(q.reqs) == 0 || p.dispatchableLocked(q, now) {
+			continue
+		}
+		d := p.cfg.Window - now.Sub(q.reqs[0].enq)
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		if wait == 0 || d < wait {
+			wait = d
+		}
+	}
+	return wait
+}
+
+// schedule is the single scheduler goroutine: pair dispatchable model
+// queues (WRR) with idle lanes (least-loaded) until one side runs out,
+// then sleep until a wake (submit, batch completion, lane rebuild, drain)
+// or the next coalescing-window expiry.
+func (p *Pool) schedule() {
+	defer close(p.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		now := time.Now()
+		p.mu.Lock()
+		for {
+			ln := p.idleLaneLocked()
+			if ln == nil {
+				break
+			}
+			q := p.nextQueueLocked(now)
+			if q == nil {
+				break
+			}
+			batch := p.takeBatchLocked(q, now)
+			if len(batch) == 0 {
+				continue // everything scanned had expired
+			}
+			ln.busy = true
+			p.runWG.Add(1)
+			go p.runBatch(ln, batch)
+		}
+		stop := p.draining && p.queuedLocked() == 0 && !p.anyBusyLocked()
+		wait := p.nextWindowLocked(now)
+		p.mu.Unlock()
+		if stop {
+			return
+		}
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-p.wake:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+		} else {
+			<-p.wake
+		}
+	}
+}
+
+func (p *Pool) anyBusyLocked() bool {
+	for _, ln := range p.lanes {
+		if ln.busy {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) kick() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// runBatch runs one micro-batch's MPC round chain on its assigned lane.
+func (p *Pool) runBatch(ln *lane, batch []*request) {
+	defer p.runWG.Done()
+	entry := batch[0].entry
+	p.mu.Lock()
+	sess := ln.sess
+	p.mu.Unlock()
+
+	X := make([][][]float64, len(p.feats))
+	for c, feats := range p.feats {
+		X[c] = make([][]float64, len(batch))
+		for t, rq := range batch {
+			local := make([]float64, len(feats))
+			for j, f := range feats {
+				local[j] = rq.row[f]
+			}
+			X[c][t] = local
+		}
+	}
+	preds, rounds, err := core.PredictSamples(sess, entry.Model, X)
+
+	// A protocol failure that killed the lane's session fails over: the
+	// batch goes back to the front of its queue for another lane, and this
+	// lane rebuilds in the background.  Errors on a healthy session (e.g.
+	// a model the protocol cannot evaluate) fail only their own batch.
+	if err != nil && !sess.Healthy() {
+		p.laneFailed(ln, batch)
+		return
+	}
+
+	// Same conversion-cache hygiene as Service.flushOne: a batch admitted
+	// under a replaced entry re-caches the old model's shares on this
+	// lane; evict once served.
+	if cur, lookupErr := p.Lookup(entry.Name); lookupErr != nil || cur != entry {
+		sess.EvictShared(entry.Model)
+	}
+
+	done := time.Now()
+	p.mu.Lock()
+	ln.busy = false
+	ln.batches++
+	ln.samples += int64(len(batch))
+	ln.rounds += rounds
+	p.stats.Batches++
+	p.stats.Coalesced += int64(len(batch))
+	if len(batch) > p.stats.MaxBatch {
+		p.stats.MaxBatch = len(batch)
+	}
+	p.stats.BatchSizes.Observe(int64(len(batch)))
+	p.stats.Rounds.Observe(rounds)
+	for _, rq := range batch {
+		p.stats.LatencyMs.Observe(done.Sub(rq.enq).Milliseconds())
+	}
+	p.mu.Unlock()
+	p.kick()
+
+	for t, rq := range batch {
+		if err != nil {
+			rq.res <- result{err: err}
+		} else {
+			rq.res <- result{pred: preds[t]}
+		}
+	}
+}
+
+// laneFailed handles a lane death mid-batch: the lane is marked dead and
+// handed to a background rebuild, and the batch is requeued at the front
+// of its model queue for the surviving lanes.  A request that has already
+// been dispatched len(lanes) times fails with the retry-after hint rather
+// than cycling forever; when the last lane dies, everything queued fails
+// the same way and admission refuses new work until a rebuild lands.
+func (p *Pool) laneFailed(ln *lane, batch []*request) {
+	uerr := &UnavailableError{RetryAfter: p.cfg.RetryAfter}
+	name := batch[0].entry.Name
+
+	var failed, retry []*request
+	p.mu.Lock()
+	ln.busy = false
+	wasHealthy := ln.healthy
+	ln.healthy = false
+	for _, rq := range batch {
+		rq.attempts++
+		if rq.attempts >= len(p.lanes) {
+			failed = append(failed, rq)
+		} else {
+			retry = append(retry, rq)
+		}
+	}
+	if p.healthyLanesLocked() == 0 {
+		// Total outage: no lane can serve anything that is queued.
+		failed = append(failed, retry...)
+		retry = nil
+		for _, qn := range p.order {
+			q := p.queues[qn]
+			failed = append(failed, q.reqs...)
+			q.reqs = nil
+		}
+	}
+	if len(retry) > 0 {
+		q := p.queueLocked(name)
+		q.reqs = append(retry, q.reqs...)
+		p.stats.Requeued += int64(len(retry))
+	}
+	p.stats.Unavailable += int64(len(failed))
+	p.mu.Unlock()
+
+	for _, rq := range failed {
+		rq.res <- result{err: uerr}
+	}
+	if wasHealthy {
+		p.runWG.Add(1)
+		go p.rebuildLane(ln)
+	}
+	p.kick()
+}
+
+// rebuildLane replaces a dead lane's session: the corpse is torn down
+// first, then the LaneFactory is retried with a capped backoff until it
+// yields a session or the pool starts draining.
+func (p *Pool) rebuildLane(ln *lane) {
+	defer p.runWG.Done()
+	p.mu.Lock()
+	dead := ln.sess
+	p.mu.Unlock()
+	dead.Close()
+	delay := 50 * time.Millisecond
+	for {
+		p.mu.Lock()
+		stop := p.draining
+		p.mu.Unlock()
+		if stop {
+			return
+		}
+		ns, err := p.factory(ln.id)
+		if err == nil {
+			p.mu.Lock()
+			if p.draining {
+				p.mu.Unlock()
+				ns.Close()
+				return
+			}
+			ln.sess = ns
+			ln.healthy = true
+			ln.rebuilds++
+			p.stats.Rebuilds++
+			p.mu.Unlock()
+			p.kick()
+			return
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// Health probes the pool: healthy while at least one lane lives.
+func (p *Pool) Health() Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	healthy := p.healthyLanesLocked()
+	h := Health{
+		Healthy:      !p.draining && healthy > 0,
+		Draining:     p.draining,
+		QueueDepth:   p.queuedLocked(),
+		Lanes:        len(p.lanes),
+		LanesHealthy: healthy,
+	}
+	if !h.Healthy && !p.draining {
+		h.RetryAfterMs = p.cfg.RetryAfter.Milliseconds()
+	}
+	return h
+}
+
+// Stats returns one live lane's protocol statistics (a representative
+// mesh: every lane runs the same protocol) with the pool-wide serving
+// counters and the per-lane breakdown attached.
+func (p *Pool) Stats() core.RunStats {
+	p.mu.Lock()
+	base := p.lanes[0].sess
+	for _, ln := range p.lanes {
+		if ln.healthy {
+			base = ln.sess
+			break
+		}
+	}
+	p.mu.Unlock()
+	rs := base.Stats()
+	p.mu.Lock()
+	sv := p.stats
+	sv.QueueDepth = p.queuedLocked()
+	sv.LanesHealthy = p.healthyLanesLocked()
+	sv.Lanes = make([]core.LaneStats, len(p.lanes))
+	for i, ln := range p.lanes {
+		sv.Lanes[i] = core.LaneStats{
+			Lane: ln.id, Healthy: ln.healthy,
+			Batches: ln.batches, Samples: ln.samples, Rounds: ln.rounds, Rebuilds: ln.rebuilds,
+		}
+	}
+	p.mu.Unlock()
+	rs.Serve = &sv
+	return rs
+}
+
+// Drain stops admitting new samples and blocks until every queued sample
+// has been served (or failed) and every in-flight batch and rebuild has
+// finished.  Safe to call more than once and concurrently.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	p.kick()
+	<-p.done
+	p.runWG.Wait()
+}
+
+// Close drains the pool and tears every lane session down.  Idempotent
+// and safe under concurrent callers.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.Drain()
+		for _, ln := range p.lanes {
+			ln.sess.Close()
+		}
+	})
+}

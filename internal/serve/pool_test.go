@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// poolFixture builds an S-lane pool over a small federation with a
+// trained DT registered as "dt".  The returned factory is shared with the
+// pool (it is also the rebuild path) and honors gate: while gate is set,
+// rebuilds fail — letting tests hold a lane down deterministically.
+func poolFixture(t *testing.T, lanes int, cfg Config, gate *atomic.Bool) (*Pool, []float64, [][]float64) {
+	t.Helper()
+	ds := dataset.SyntheticClassification(12, 4, 2, 3.0, 9)
+	parts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(lane int) (*core.Session, error) {
+		if gate != nil && gate.Load() {
+			return nil, errors.New("rebuild gated by test")
+		}
+		c := fixtureConfig()
+		c.Seed += int64(lane)
+		return core.NewSession(parts, c)
+	}
+	pool, err := NewPool(parts, PoolConfig{Config: cfg, Lanes: lanes, LaneFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pool.LaneSession(0)
+	mdl, err := core.Train(sess, core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	if _, err := pool.Register("dt", mdl); err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	oracle, err := core.PredictAll(sess, mdl, parts)
+	if err != nil {
+		pool.Close()
+		t.Fatal(err)
+	}
+	return pool, oracle, flatRows(parts, pool.Width())
+}
+
+// TestPoolServes drives the pool end to end: concurrent requests spread
+// over both lanes and every prediction is bit-identical to the offline
+// oracle, with the per-lane stats accounting for all of it.
+func TestPoolServes(t *testing.T) {
+	pool, oracle, rows := poolFixture(t, 2, Config{Window: 5 * time.Millisecond, MaxBatch: 4}, nil)
+	defer pool.Close()
+
+	for round := 0; round < 2; round++ {
+		got := make([]float64, len(rows))
+		errs := make([]error, len(rows))
+		var wg sync.WaitGroup
+		for i := range rows {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i], errs[i] = pool.Predict("dt", rows[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range rows {
+			if errs[i] != nil {
+				t.Fatalf("round %d sample %d: %v", round, i, errs[i])
+			}
+			if got[i] != oracle[i] {
+				t.Fatalf("round %d sample %d: served %v, oracle %v", round, i, got[i], oracle[i])
+			}
+		}
+	}
+
+	st := pool.Stats()
+	if st.Serve == nil || len(st.Serve.Lanes) != 2 {
+		t.Fatalf("pool stats missing lanes: %+v", st.Serve)
+	}
+	if st.Serve.LanesHealthy != 2 {
+		t.Fatalf("healthy lanes = %d", st.Serve.LanesHealthy)
+	}
+	var samples int64
+	busyLanes := 0
+	for _, ls := range st.Serve.Lanes {
+		samples += ls.Samples
+		if ls.Batches > 0 {
+			busyLanes++
+		}
+	}
+	if samples != int64(2*len(rows)) || st.Serve.Coalesced != samples {
+		t.Fatalf("lane samples %d, coalesced %d, want %d", samples, st.Serve.Coalesced, 2*len(rows))
+	}
+	// With MaxBatch 4 and 12 concurrent samples per round, the
+	// least-loaded dispatch must have exercised both lanes.
+	if busyLanes != 2 {
+		t.Fatalf("only %d lanes served batches", busyLanes)
+	}
+	if h := pool.Health(); !h.Healthy || h.Lanes != 2 || h.LanesHealthy != 2 {
+		t.Fatalf("health: %+v", h)
+	}
+}
+
+// TestPoolFailover is the chaos round trip: kill one lane (requests fail
+// over and none are lost), kill the last lane (requests fail with the
+// retry-after hint and admission refuses), release the rebuild gate (the
+// pool heals to full strength and serves the oracle again).
+func TestPoolFailover(t *testing.T) {
+	var gate atomic.Bool
+	pool, oracle, rows := poolFixture(t, 2, Config{Window: 2 * time.Millisecond, MaxBatch: 4, RetryAfter: 200 * time.Millisecond}, &gate)
+	defer pool.Close()
+
+	// Warm one lane so the other is strictly least-loaded, then kill the
+	// cold one: the next batch is routed straight at the corpse and must
+	// fail over without the caller noticing.
+	if got, err := pool.Predict("dt", rows[0]); err != nil || got != oracle[0] {
+		t.Fatalf("warmup: %v, %v", got, err)
+	}
+	gate.Store(true) // rebuilds stay down until released
+	cold := 0
+	for _, ls := range pool.Stats().Serve.Lanes {
+		if ls.Samples == 0 {
+			cold = ls.Lane
+		}
+	}
+	pool.LaneSession(cold).Close()
+
+	got := make([]float64, len(rows))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pool.Predict("dt", rows[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range rows {
+		if errs[i] != nil {
+			t.Fatalf("failover sample %d: %v", i, errs[i])
+		}
+		if got[i] != oracle[i] {
+			t.Fatalf("failover sample %d: served %v, oracle %v", i, got[i], oracle[i])
+		}
+	}
+	st := pool.Stats()
+	if st.Serve.Requeued == 0 {
+		t.Fatalf("no batch migrated off the dead lane: %+v", st.Serve)
+	}
+	if st.Serve.LanesHealthy != 1 {
+		t.Fatalf("healthy lanes after kill = %d", st.Serve.LanesHealthy)
+	}
+	if h := pool.Health(); !h.Healthy || h.LanesHealthy != 1 {
+		t.Fatalf("health at S-1: %+v", h)
+	}
+
+	// Kill the survivor: the tripping request gets the hint, and later
+	// submissions are refused at admission the same way.
+	for _, ls := range pool.Stats().Serve.Lanes {
+		if ls.Healthy {
+			pool.LaneSession(ls.Lane).Close()
+		}
+	}
+	_, err := pool.Predict("dt", rows[0])
+	var ue *UnavailableError
+	if !errors.Is(err, ErrUnavailable) || !errors.As(err, &ue) || ue.RetryAfter != 200*time.Millisecond {
+		t.Fatalf("predict during outage = %v", err)
+	}
+	if _, err := pool.Predict("dt", rows[0]); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("admission during outage = %v", err)
+	}
+	if h := pool.Health(); h.Healthy || h.LanesHealthy != 0 || h.RetryAfterMs != 200 {
+		t.Fatalf("health during outage: %+v", h)
+	}
+
+	// Release the gate: background rebuilds must restore both lanes.
+	gate.Store(false)
+	deadline := time.Now().Add(30 * time.Second)
+	for pool.Health().LanesHealthy != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not heal: %+v", pool.Health())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i := range rows {
+		v, err := pool.Predict("dt", rows[i])
+		if err != nil || v != oracle[i] {
+			t.Fatalf("post-heal sample %d: %v, %v (want %v)", i, v, err, oracle[i])
+		}
+	}
+	if st := pool.Stats(); st.Serve.Rebuilds != 2 {
+		t.Fatalf("rebuilds = %d, want 2", st.Serve.Rebuilds)
+	}
+}
+
+// TestPoolWRRFairness unit-tests the credit scheduler: with weights 2:1
+// and both model queues backlogged, dispatch opportunities split 2:1 and
+// rotation never starves the light queue.
+func TestPoolWRRFairness(t *testing.T) {
+	p := &Pool{
+		cfg:     Config{}.withDefaults(),
+		weights: map[string]int{"hot": 2, "cold": 1},
+		queues:  make(map[string]*modelQueue),
+	}
+	backlog := func(name string, n int) {
+		q := p.queueLocked(name)
+		for i := 0; i < n; i++ {
+			// attempts > 0 marks the head dispatchable regardless of window.
+			q.reqs = append(q.reqs, &request{attempts: 1})
+		}
+	}
+	backlog("hot", 100)
+	backlog("cold", 100)
+
+	wins := map[string]int{}
+	now := time.Now()
+	for i := 0; i < 30; i++ {
+		q := p.nextQueueLocked(now)
+		if q == nil {
+			t.Fatalf("draw %d: no dispatchable queue", i)
+		}
+		wins[q.name]++
+	}
+	if wins["hot"] != 20 || wins["cold"] != 10 {
+		t.Fatalf("weighted round-robin split %v, want hot=20 cold=10", wins)
+	}
+
+	// Starvation check: a queue must win within weight-sum draws of
+	// becoming backlogged even when another queue stays saturated.
+	p2 := &Pool{cfg: Config{}.withDefaults(), weights: map[string]int{"hot": 8}, queues: make(map[string]*modelQueue)}
+	p2.queueLocked("hot")
+	p2.queues["hot"].reqs = []*request{{attempts: 1}, {attempts: 1}, {attempts: 1}}
+	for i := 0; i < 5; i++ {
+		p2.nextQueueLocked(now)
+	}
+	p2.queueLocked("late")
+	p2.queues["late"].reqs = []*request{{attempts: 1}}
+	for draw := 1; ; draw++ {
+		if draw > 9 {
+			t.Fatal("late queue starved past one full WRR cycle")
+		}
+		if p2.nextQueueLocked(now).name == "late" {
+			break
+		}
+	}
+}
+
+// TestConfigValidate pins the typed construction-time rejection of
+// nonsensical knob combinations (no silent clamping in the dispatcher).
+func TestConfigValidate(t *testing.T) {
+	bad := []struct {
+		cfg   Config
+		field string
+	}{
+		{Config{Window: -time.Second}, "Window"},
+		{Config{MaxBatch: -1}, "MaxBatch"},
+		{Config{MaxQueue: -8}, "MaxQueue"},
+		{Config{DefaultDeadline: -time.Millisecond}, "DefaultDeadline"},
+		{Config{RetryAfter: -time.Second}, "RetryAfter"},
+		{Config{MaxBatch: 64, MaxQueue: 2}, "MaxBatch"},
+		{Config{MaxBatch: 4096}, "MaxBatch"}, // exceeds the MaxQueue default
+	}
+	for _, tc := range bad {
+		err := tc.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Fatalf("Validate(%+v) = %v, want ConfigError on %s", tc.cfg, err, tc.field)
+		}
+	}
+	good := []Config{
+		{},
+		{Window: 2 * time.Millisecond, MaxBatch: 8, MaxQueue: 8},
+		{MaxBatch: 256}, // equals the MaxQueue default? no: 256 <= 1024
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+
+	// Pool-only knobs.
+	factory := func(int) (*core.Session, error) { return nil, nil }
+	for _, tc := range []struct {
+		cfg   PoolConfig
+		field string
+	}{
+		{PoolConfig{Lanes: 0, LaneFactory: factory}, "Lanes"},
+		{PoolConfig{Lanes: 2}, "LaneFactory"},
+		{PoolConfig{Lanes: 2, LaneFactory: factory, Weights: map[string]int{"m": 0}}, "Weights"},
+		{PoolConfig{Lanes: 2, LaneFactory: factory, Config: Config{Window: -1}}, "Window"},
+	} {
+		err := tc.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != tc.field {
+			t.Fatalf("PoolConfig.Validate(%+v) = %v, want ConfigError on %s", tc.cfg, err, tc.field)
+		}
+	}
+
+	// New must surface the same typed error.
+	if _, err := NewPool(nil, PoolConfig{Lanes: 1, LaneFactory: factory, Config: Config{MaxBatch: 10, MaxQueue: 5}}); err == nil {
+		t.Fatal("NewPool accepted MaxBatch > MaxQueue")
+	}
+}
+
+// TestRegistryReplaceUnderTraffic races Register/Replace against live
+// prediction traffic on a 2-lane pool: every request must finish on the
+// exact model version it was admitted with (the entry pin), with zero
+// errors.  Run under the nightly full -race suite.
+func TestRegistryReplaceUnderTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry race soak needs full MPC traffic; run without -short")
+	}
+	pool, _, rows := poolFixture(t, 2, Config{Window: time.Millisecond, MaxBatch: 8}, nil)
+	defer pool.Close()
+
+	sess := pool.LaneSession(0)
+	// Two models with different predictions under the same name.
+	mdlA, err := pool.Lookup("dt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := core.Train(sess, core.TrainSpec{Model: core.KindRF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts2, err := dataset.VerticalPartition(dataset.SyntheticClassification(12, 4, 2, 3.0, 9), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracles := map[core.Predictor][]float64{}
+	for _, m := range []core.Predictor{mdlA.Model, rf} {
+		o, err := core.PredictAll(sess, m, parts2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[m] = o
+	}
+
+	stop := make(chan struct{})
+	var replaceWG sync.WaitGroup
+	replaceWG.Add(1)
+	go func() {
+		defer replaceWG.Done()
+		models := []core.Predictor{rf, mdlA.Model}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pool.Register("dt", models[i%2]); err != nil {
+				t.Errorf("replace %d: %v", i, err)
+				return
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	var trafficWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		trafficWG.Add(1)
+		go func(w int) {
+			defer trafficWG.Done()
+			for iter := 0; iter < 6; iter++ {
+				entry, err := pool.Lookup("dt")
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				preds, err := pool.PredictManyEntry(entry, rows, time.Time{})
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, iter, err)
+					return
+				}
+				want := oracles[entry.Model]
+				for i := range preds {
+					if preds[i] != want[i] {
+						t.Errorf("worker %d iter %d sample %d: got %v want %v (version %d pin broken)",
+							w, iter, i, preds[i], want[i], entry.Version)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	trafficWG.Wait()
+	close(stop)
+	replaceWG.Wait()
+}

@@ -68,6 +68,19 @@ func (r *Registry) Register(name string, mdl core.Predictor) (*Entry, error) {
 	return e, nil
 }
 
+// restore installs a journaled entry with its persisted version (registry
+// persistence, see Store): unlike Register it does not renumber, so a
+// daemon restart serves the same versions it went down with.  A later
+// Register of the same name bumps from the restored version.
+func (r *Registry) restore(e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.entries[e.Name]; ok && old.Version >= e.Version {
+		return // an in-memory registration already superseded the journal
+	}
+	r.entries[e.Name] = e
+}
+
 // Lookup returns the current entry for name.
 func (r *Registry) Lookup(name string) (*Entry, error) {
 	r.mu.RLock()

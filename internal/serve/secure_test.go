@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// fakeBackend is a sessionless Backend for wire-layer tests (TLS, auth,
+// retry hints): prediction answers are canned, and unavailLeft counts how
+// many predict calls fail with the retry-after hint before service
+// "recovers" — a deterministic degraded-then-rebuilt daemon.
+type fakeBackend struct {
+	mu          sync.Mutex
+	entry       *Entry
+	unavailLeft int
+	hint        time.Duration
+	calls       int
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{entry: &Entry{Name: "m", Version: 1, Model: tinyTree(0.5, 0, 1)}}
+}
+
+func (f *fakeBackend) Lookup(name string) (*Entry, error) {
+	if name != f.entry.Name {
+		return nil, errors.New("serve: no model registered as " + name)
+	}
+	return f.entry, nil
+}
+func (f *fakeBackend) List() []Info { return []Info{f.entry.Info()} }
+func (f *fakeBackend) Width() int   { return 2 }
+func (f *fakeBackend) PredictManyEntry(e *Entry, rows [][]float64, _ time.Time) ([]float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.unavailLeft > 0 {
+		f.unavailLeft--
+		return nil, &UnavailableError{RetryAfter: f.hint}
+	}
+	out := make([]float64, len(rows))
+	for i := range out {
+		out[i] = 7
+	}
+	return out, nil
+}
+func (f *fakeBackend) Stats() core.RunStats { return core.RunStats{} }
+func (f *fakeBackend) Health() Health {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Health{Healthy: f.unavailLeft == 0, RetryAfterMs: f.hint.Milliseconds()}
+}
+func (f *fakeBackend) Drain() {}
+func (f *fakeBackend) Close() {}
+
+// TestWireTLSAuth pins the secured wire: a client with the matched TLS
+// roots and token is served; a bad token, a missing token, and a
+// plaintext client are all refused.
+func TestWireTLSAuth(t *testing.T) {
+	srvTLS, cliTLS, err := transport.SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerWire(newFakeBackend(), "127.0.0.1:0", WireConfig{TLS: srvTLS, AuthToken: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown()
+
+	cli, err := DialOpts(srv.Addr(), DialOptions{TLS: cliTLS, AuthToken: "s3cret", Timeout: -1})
+	if err != nil {
+		t.Fatalf("authorized dial: %v", err)
+	}
+	defer cli.Close()
+	if preds, err := cli.Predict("m", [][]float64{{1, 2}}); err != nil || preds[0] != 7 {
+		t.Fatalf("authorized predict = %v, %v", preds, err)
+	}
+	if h, err := cli.Health(); err != nil || !h.Healthy {
+		t.Fatalf("authorized health = %+v, %v", h, err)
+	}
+
+	if _, err := DialOpts(srv.Addr(), DialOptions{TLS: cliTLS, AuthToken: "wrong", Timeout: -1}); err == nil ||
+		!strings.Contains(err.Error(), "auth") {
+		t.Fatalf("bad token dial = %v, want auth rejection", err)
+	}
+
+	// No token: the TLS connection comes up, but the first real request
+	// is refused and the connection dropped.
+	bare, err := DialOpts(srv.Addr(), DialOptions{TLS: cliTLS, Timeout: -1})
+	if err != nil {
+		t.Fatalf("tokenless dial: %v", err)
+	}
+	defer bare.Close()
+	if _, err := bare.Models(); err == nil {
+		t.Fatal("tokenless request must be refused")
+	}
+
+	// Plaintext client against the TLS listener: the handshake fails.
+	if plain, err := DialOpts(srv.Addr(), DialOptions{AuthToken: "s3cret", Timeout: -1}); err == nil {
+		plain.Close()
+		t.Fatal("plaintext dial to a TLS server must fail")
+	}
+}
+
+// TestRetryDelayHint pins the backoff selection (satellite: honor the
+// daemon's RetryAfter instead of fixed jitter): a hint is used verbatim,
+// hint-less errors fall back to capped jitter, and both clip to the
+// caller's budget.
+func TestRetryDelayHint(t *testing.T) {
+	far := time.Now().Add(time.Hour)
+	if d := retryDelay(&UnavailableError{RetryAfter: 123 * time.Millisecond}, 0, far); d != 123*time.Millisecond {
+		t.Fatalf("hinted delay = %v, want the 123ms hint verbatim", d)
+	}
+	if d := retryDelay(&UnavailableError{RetryAfter: 123 * time.Millisecond}, 7, far); d != 123*time.Millisecond {
+		t.Fatalf("hint must not grow with attempts: %v", d)
+	}
+	for i := 0; i < 20; i++ {
+		if d := retryDelay(errors.New("conn reset"), 0, far); d < 10*time.Millisecond || d > 60*time.Millisecond {
+			t.Fatalf("fallback jitter out of range: %v", d)
+		}
+	}
+	near := time.Now().Add(5 * time.Millisecond)
+	if d := retryDelay(&UnavailableError{RetryAfter: time.Minute}, 0, near); d > 5*time.Millisecond {
+		t.Fatalf("delay must clip to the budget: %v", d)
+	}
+}
+
+// TestPredictRetryReconnects drives the full loop over the wire: a
+// degraded daemon hands out RetryAfter hints, the client sleeps exactly
+// those, and the request lands as soon as the service recovers — within
+// the hint window, not a jittered multiple of it.
+func TestPredictRetryReconnects(t *testing.T) {
+	fb := newFakeBackend()
+	fb.hint = 120 * time.Millisecond
+	fb.unavailLeft = 2 // recovers after two refusals
+
+	srv, err := NewServer(fb, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	defer srv.Shutdown()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	preds, err := cli.PredictRetry("m", [][]float64{{1, 2}}, 10*time.Second)
+	elapsed := time.Since(start)
+	if err != nil || preds[0] != 7 {
+		t.Fatalf("PredictRetry = %v, %v", preds, err)
+	}
+	// Two refusals sleeping the 120ms hint each: success must land in
+	// roughly 2 hints — well before the >1s the old fixed capped jitter
+	// would have accumulated, and not before the hints were respected.
+	if elapsed < 240*time.Millisecond {
+		t.Fatalf("recovered in %v: the RetryAfter hints were not honored", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("recovered in %v: hint-driven backoff should be ~240ms", elapsed)
+	}
+	fb.mu.Lock()
+	calls := fb.calls
+	fb.mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("daemon saw %d predict calls, want 3", calls)
+	}
+
+	// A non-retriable error returns immediately.
+	if _, err := cli.PredictRetry("nope", [][]float64{{1, 2}}, time.Second); err == nil ||
+		errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unknown model through PredictRetry = %v", err)
+	}
+}

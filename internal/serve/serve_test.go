@@ -171,7 +171,7 @@ func TestService(t *testing.T) {
 	// interleave safely at whole-phase granularity): a long window piles
 	// the queue up, MaxQueue bounds it.
 	t.Run("admission", func(t *testing.T) {
-		svcB, err := New(sess, parts, Config{Window: 400 * time.Millisecond, MaxBatch: 64, MaxQueue: 2})
+		svcB, err := New(sess, parts, Config{Window: 400 * time.Millisecond, MaxBatch: 2, MaxQueue: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

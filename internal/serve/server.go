@@ -1,20 +1,66 @@
 package serve
 
 import (
+	"crypto/subtle"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
-// Server exposes a Service over the wire protocol.  Each connection gets
+// Backend is what the wire server fronts: the single-session Service and
+// the sharded Pool both satisfy it, so a daemon picks its serving engine
+// with a flag and the wire protocol stays identical.
+type Backend interface {
+	// Lookup resolves a model name to its current registry entry.
+	Lookup(name string) (*Entry, error)
+	// List enumerates the registry.
+	List() []Info
+	// Width returns the flat feature-row width requests must carry.
+	Width() int
+	// PredictManyEntry serves samples pinned to a resolved entry.
+	PredictManyEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]float64, error)
+	// Stats snapshots protocol + serving statistics.
+	Stats() core.RunStats
+	// Health probes liveness.
+	Health() Health
+	// Drain stops admission and flushes queued work.
+	Drain()
+	// Close drains and tears the serving sessions down.
+	Close()
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*Service)(nil)
+	_ Backend = (*Pool)(nil)
+)
+
+// WireConfig secures the serve wire.  The zero value is plaintext TCP
+// with no authentication — fine on a loopback dev box, not across a WAN.
+type WireConfig struct {
+	// TLS, when set, wraps the listener (server) or connection (client)
+	// in TLS; see transport.LoadServerTLS / transport.SelfSignedTLS for
+	// building one.
+	TLS *tls.Config
+	// AuthToken, when non-empty, requires each connection's first frame
+	// to be opAuth carrying the same shared token (constant-time
+	// compared); everything else on the connection is refused until then.
+	AuthToken string
+}
+
+// Server exposes a Backend over the wire protocol.  Each connection gets
 // its own goroutine; predict requests from all connections coalesce in
-// the Service queue, which is the whole point of serving them from one
+// the backend's queues, which is the whole point of serving them from one
 // long-lived daemon.
 type Server struct {
-	svc *Service
-	ln  net.Listener
+	svc  Backend
+	ln   net.Listener
+	wire WireConfig
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -24,20 +70,30 @@ type Server struct {
 	stopOnce sync.Once
 }
 
-// NewServer listens on addr (e.g. "127.0.0.1:9100").
-func NewServer(svc *Service, addr string) (*Server, error) {
+// NewServer listens on addr (e.g. "127.0.0.1:9100") with a plaintext,
+// unauthenticated wire.
+func NewServer(svc Backend, addr string) (*Server, error) {
+	return NewServerWire(svc, addr, WireConfig{})
+}
+
+// NewServerWire is NewServer with transport security: TLS on the listener
+// and/or a shared-token handshake per connection.
+func NewServerWire(svc Backend, addr string, wire WireConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+	if wire.TLS != nil {
+		ln = tls.NewListener(ln, wire.TLS)
+	}
+	return &Server{svc: svc, ln: ln, wire: wire, conns: make(map[net.Conn]struct{})}, nil
 }
 
 // Addr returns the bound listen address.
 func (srv *Server) Addr() string { return srv.ln.Addr().String() }
 
 // Serve accepts connections until Shutdown; it returns nil on a graceful
-// shutdown.  The Service is drained and closed before Serve returns, so
+// shutdown.  The backend is drained and closed before Serve returns, so
 // a daemon can simply `defer os.Exit` semantics on it.
 func (srv *Server) Serve() error {
 	failures := 0
@@ -90,7 +146,7 @@ func (srv *Server) Shutdown() {
 // drain finishes a stop: queued samples flush first (so handlers blocked
 // on PredictMany can still write their responses), then connections that
 // linger idle past a grace period are force-closed to unblock their
-// readFrame loops, and finally the Service is torn down.
+// readFrame loops, and finally the backend is torn down.
 func (srv *Server) drain() {
 	srv.svc.Drain()
 	done := make(chan struct{})
@@ -116,6 +172,9 @@ func (srv *Server) handle(conn net.Conn) {
 		srv.mu.Unlock()
 		conn.Close()
 	}()
+	if srv.wire.AuthToken != "" && !srv.authenticate(conn) {
+		return
+	}
 	for {
 		op, body, err := readFrame(conn)
 		if err != nil {
@@ -125,6 +184,29 @@ func (srv *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// authenticate gates a connection on the shared-token handshake: the
+// first frame must be opAuth with the right token.  A bad token gets one
+// opErr and the connection is dropped; the comparison is constant-time so
+// the wire doesn't leak token prefixes.
+func (srv *Server) authenticate(conn net.Conn) bool {
+	// A handshake deadline keeps an idle unauthenticated socket from
+	// pinning a goroutine forever.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	op, body, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || op != opAuth {
+		writeFrame(conn, opErr, "serve: authentication required")
+		return false
+	}
+	var req authReq
+	if json.Unmarshal(body, &req) != nil ||
+		subtle.ConstantTimeCompare([]byte(req.Token), []byte(srv.wire.AuthToken)) != 1 {
+		writeFrame(conn, opErr, "serve: bad auth token")
+		return false
+	}
+	return writeFrame(conn, opOK, "ok") == nil
 }
 
 // serveOp answers one request frame; it reports whether the connection

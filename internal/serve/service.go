@@ -45,19 +45,55 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Window < 0 {
-		c.Window = 0
-	}
-	if c.MaxBatch <= 0 {
+	if c.MaxBatch == 0 {
 		c.MaxBatch = 256
 	}
-	if c.MaxQueue <= 0 {
+	if c.MaxQueue == 0 {
 		c.MaxQueue = 1024
 	}
-	if c.RetryAfter <= 0 {
+	if c.RetryAfter == 0 {
 		c.RetryAfter = 2 * time.Second
 	}
 	return c
+}
+
+// ConfigError reports a nonsensical serving-configuration knob combination,
+// rejected at construction (New / NewPool) instead of silently clamped deep
+// in the dispatcher.  errors.As-able for callers that want the field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serve: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration after defaults are resolved: zero
+// values select defaults and are always valid; explicit values must make
+// sense together.
+func (c Config) Validate() error {
+	if c.Window < 0 {
+		return &ConfigError{Field: "Window", Reason: "must not be negative"}
+	}
+	if c.MaxBatch < 0 {
+		return &ConfigError{Field: "MaxBatch", Reason: "must not be negative (0 selects the default)"}
+	}
+	if c.MaxQueue < 0 {
+		return &ConfigError{Field: "MaxQueue", Reason: "must not be negative (0 selects the default)"}
+	}
+	if c.DefaultDeadline < 0 {
+		return &ConfigError{Field: "DefaultDeadline", Reason: "must not be negative"}
+	}
+	if c.RetryAfter < 0 {
+		return &ConfigError{Field: "RetryAfter", Reason: "must not be negative"}
+	}
+	d := c.withDefaults()
+	if d.MaxBatch > d.MaxQueue {
+		return &ConfigError{Field: "MaxBatch",
+			Reason: fmt.Sprintf("(%d) exceeds MaxQueue (%d): a full batch could never be admitted", d.MaxBatch, d.MaxQueue)}
+	}
+	return nil
 }
 
 // Serving errors.
@@ -100,6 +136,7 @@ type request struct {
 	row      []float64 // flat feature row, global column order
 	enq      time.Time
 	deadline time.Time // zero = none
+	attempts int       // dispatches so far (pool: bumped when a lane dies mid-batch)
 	res      chan result
 }
 
@@ -136,6 +173,9 @@ type Service struct {
 func New(sess *core.Session, parts []*dataset.Partition, cfg Config) (*Service, error) {
 	if len(parts) != sess.M {
 		return nil, fmt.Errorf("serve: %d partitions for %d clients", len(parts), sess.M)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Service{
 		Registry: NewRegistry(),
@@ -489,6 +529,10 @@ type Health struct {
 	Draining     bool  `json:"draining,omitempty"`
 	QueueDepth   int   `json:"queue_depth"`
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// Pool-only: total and live lane counts (zero for a single-session
+	// Service, whose one "lane" is implied by Healthy).
+	Lanes        int `json:"lanes,omitempty"`
+	LanesHealthy int `json:"lanes_healthy,omitempty"`
 }
 
 // Health probes the service.  The session's own liveness flag is folded

@@ -26,6 +26,7 @@ const (
 	opStats   byte = 'S' // empty       -> opOK core.RunStats
 	opHealth  byte = 'H' // empty       -> opOK Health
 	opDrain   byte = 'D' // empty       -> opOK "draining", then server shutdown
+	opAuth    byte = 'A' // authReq     -> opOK "ok" | opErr (required first frame when the server has an auth token)
 )
 
 // Response opcodes.
@@ -34,6 +35,13 @@ const (
 	opErr     byte = 'E' // body: JSON string with the error message
 	opUnavail byte = 'U' // body: unavailResp — session down, back off and retry
 )
+
+// authReq is the opAuth body: the shared token the daemon was started
+// with.  The wire carries it in the clear, so pair -auth with TLS
+// anywhere a network path is untrusted.
+type authReq struct {
+	Token string `json:"token"`
+}
 
 type predictReq struct {
 	Model      string      `json:"model"`

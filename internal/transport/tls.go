@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"time"
+)
+
+// TLS plumbing for the serving wire (internal/serve) and the pivot-serve
+// / pivot-predict daemons.  The helpers only build *tls.Config values —
+// the wire layer decides where to apply them — and pin TLS 1.2 as the
+// floor.
+
+// LoadServerTLS builds a server-side TLS config from a PEM certificate +
+// key pair on disk (the pivot-serve -tls-cert / -tls-key flags).
+func LoadServerTLS(certFile, keyFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("transport: load TLS key pair: %w", err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}, nil
+}
+
+// LoadClientTLS builds a client-side TLS config.  caFile, when non-empty,
+// replaces the system roots with that PEM bundle (the usual shape for a
+// self-signed serving cert); serverName overrides the hostname verified
+// against the certificate (needed when dialing an IP); insecure skips
+// verification entirely — test rigs only.
+func LoadClientTLS(caFile, serverName string, insecure bool) (*tls.Config, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12, ServerName: serverName}
+	if insecure {
+		cfg.InsecureSkipVerify = true
+		return cfg, nil
+	}
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("transport: read CA bundle: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("transport: no certificates in CA bundle %s", caFile)
+		}
+		cfg.RootCAs = pool
+	}
+	return cfg, nil
+}
+
+// SelfSignedTLS mints an ephemeral self-signed certificate for hosts
+// (DNS names or IP literals; defaults to 127.0.0.1 and localhost) and
+// returns a matched server/client config pair — the client trusts exactly
+// that one certificate.  In-memory only, for tests and loopback rigs;
+// production deployments load real certificates with LoadServerTLS.
+func SelfSignedTLS(hosts ...string) (server, client *tls.Config, err error) {
+	if len(hosts) == 0 {
+		hosts = []string{"127.0.0.1", "localhost"}
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "pivot-serve self-signed"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	server = &tls.Config{
+		Certificates: []tls.Certificate{{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}},
+		MinVersion:   tls.VersionTLS12,
+	}
+	client = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	return server, client, nil
+}

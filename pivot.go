@@ -30,6 +30,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/psi"
 	"repro/internal/serve"
+	"repro/internal/transport"
 )
 
 // Re-exported configuration and model types.
@@ -375,6 +376,30 @@ func Dial(addr string) (*ServeClient, error) { return serve.Dial(addr) }
 func DialTimeout(addr string, timeout time.Duration) (*ServeClient, error) {
 	return serve.DialTimeout(addr, timeout)
 }
+
+// ServeDialOptions tunes Dial: TLS on the wire, the daemon's shared auth
+// token, and the connect retry window.
+type ServeDialOptions = serve.DialOptions
+
+// DialOpts is Dial with transport security, matching a daemon started
+// with -tls-cert/-tls-key and/or -auth:
+//
+//	tlsCfg, _ := pivot.LoadClientTLS("ca.pem", "", false)
+//	cli, _ := pivot.DialOpts(addr, pivot.ServeDialOptions{TLS: tlsCfg, AuthToken: tok})
+func DialOpts(addr string, opts ServeDialOptions) (*ServeClient, error) {
+	return serve.DialOpts(addr, opts)
+}
+
+// TLS config builders for the serving wire (see internal/transport):
+// LoadServerTLS reads a PEM cert/key pair for the daemon, LoadClientTLS
+// builds the client side (custom CA bundle, server-name override, or
+// insecure test mode), and SelfSignedTLS mints an ephemeral matched
+// server/client pair for tests and loopback rigs.
+var (
+	LoadServerTLS = transport.LoadServerTLS
+	LoadClientTLS = transport.LoadClientTLS
+	SelfSignedTLS = transport.SelfSignedTLS
+)
 
 // ErrServeUnavailable matches (errors.Is) predictions a daemon refused
 // because its serving session died and is being rebuilt; the concrete
