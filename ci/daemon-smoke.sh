@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# ci/daemon-smoke.sh — boot a pivot-serve daemon, drive it with
+# pivot-predict over the wire protocol, assert the leg's invariants, and
+# require a clean drain.  One invocation is one daemon lifecycle; CI calls
+# it several times (plain, sharded, journal-restart, incremental update)
+# instead of copy-pasting the boot/probe/drain skeleton per leg.
+#
+# Usage: ci/daemon-smoke.sh -port N -data CSV [options]
+#   -port N          listen port (required; daemon log: /tmp/smoke_<port>.log)
+#   -data CSV        training + prediction CSV (required)
+#   -lanes N         session pool width (default 1)
+#   -auth TOKEN      shared auth token, passed to daemon and client
+#   -state-dir DIR   journal the registry to DIR (persists across legs)
+#   -no-train        restart leg: serve the journaled model, skip training,
+#                    and assert the journal was actually restored
+#   -update CSV      incremental leg: absorb CSV of appended labelled
+#                    samples via the update op before predicting, and
+#                    assert the daemon installed version 2
+#   -expect-batch    assert micro-batching coalesced (max_batch >= 2)
+#   -expect PATTERN  extra grep against the daemon log after drain
+set -euo pipefail
+
+PORT="" DATA="" LANES=1 AUTH="" STATE_DIR="" UPDATE_CSV="" EXPECT=""
+NO_TRAIN=0 EXPECT_BATCH=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -port)         PORT=$2; shift 2 ;;
+    -data)         DATA=$2; shift 2 ;;
+    -lanes)        LANES=$2; shift 2 ;;
+    -auth)         AUTH=$2; shift 2 ;;
+    -state-dir)    STATE_DIR=$2; shift 2 ;;
+    -no-train)     NO_TRAIN=1; shift ;;
+    -update)       UPDATE_CSV=$2; shift 2 ;;
+    -expect-batch) EXPECT_BATCH=1; shift ;;
+    -expect)       EXPECT=$2; shift 2 ;;
+    *) echo "daemon-smoke: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+if [ -z "$PORT" ] || [ -z "$DATA" ]; then
+  echo "daemon-smoke: -port and -data are required" >&2
+  exit 2
+fi
+
+go build -o /tmp/pivot-serve ./cmd/pivot-serve
+
+SERVE_LOG=/tmp/smoke_${PORT}.log
+PREDICT_LOG=/tmp/smoke_${PORT}_predict.log
+SERVE_ARGS=(-data "$DATA" -classes 2 -m 3 -keybits 256 -depth 2 -splits 3
+            -lanes "$LANES" -addr "127.0.0.1:$PORT")
+CLIENT_ARGS=(-remote "127.0.0.1:$PORT" -name dt -retry 5s)
+[ -n "$AUTH" ] && SERVE_ARGS+=(-auth "$AUTH") && CLIENT_ARGS+=(-auth "$AUTH")
+[ -n "$STATE_DIR" ] && SERVE_ARGS+=(-state-dir "$STATE_DIR")
+[ "$NO_TRAIN" = 1 ] && SERVE_ARGS+=(-train "")
+
+/tmp/pivot-serve "${SERVE_ARGS[@]}" > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 120); do
+  grep -q listening "$SERVE_LOG" && break
+  sleep 1
+done
+grep -q listening "$SERVE_LOG" || { cat "$SERVE_LOG"; exit 1; }
+
+# Incremental leg: absorb the appended samples first so the predictions
+# below are served by the refreshed model at version 2.
+if [ -n "$UPDATE_CSV" ]; then
+  go run ./cmd/pivot-predict "${CLIENT_ARGS[@]}" -classes 2 \
+    -update "$UPDATE_CSV" | tee "$PREDICT_LOG.update"
+  grep -q -- '-> v2' "$PREDICT_LOG.update"
+fi
+
+go run ./cmd/pivot-predict "${CLIENT_ARGS[@]}" -classes 2 \
+  -data "$DATA" -conns 6 -shutdown | tee "$PREDICT_LOG"
+
+# The daemon must drain cleanly (wait fails on a non-zero exit).
+wait $SERVE_PID
+cat "$SERVE_LOG"
+
+if [ "$EXPECT_BATCH" = 1 ]; then
+  mb=$(sed -n 's/.*max_batch=\([0-9]*\).*/\1/p' "$PREDICT_LOG")
+  test -n "$mb" && test "$mb" -ge 2
+fi
+if [ -n "$UPDATE_CSV" ]; then
+  # The daemon's exit stats count the installed incremental update.
+  grep -q 'updates 1' "$SERVE_LOG"
+fi
+if [ "$NO_TRAIN" = 1 ]; then
+  grep -q 'restored 1 model' "$SERVE_LOG"
+fi
+if [ -n "$EXPECT" ]; then
+  grep -q "$EXPECT" "$SERVE_LOG"
+fi
+echo "daemon-smoke: port $PORT leg passed"

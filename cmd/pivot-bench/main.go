@@ -14,28 +14,132 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// writers produce the machine-readable BENCH_*.json baselines (-json).
+// Each returns a one-line summary for the log; experiments without a
+// writer have no baseline format, so -json on them is an error instead of
+// a silently ignored flag.
+var writers = map[string]func(path string, p experiments.Preset) (string, error){
+	"paillier": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WritePaillierBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("enc speedup %.2fx, train speedup %.2fx", st.EncSpeedup, st.TrainSpeedup), nil
+	},
+	"levelwise": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteLevelwiseBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("rounds %d -> %d, %.2fx; trees identical: %v",
+			st.PerNodeRounds, st.LevelwiseRounds, st.RoundReduction, st.TreesIdentical), nil
+	},
+	"predict": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WritePredictBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("rounds %d -> %d, %.2fx; msgs %.2fx; WAN wall %.2fx; identical: %v",
+			st.PerSampleRounds, st.BatchRounds, st.RoundReduction,
+			st.MsgReduction, st.WANSpeedup, st.PredictionsIdentical), nil
+	},
+	"serve": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteServeBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("micro-batch speedup %.2fx at %gms WAN; identical: %v",
+			st.MicroBatchSpeedup, st.NetDelayMs, st.ResultsIdentical), nil
+	},
+	"servescale": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteServeScaleBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("S=%d scaling %.2fx at %gms WAN; lane batch %d = %d rounds / %d msgs; kill: ok=%d unavail=%d other=%d requeued=%d; identical: %v",
+			st.Points[len(st.Points)-1].Lanes, st.ScalingX, st.NetDelayMs,
+			st.LaneBatch, st.LaneRoundsPerBatch, st.LaneMsgsPerBatch,
+			st.Kill.Succeeded, st.Kill.Unavailable, st.Kill.FailedOther, st.Kill.Requeued,
+			st.ResultsIdentical), nil
+	},
+	"update": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteUpdateBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("GBDT rounds %d -> %d, %.2fx; enhanced update rounds %d -> %d, %.2fx; trees identical: %v",
+			st.SeqRounds, st.BatchRounds, st.RoundReduction,
+			st.EnhSeqUpdateRounds, st.EnhBatchUpdateRounds, st.EnhUpdateReduction,
+			st.TreesIdentical), nil
+	},
+	"pipeline": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WritePipelineBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		for i, leg := range st.Legs {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			fmt.Fprintf(&sb, "leg %gms %.2fs -> %.2fs (%.2fx, in-flight peak %d, identical: %v)",
+				leg.DelayMs, leg.BarrierSeconds, leg.PipelinedSeconds, leg.WallSpeedup,
+				leg.InFlightPeak, leg.TreesIdentical)
+		}
+		return sb.String(), nil
+	},
+	"recovery": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteRecoveryBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("crash at level %d: resume %d rounds vs retrain %d, %.2fx wall; model match: %v",
+			st.CrashLevel, st.ResumeRounds, st.RetrainRounds, st.ResumeSpeedup, st.ModelMatch), nil
+	},
+	"incremental": func(path string, p experiments.Preset) (string, error) {
+		st, err := experiments.WriteIncrementalBenchJSON(path, p)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("absorb +%d samples: DT %d rounds vs retrain %d (%.1fx); GBDT %d vs %d (%.1fx); accuracy deltas %.4f / %.4f",
+			st.AppendN, st.AbsorbRounds, st.RetrainRounds, st.RoundReduction,
+			st.GBDTAbsorbRounds, st.GBDTRetrainRounds, st.GBDTRoundReduction,
+			st.AccuracyDelta, st.GBDTAccuracyDelta), nil
+	},
+}
+
+// experimentIDs lists every registered experiment, sorted.
+func experimentIDs() []string {
+	ids := make([]string, 0, len(experiments.Drivers))
+	for id := range experiments.Drivers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	preset := flag.String("preset", "quick", "quick | paper")
 	list := flag.Bool("list", false, "list experiment ids")
-	jsonOut := flag.String("json", "", "with -exp paillier, levelwise, predict, serve, update, pipeline or recovery: write the machine-readable perf baseline to this file")
+	jsonOut := flag.String("json", "", "write the experiment's machine-readable perf baseline (BENCH_*.json) to this file; only experiments with a baseline writer support it")
 	latency := flag.Duration("latency", 0, "simulated WAN one-way delay per message for -exp predict (0 = experiment default)")
 	jitter := flag.Duration("jitter", 0, "simulated WAN jitter bound per message for -exp predict (0 = experiment default)")
 	flag.Parse()
 
 	if *list {
-		ids := make([]string, 0, len(experiments.Drivers))
-		for id := range experiments.Drivers {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			fmt.Println(id)
+		for _, id := range experimentIDs() {
+			if _, ok := writers[id]; ok {
+				fmt.Printf("%s (baseline writer)\n", id)
+			} else {
+				fmt.Println(id)
+			}
 		}
 		return
 	}
@@ -67,119 +171,37 @@ func main() {
 		return
 	}
 
-	if *exp == "paillier" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WritePaillierBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("paillier baseline -> %s (enc speedup %.2fx, train speedup %.2fx) in %s\n",
-			*jsonOut, st.EncSpeedup, st.TrainSpeedup, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "levelwise" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WriteLevelwiseBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("levelwise baseline -> %s (rounds %d -> %d, %.2fx; trees identical: %v) in %s\n",
-			*jsonOut, st.PerNodeRounds, st.LevelwiseRounds, st.RoundReduction,
-			st.TreesIdentical, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "predict" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WritePredictBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("predict baseline -> %s (rounds %d -> %d, %.2fx; msgs %.2fx; WAN wall %.2fx; identical: %v) in %s\n",
-			*jsonOut, st.PerSampleRounds, st.BatchRounds, st.RoundReduction,
-			st.MsgReduction, st.WANSpeedup, st.PredictionsIdentical, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "serve" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WriteServeBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("serve baseline -> %s (micro-batch speedup %.2fx at %gms WAN; identical: %v) in %s\n",
-			*jsonOut, st.MicroBatchSpeedup, st.NetDelayMs, st.ResultsIdentical, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "servescale" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WriteServeScaleBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("servescale baseline -> %s (S=%d scaling %.2fx at %gms WAN; lane batch %d = %d rounds / %d msgs; kill: ok=%d unavail=%d other=%d requeued=%d; identical: %v) in %s\n",
-			*jsonOut, st.Points[len(st.Points)-1].Lanes, st.ScalingX, st.NetDelayMs,
-			st.LaneBatch, st.LaneRoundsPerBatch, st.LaneMsgsPerBatch,
-			st.Kill.Succeeded, st.Kill.Unavailable, st.Kill.FailedOther, st.Kill.Requeued,
-			st.ResultsIdentical, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "update" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WriteUpdateBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("update baseline -> %s (GBDT rounds %d -> %d, %.2fx; enhanced update rounds %d -> %d, %.2fx; trees identical: %v) in %s\n",
-			*jsonOut, st.SeqRounds, st.BatchRounds, st.RoundReduction,
-			st.EnhSeqUpdateRounds, st.EnhBatchUpdateRounds, st.EnhUpdateReduction,
-			st.TreesIdentical, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "pipeline" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WritePipelineBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		for _, leg := range st.Legs {
-			fmt.Printf("pipeline baseline leg %gms: %.2fs -> %.2fs (%.2fx, in-flight peak %d, identical: %v)\n",
-				leg.DelayMs, leg.BarrierSeconds, leg.PipelinedSeconds, leg.WallSpeedup,
-				leg.InFlightPeak, leg.TreesIdentical)
-		}
-		fmt.Printf("pipeline baseline -> %s in %s\n", *jsonOut, experiments.Elapsed(start))
-		return
-	}
-
-	if *exp == "recovery" && *jsonOut != "" {
-		start := time.Now()
-		st, err := experiments.WriteRecoveryBenchJSON(*jsonOut, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("recovery baseline -> %s (crash at level %d: resume %d rounds vs retrain %d, %.2fx wall; model match: %v) in %s\n",
-			*jsonOut, st.CrashLevel, st.ResumeRounds, st.RetrainRounds,
-			st.ResumeSpeedup, st.ModelMatch, experiments.Elapsed(start))
-		return
-	}
-
 	fn, ok := experiments.Drivers[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "pivot-bench: unknown experiment %q (try -list)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pivot-bench: unknown experiment %q; registered experiments:\n", *exp)
+		for _, id := range experimentIDs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		w, ok := writers[*exp]
+		if !ok {
+			withWriters := make([]string, 0, len(writers))
+			for id := range writers {
+				withWriters = append(withWriters, id)
+			}
+			sort.Strings(withWriters)
+			fmt.Fprintf(os.Stderr, "pivot-bench: experiment %q has no baseline writer for -json (writers: %s)\n",
+				*exp, strings.Join(withWriters, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		summary, err := w(*jsonOut, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pivot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s baseline -> %s (%s) in %s\n", *exp, *jsonOut, summary, experiments.Elapsed(start))
+		return
+	}
+
 	start := time.Now()
 	res, err := fn(p)
 	if err != nil {

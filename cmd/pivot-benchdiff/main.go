@@ -20,6 +20,14 @@
 // numbers in both files: the substring gate only fires for keys the
 // baseline still carries, so a rename or drop on both sides would silently
 // retire a gate — -require turns that into a failure.
+//
+// Baselines can also carry their own manifest: a top-level
+//
+//	"gates": {"require": ["absorb_mpc_rounds", ...]}
+//
+// block inside the committed BENCH_*.json is read automatically and merged
+// with -require, so each experiment registers its required gates in its
+// baseline and CI runs one uniform diff step with no per-experiment flags.
 package main
 
 import (
@@ -63,6 +71,23 @@ func load(path string) (map[string]any, error) {
 	out := map[string]any{}
 	flatten("", v, out)
 	return out, nil
+}
+
+// loadGates reads the baseline's embedded gates manifest (absent = none).
+func loadGates(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m struct {
+		Gates struct {
+			Require []string `json:"require"`
+		} `json:"gates"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m.Gates.Require, nil
 }
 
 // gated reports whether a key is a deterministic count metric that must not
@@ -143,22 +168,30 @@ func main() {
 		}
 		fmt.Printf("%-42s %16g %16g %9s  %s\n", k, bv, cv, delta, status)
 	}
-	if *require != "" {
-		for _, k := range strings.Split(*require, ",") {
-			k = strings.TrimSpace(k)
-			if k == "" {
-				continue
-			}
-			_, bok := base[k].(float64)
-			_, cok := cur[k].(float64)
-			switch {
-			case !bok || !cok:
-				fmt.Printf("%-42s %16s %16s %9s  REQUIRED-MISSING\n", k, "-", "-", "-")
-				regressions++
-			case !gated(k):
-				fmt.Printf("%-42s %16s %16s %9s  REQUIRED-UNGATED\n", k, "-", "-", "-")
-				regressions++
-			}
+	// Required keys: the baseline's own gates manifest plus any -require
+	// flags, deduplicated.
+	manifest, err := loadGates(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pivot-benchdiff:", err)
+		os.Exit(2)
+	}
+	required := append(manifest, strings.Split(*require, ",")...)
+	seen := map[string]bool{}
+	for _, k := range required {
+		k = strings.TrimSpace(k)
+		if k == "" || seen[k] {
+			continue
+		}
+		seen[k] = true
+		_, bok := base[k].(float64)
+		_, cok := cur[k].(float64)
+		switch {
+		case !bok || !cok:
+			fmt.Printf("%-42s %16s %16s %9s  REQUIRED-MISSING\n", k, "-", "-", "-")
+			regressions++
+		case !gated(k):
+			fmt.Printf("%-42s %16s %16s %9s  REQUIRED-UNGATED\n", k, "-", "-", "-")
+			regressions++
 		}
 	}
 	if regressions > 0 {

@@ -23,24 +23,41 @@ func main() {
 	sep := flag.Float64("sep", 2.0, "class separation (classification)")
 	noise := flag.Float64("noise", 0.3, "label noise (regression)")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	appendN := flag.Int("append", 0, "emit only an extra batch of this many samples continuing an existing -n/-seed file: rows [n, n+append) of the same deterministic stream (synthetic kinds)")
 	out := flag.String("out", "", "output CSV path (default stdout)")
 	flag.Parse()
+
+	// An append batch is drawn from the same distribution and seed stream
+	// as the existing file: the generators draw their parameters first and
+	// then one sample at a time, so generating n+append rows and keeping
+	// the suffix is exactly "the next append rows" of the original run.
+	total := *n + *appendN
 
 	var ds *dataset.Dataset
 	switch *kind {
 	case "classification":
-		ds = dataset.SyntheticClassification(*n, *d, *classes, *sep, *seed)
+		ds = dataset.SyntheticClassification(total, *d, *classes, *sep, *seed)
 	case "regression":
-		ds = dataset.SyntheticRegression(*n, *d, *noise, *seed)
-	case "bank-market":
-		ds = dataset.BankMarketing(*seed)
-	case "credit-card":
-		ds = dataset.CreditCard(*seed)
-	case "appliances-energy":
-		ds = dataset.AppliancesEnergy(*seed)
+		ds = dataset.SyntheticRegression(total, *d, *noise, *seed)
+	case "bank-market", "credit-card", "appliances-energy":
+		if *appendN > 0 {
+			fmt.Fprintf(os.Stderr, "pivot-datagen: -append needs a synthetic kind (%q is a fixed stand-in set)\n", *kind)
+			os.Exit(2)
+		}
+		switch *kind {
+		case "bank-market":
+			ds = dataset.BankMarketing(*seed)
+		case "credit-card":
+			ds = dataset.CreditCard(*seed)
+		case "appliances-energy":
+			ds = dataset.AppliancesEnergy(*seed)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "pivot-datagen: unknown kind %q\n", *kind)
 		os.Exit(2)
+	}
+	if *appendN > 0 {
+		ds = &dataset.Dataset{X: ds.X[*n:], Y: ds.Y[*n:], Classes: ds.Classes, Names: ds.Names}
 	}
 
 	if *out == "" {

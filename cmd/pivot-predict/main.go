@@ -41,9 +41,49 @@ func main() {
 	insecureTLS := flag.Bool("insecure-tls", false, "TLS without certificate verification (with -remote; testing only)")
 	auth := flag.String("auth", "", "shared auth token matching the daemon's -auth (with -remote)")
 	retryWait := flag.Duration("retry", 0, "ride out daemon degradation for up to this long per request (with -remote)")
+	update := flag.String("update", "", "CSV of appended labelled samples to absorb into the model first (with -remote; incremental training, installs version+1)")
+	addTrees := flag.Int("addtrees", 0, "extra boosting rounds for a GBDT -update (<= 0 selects 1)")
 	flag.Parse()
 
+	var opts pivot.ServeDialOptions
+	var err error
+	if *remote != "" {
+		opts = pivot.ServeDialOptions{AuthToken: *auth}
+		if *tlsCA != "" || *insecureTLS {
+			opts.TLS, err = pivot.LoadClientTLS(*tlsCA, "", *insecureTLS)
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	// Incremental absorb first, so the predictions below land on the
+	// refreshed version.
+	if *update != "" {
+		if *remote == "" {
+			fmt.Fprintln(os.Stderr, "pivot-predict: -update requires -remote (local warm starts live in pivot-train -update)")
+			os.Exit(2)
+		}
+		ups, err := pivot.LoadCSVFile(*update, *classes)
+		if err != nil {
+			fail(err)
+		}
+		cli, err := pivot.DialOpts(*remote, opts)
+		if err != nil {
+			fail(err)
+		}
+		version, err := cli.Update(*name, ups.X, ups.Y, *addTrees)
+		cli.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("absorbed %d samples into %s -> v%d\n", ups.N(), *name, version)
+	}
+
 	if *dataPath == "" {
+		if *update != "" {
+			return // absorb-only invocation
+		}
 		fmt.Fprintln(os.Stderr, "pivot-predict: -data is required")
 		os.Exit(2)
 	}
@@ -58,13 +98,6 @@ func main() {
 
 	var preds []float64
 	if *remote != "" {
-		opts := pivot.ServeDialOptions{AuthToken: *auth}
-		if *tlsCA != "" || *insecureTLS {
-			opts.TLS, err = pivot.LoadClientTLS(*tlsCA, "", *insecureTLS)
-			if err != nil {
-				fail(err)
-			}
-		}
 		preds, err = predictRemote(*remote, *name, *conns, *shutdown, *retryWait, opts, ds.X)
 	} else {
 		preds, err = predictLocal(*modelPath, ds, *m, *keyBits, *batch)

@@ -96,11 +96,25 @@ func main() {
 		cfg.Protocol = pivot.Enhanced
 	}
 
+	// The persistence store is opened further down (it needs the registry);
+	// the journal closure reads it at call time, so version bumps from
+	// incremental updates installed while serving are persisted too.
+	var store *serve.Store
+	journal := func(e *serve.Entry) {
+		if store == nil {
+			return
+		}
+		if err := store.Save(e); err != nil {
+			fmt.Fprintf(os.Stderr, "pivot-serve: journal %s v%d: %v\n", e.Name, e.Version, err)
+		}
+	}
+
 	svcCfg := serve.Config{
 		Window:          *window,
 		MaxBatch:        *maxBatch,
 		MaxQueue:        *maxQueue,
 		DefaultDeadline: *deadline,
+		Journal:         journal,
 	}
 
 	// Serving engine: one session, or a pool of independent lanes.
@@ -148,7 +162,6 @@ func main() {
 
 	// Registry persistence: reload the journal first (restored entries
 	// keep their versions), then journal everything registered below.
-	var store *serve.Store
 	if *stateDir != "" {
 		store, err = serve.OpenStore(*stateDir)
 		if err != nil {
@@ -160,14 +173,6 @@ func main() {
 		}
 		if n > 0 {
 			fmt.Printf("restored %d model(s) from %s\n", n, *stateDir)
-		}
-	}
-	journal := func(e *serve.Entry) {
-		if store == nil {
-			return
-		}
-		if err := store.Save(e); err != nil {
-			fmt.Fprintf(os.Stderr, "pivot-serve: journal %s v%d: %v\n", e.Name, e.Version, err)
 		}
 	}
 
@@ -259,8 +264,8 @@ func main() {
 	}
 	st := backend.Stats()
 	if st.Serve != nil {
-		fmt.Printf("served %d samples in %d batches (max batch %d, rejected %d, expired %d, requeued %d)\n",
-			st.Serve.Coalesced, st.Serve.Batches, st.Serve.MaxBatch, st.Serve.Rejected, st.Serve.Expired, st.Serve.Requeued)
+		fmt.Printf("served %d samples in %d batches (max batch %d, rejected %d, expired %d, requeued %d, updates %d)\n",
+			st.Serve.Coalesced, st.Serve.Batches, st.Serve.MaxBatch, st.Serve.Rejected, st.Serve.Expired, st.Serve.Requeued, st.Serve.Updates)
 		for _, ls := range st.Serve.Lanes {
 			fmt.Printf("  lane %d: healthy=%v batches=%d samples=%d rebuilds=%d\n",
 				ls.Lane, ls.Healthy, ls.Batches, ls.Samples, ls.Rebuilds)

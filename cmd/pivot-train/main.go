@@ -36,6 +36,8 @@ func main() {
 	out := flag.String("out", "model.json", "output model path (dt only)")
 	print := flag.Bool("print", false, "print the released model (concealed fields as placeholders)")
 	dot := flag.String("dot", "", "also write the model as Graphviz dot to this path (dt only)")
+	update := flag.String("update", "", "trained model JSON to warm-start instead of training from scratch: absorb -append into it (incremental training, basic dt)")
+	appendPath := flag.String("append", "", "CSV of appended labelled samples for -update")
 	flag.Parse()
 
 	if *dataPath == "" {
@@ -87,6 +89,48 @@ func main() {
 		fail(err)
 	}
 	defer fed.Close()
+
+	// Warm start: replay the released tree over old+new rows and re-resolve
+	// only the leaves, instead of a full retrain (-data is the original
+	// training set, -append the new batch).
+	if *update != "" {
+		if *appendPath == "" {
+			fmt.Fprintln(os.Stderr, "pivot-train: -update requires -append")
+			os.Exit(2)
+		}
+		f, err := os.Open(*update)
+		if err != nil {
+			fail(err)
+		}
+		model, err := core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		ups, err := pivot.LoadCSVFile(*appendPath, *classes)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		refreshed, err := fed.Update(model, ups, 0)
+		if err != nil {
+			fail(err)
+		}
+		out2, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := refreshed.(*pivot.Model).Save(out2); err != nil {
+			fail(err)
+		}
+		out2.Close()
+		fmt.Printf("absorbed %d samples into %s (leaves refreshed, structure kept) -> %s\n",
+			ups.N(), *update, *out)
+		st := fed.Stats()
+		fmt.Printf("wall %v | encryptions %d | MPC rounds %d | bytes sent %d\n",
+			time.Since(start).Round(time.Millisecond), st.Encryptions, st.MPC.Rounds, st.BytesSent)
+		return
+	}
 
 	start := time.Now()
 	switch *modelKind {

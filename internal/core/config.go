@@ -567,6 +567,10 @@ type ServeStats struct {
 	// of failing).
 	Requeued int64
 
+	// Updates counts incremental absorbs installed through the serving
+	// layer (each one bumped a registry entry to version+1).
+	Updates int64
+
 	// Pool serving (internal/serve.Pool): per-lane health and load, nil
 	// for a single-session Service.  LanesHealthy is the number of lanes
 	// currently accepting batches.

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// The incremental-training equivalence suite: warm-started absorbs are
+// pinned against plaintext oracles computable from the released trees —
+// leaf refinement must equal the plaintext leaf statistic over the union
+// (structure frozen), and GBDT warm starts must keep the trained prefix
+// verbatim while staying within tolerance of a full retrain's accuracy.
+// Everything is fixed-seed, so a passing run always passes.
+
+// sliceDS returns rows [lo, hi) of ds as a standalone dataset view.
+func sliceDS(ds *dataset.Dataset, lo, hi int) *dataset.Dataset {
+	return &dataset.Dataset{X: ds.X[lo:hi], Y: ds.Y[lo:hi], Classes: ds.Classes}
+}
+
+// trainOn builds a session over parts and trains one model via fn.
+func trainOn(t *testing.T, parts []*dataset.Partition, cfg Config,
+	fn func(*Party) (Predictor, error)) (*Session, Predictor) {
+	t.Helper()
+	s, err := NewSession(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	out := make([]Predictor, len(parts))
+	err = s.Each(func(p *Party) error {
+		m, err := fn(p)
+		out[p.ID] = m
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, out[0]
+}
+
+// sameStructure asserts upd kept every structural field of orig and
+// differs at most in leaf labels.
+func sameStructure(t *testing.T, orig, upd *Model) {
+	t.Helper()
+	if len(orig.Nodes) != len(upd.Nodes) || orig.Leaves != upd.Leaves {
+		t.Fatalf("update changed tree shape: %d/%d nodes, %d/%d leaves",
+			len(orig.Nodes), len(upd.Nodes), orig.Leaves, upd.Leaves)
+	}
+	for i := range orig.Nodes {
+		a, b := orig.Nodes[i], upd.Nodes[i]
+		b.Label = a.Label
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("update changed node %d structure:\norig: %+v\nupd:  %+v", i, orig.Nodes[i], upd.Nodes[i])
+		}
+	}
+}
+
+// leafIndex routes a plaintext sample through the public tree.
+func leafIndex(m *Model, feat [][]float64) int {
+	i := 0
+	for !m.Nodes[i].Leaf {
+		n := m.Nodes[i]
+		if feat[n.Owner][n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+	return i
+}
+
+// TestIncrementalEquivalenceDT absorbs four appended rows into a trained
+// regression tree and pins the refreshed leaves against the plaintext
+// leaf-mean oracle over the union, structure bit-identical.
+func TestIncrementalEquivalenceDT(t *testing.T) {
+	cfg := testConfig()
+	full := dataset.SyntheticRegression(28, 4, 0.1, 41)
+	base, extra := sliceDS(full, 0, 24), sliceDS(full, 24, 28)
+	parts, err := dataset.VerticalPartition(base, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appParts, err := dataset.VerticalPartition(extra, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, m0p := trainOn(t, parts, cfg, func(p *Party) (Predictor, error) { return p.TrainDT() })
+	m0 := m0p.(*Model)
+
+	upd, err := Update(s, UpdateSpec{Model: m0, Append: appParts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	um := upd.(*Model)
+	sameStructure(t, m0, um)
+
+	fullParts, err := dataset.VerticalPartition(full, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, um.Leaves)
+	counts := make([]float64, um.Leaves)
+	for i := 0; i < full.N(); i++ {
+		feat := [][]float64{fullParts[0].X[i], fullParts[1].X[i]}
+		pos := um.Nodes[leafIndex(um, feat)].LeafPos
+		sums[pos] += full.Y[i]
+		counts[pos]++
+	}
+	for _, n := range um.Nodes {
+		if !n.Leaf {
+			continue
+		}
+		if counts[n.LeafPos] == 0 {
+			t.Fatalf("leaf %d received no union samples", n.LeafPos)
+		}
+		want := sums[n.LeafPos] / counts[n.LeafPos]
+		if math.Abs(n.Label-want) > 0.05 {
+			t.Fatalf("leaf %d label %.4f, plaintext union mean %.4f", n.LeafPos, n.Label, want)
+		}
+	}
+}
+
+// TestIncrementalEquivalenceRF absorbs appended rows into a trained forest:
+// per tree, structure frozen and leaf majorities re-resolved over the union
+// with the original bootstrap multiplicities on old rows (a public function
+// of the session seed) and multiplicity one on new rows.
+func TestIncrementalEquivalenceRF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tree incremental equivalence runs in the nightly suite")
+	}
+	cfg := testConfig()
+	cfg.NumTrees = 2
+	cfg.Subsample = 0.8
+	cfg.Tree.MaxDepth = 2
+	full := dataset.SyntheticClassification(28, 4, 2, 2.0, 11)
+	base, extra := sliceDS(full, 0, 24), sliceDS(full, 24, 28)
+	parts, err := dataset.VerticalPartition(base, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appParts, err := dataset.VerticalPartition(extra, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, fm0p := trainOn(t, parts, cfg, func(p *Party) (Predictor, error) { return p.TrainRF() })
+	fm0 := fm0p.(*ForestModel)
+
+	upd, err := Update(s, UpdateSpec{Model: fm0, Append: appParts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm1 := upd.(*ForestModel)
+	if len(fm1.Trees) != len(fm0.Trees) || fm1.Classes != fm0.Classes {
+		t.Fatalf("update changed forest shape")
+	}
+
+	fullParts, err := dataset.VerticalPartition(full, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, tr := range fm1.Trees {
+		sameStructure(t, fm0.Trees[w], tr)
+		boot := bootstrapCounts(base.N(), cfg.Subsample, uint64(cfg.Seed)+uint64(w))
+		tally := make([][]float64, tr.Leaves)
+		for pos := range tally {
+			tally[pos] = make([]float64, fm1.Classes)
+		}
+		for i := 0; i < full.N(); i++ {
+			mult := float64(1)
+			if i < base.N() {
+				mult = float64(boot[i])
+			}
+			if mult == 0 {
+				continue
+			}
+			feat := [][]float64{fullParts[0].X[i], fullParts[1].X[i]}
+			pos := tr.Nodes[leafIndex(tr, feat)].LeafPos
+			tally[pos][int(full.Y[i])] += mult
+		}
+		for _, n := range tr.Nodes {
+			if !n.Leaf {
+				continue
+			}
+			// Compare only where the plaintext majority is unique and
+			// populated — the protocol's argmax tie-break is its own.
+			best, tied, total := 0, false, float64(0)
+			for k, v := range tally[n.LeafPos] {
+				total += v
+				if k > 0 && v == tally[n.LeafPos][best] {
+					tied = true
+				}
+				if v > tally[n.LeafPos][best] {
+					best, tied = k, false
+				}
+			}
+			if total == 0 || tied {
+				continue
+			}
+			if int(n.Label) != best {
+				t.Fatalf("tree %d leaf %d label %v, plaintext weighted majority %d (tally %v)",
+					w, n.LeafPos, n.Label, best, tally[n.LeafPos])
+			}
+		}
+	}
+}
+
+// TestIncrementalEquivalenceGBDT warm-starts a regression GBDT with one
+// extra round over the union: the trained prefix must be preserved verbatim
+// and held-out MSE must track a full retrain at the same total rounds.
+// (Regression keeps the oracle leg to one forest; the classification absorb
+// path is accuracy-gated end to end by the incremental bench in CI.)
+func TestIncrementalEquivalenceGBDT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round incremental equivalence runs in the nightly suite")
+	}
+	cfg := testConfig()
+	cfg.NumTrees = 2
+	cfg.LearningRate = 0.8
+	cfg.Tree.MaxDepth = 2
+	full := dataset.SyntheticRegression(88, 4, 0.1, 13)
+	base, extra := sliceDS(full, 0, 24), sliceDS(full, 24, 28)
+	union, heldout := sliceDS(full, 0, 28), sliceDS(full, 28, 88)
+	parts, err := dataset.VerticalPartition(base, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appParts, err := dataset.VerticalPartition(extra, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, bm0p := trainOn(t, parts, cfg, func(p *Party) (Predictor, error) { return p.TrainGBDT() })
+	bm0 := bm0p.(*BoostModel)
+
+	upd, err := Update(s, UpdateSpec{Model: bm0, Append: appParts, AddTrees: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm1 := upd.(*BoostModel)
+	if bm1.Classes != bm0.Classes || bm1.LearningRate != bm0.LearningRate || bm1.Base != bm0.Base {
+		t.Fatalf("update changed ensemble hyperparameters")
+	}
+	if len(bm1.Forests[0]) != len(bm0.Forests[0])+1 {
+		t.Fatalf("%d rounds after +1 absorb, want %d", len(bm1.Forests[0]), len(bm0.Forests[0])+1)
+	}
+	if !reflect.DeepEqual(bm1.Forests[0][:len(bm0.Forests[0])], bm0.Forests[0]) {
+		t.Fatalf("warm start rewrote the trained prefix")
+	}
+
+	// Full retrain oracle at the same total rounds over the union.
+	unionParts, err := dataset.VerticalPartition(union, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.NumTrees = 3
+	_, bmRp := trainOn(t, unionParts, rcfg, func(p *Party) (Predictor, error) { return p.TrainGBDT() })
+	bmR := bmRp.(*BoostModel)
+
+	teParts, err := dataset.VerticalPartition(heldout, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := func(bm *BoostModel) float64 {
+		var sq float64
+		for i := 0; i < heldout.N(); i++ {
+			feat := [][]float64{teParts[0].X[i], teParts[1].X[i]}
+			sc := bm.Base
+			for _, tr := range bm.Forests[0] {
+				v, err := tr.PredictPlain(feat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc += bm.LearningRate * v
+			}
+			d := sc - heldout.Y[i]
+			sq += d * d
+		}
+		return sq / float64(heldout.N())
+	}
+	mseWarm, mseRetrain := mse(bm1), mse(bmR)
+	if mseWarm > mseRetrain*1.5+0.01 {
+		t.Fatalf("warm-start mse %.4f vs retrain %.4f — warm start lost too much", mseWarm, mseRetrain)
+	}
+}
+
+// TestIncrementalUpdateRefusals pins the modes an absorb must refuse:
+// enhanced never discloses the tree, and DP noise would compound.
+func TestIncrementalUpdateRefusals(t *testing.T) {
+	ds := smallClassification(16)
+	dummy := &Model{Protocol: Basic}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"enhanced", func(c *Config) { c.Protocol = Enhanced }, "basic protocol"},
+		{"dp", func(c *Config) { c.DP = &DPConfig{Epsilon: 1} }, "DP"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(&cfg)
+			parts, err := dataset.VerticalPartition(ds, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSession(parts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			_, err = Update(s, UpdateSpec{Model: dummy, Append: parts})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("update under %s: err = %v, want mention of %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,15 @@
+package experiments
+
+// Gates is the regression-gate manifest embedded in every committed
+// BENCH_*.json baseline.  cmd/pivot-benchdiff reads Require from the
+// baseline file itself, so each experiment declares its own must-exist
+// gated counters instead of CI hard-coding per-experiment flag branches:
+// the bench loop stays one uniform step and a new experiment registers its
+// gates by shipping them inside its baseline.
+type Gates struct {
+	// Require lists keys that must be present as gated numbers (rounds /
+	// msgs / bytes counters) in both the baseline and the current run; a
+	// rename or drop on both sides fails the diff instead of silently
+	// retiring the gate.
+	Require []string `json:"require,omitempty"`
+}

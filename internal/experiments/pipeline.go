@@ -61,6 +61,10 @@ type PipelineBenchStats struct {
 	Transport string `json:"transport"`
 
 	Legs []PipelineBenchLeg `json:"legs"`
+
+	// Gates is the manifest pivot-benchdiff reads from the committed
+	// baseline: the pipelined driver reorders chains but must not add any.
+	Gates Gates `json:"gates"`
 }
 
 // pipelineBenchCfg is the benchmark point: basic-protocol random forest
@@ -121,6 +125,9 @@ func PipelineBenchRaw(p Preset) (*PipelineBenchStats, error) {
 		KeyBits: p.KeyBits, N: p.N, M: p.M, MaxDepth: p.H, Splits: p.B,
 		Classes: p.Classes, Trees: pipelineBenchTrees, Seed: 7, DataSeed: 99,
 		Transport: "tcp-loopback",
+		Gates: Gates{Require: []string{
+			"legs[1].pipelined_mpc_rounds", "legs[1].pipelined_msgs_sent",
+		}},
 	}
 	for _, delay := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond} {
 		leg := PipelineBenchLeg{DelayMs: float64(delay) / float64(time.Millisecond)}

@@ -55,6 +55,11 @@ type RecoveryBenchStats struct {
 	RetrainSeconds float64 `json:"retrain_seconds"`
 	ResumeSeconds  float64 `json:"resume_seconds"`
 	ResumeSpeedup  float64 `json:"resume_speedup"`
+
+	// Gates is the manifest pivot-benchdiff reads from the committed
+	// baseline: resuming must stay cheaper than retraining, and a silently
+	// disabled checkpoint path would zero or inflate these counters.
+	Gates Gates `json:"gates"`
 }
 
 // modelSHA hashes a released model's rendering for the equality check.
@@ -81,6 +86,10 @@ func RecoveryBenchRaw(p Preset) (*RecoveryBenchStats, error) {
 		KeyBits: p.KeyBits, N: p.N, M: p.M, MaxDepth: p.H, Splits: p.B,
 		Classes: p.Classes, Seed: 7, DataSeed: 99,
 		Transport: "memory", CrashLevel: crashLevel, CrashParty: crashParty,
+		Gates: Gates{Require: []string{
+			"resume_mpc_rounds", "retrain_mpc_rounds",
+			"resume_msgs_sent", "retrain_msgs_sent",
+		}},
 	}
 
 	// Retrain leg — also the fault-free oracle the recovered model must

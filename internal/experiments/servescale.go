@@ -50,6 +50,11 @@ type ServeScaleStats struct {
 	ResultsIdentical bool `json:"results_identical"`
 
 	Kill ServeScaleKill `json:"kill"`
+
+	// Gates is the manifest pivot-benchdiff reads from the committed
+	// baseline: per-lane batch cost is scheduling-independent, so every
+	// lane must keep paying exactly these rounds/messages per chain.
+	Gates Gates `json:"gates"`
 }
 
 // ServeScalePoint is one pool width's measurement.
@@ -115,6 +120,9 @@ func ServeScaleBenchRaw(p Preset) (*ServeScaleStats, error) {
 		NetDelayMs:  float64(delay) / float64(time.Millisecond),
 		NetJitterMs: float64(jitter) / float64(time.Millisecond),
 		Seed:        99, ResultsIdentical: true,
+		Gates: Gates{Require: []string{
+			"lane_rounds_per_batch", "lane_msgs_per_batch",
+		}},
 	}
 
 	// Deterministic per-lane batch cost: one fixed-size chain, counted on

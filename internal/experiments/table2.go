@@ -123,6 +123,7 @@ func All(p Preset) ([]*Result, error) {
 		{"serve", ServeBench},
 		{"update", UpdateBench},
 		{"pipeline", PipelineBench},
+		{"incremental", IncrementalBench},
 	}
 	var out []*Result
 	for _, d := range drivers {
@@ -143,16 +144,17 @@ var Drivers = map[string]func(Preset) (*Result, error){
 	"fig5a": Fig5a, "fig5b": Fig5b,
 	"ablation-argmax": AblationArgmax, "ablation-pp": AblationParallelDecrypt,
 	"ablation-hide": AblationHideLevels, "ablation-criterion": AblationCriterion,
-	"psi":        PSIAlignment,
-	"phases":     PhaseBreakdown,
-	"paillier":   PaillierBench,
-	"levelwise":  LevelwiseBench,
-	"predict":    PredictBench,
-	"serve":      ServeBench,
-	"servescale": ServeScaleBench,
-	"update":     UpdateBench,
-	"pipeline":   PipelineBench,
-	"recovery":   RecoveryBench,
+	"psi":         PSIAlignment,
+	"phases":      PhaseBreakdown,
+	"paillier":    PaillierBench,
+	"levelwise":   LevelwiseBench,
+	"predict":     PredictBench,
+	"serve":       ServeBench,
+	"servescale":  ServeScaleBench,
+	"update":      UpdateBench,
+	"pipeline":    PipelineBench,
+	"recovery":    RecoveryBench,
+	"incremental": IncrementalBench,
 }
 
 // Elapsed is a tiny helper for the CLI.

@@ -43,6 +43,11 @@ type UpdateBenchStats struct {
 	// vs "memory" (in-process channels).
 	Transport string `json:"transport"`
 
+	// Gates is the manifest pivot-benchdiff reads from the committed
+	// baseline: the packing win must stay locked in, so these keys must
+	// exist and gate, not just "gate if still present".
+	Gates Gates `json:"gates"`
+
 	// Depth-4 multi-class GBDT, whole-training counters.
 	SeqRounds      int64   `json:"gbdt_seq_mpc_rounds"`
 	BatchRounds    int64   `json:"gbdt_batch_mpc_rounds"`
@@ -137,6 +142,9 @@ func UpdateBenchRaw(p Preset) (*UpdateBenchStats, error) {
 		Classes: classes, Rounds: 2, Seed: 7, DataSeed: 99,
 		Packing: !benchCfg.NoPack, PackKappa: kappa,
 		Transport: "tcp-loopback",
+		Gates: Gates{Require: []string{
+			"gbdt_batch_bytes_sent", "gbdt_batch_msgs_sent", "gbdt_batch_mpc_rounds",
+		}},
 	}
 
 	seqModel, seqStats, seqSecs, err := trainGBDTOnce(ds, p.M, updateBenchCfg(p, core.UpdateSequential))

@@ -264,6 +264,22 @@ func (c *Client) PredictRetry(model string, samples [][]float64, maxWait time.Du
 	}
 }
 
+// Update absorbs appended aligned samples (flat feature rows in global
+// column order, one label each) into the named registry model: the daemon
+// warm-starts the model over the union (leaf refinement for DT/RF, extra
+// boosting rounds for GBDT — addTrees of them, <= 0 selects 1) and
+// installs the result as version+1.  The returned version serves every
+// prediction admitted after the install; in-flight predictions finish on
+// the version they were admitted under.
+func (c *Client) Update(model string, samples [][]float64, labels []float64, addTrees int) (int, error) {
+	var resp updateResp
+	err := c.roundTrip(opUpdate, updateReq{Model: model, Samples: samples, Labels: labels, AddTrees: addTrees}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
 // Models lists the daemon's registry.
 func (c *Client) Models() ([]Info, error) {
 	var out []Info

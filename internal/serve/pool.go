@@ -105,6 +105,11 @@ type Pool struct {
 	rr       int
 	stats    core.ServeStats
 	draining bool
+	// appends logs every absorbed batch (in order): a rebuilt lane starts
+	// from the factory's original data and replays these before serving.
+	appends [][]*dataset.Partition
+	// laneWaiters parks Update callers until a lane may have freed up.
+	laneWaiters []chan struct{}
 
 	wake chan struct{}
 	done chan struct{}
@@ -564,6 +569,7 @@ func (p *Pool) runBatch(ln *lane, batch []*request) {
 	done := time.Now()
 	p.mu.Lock()
 	ln.busy = false
+	p.wakeLaneWaitersLocked()
 	ln.batches++
 	ln.samples += int64(len(batch))
 	ln.rounds += rounds
@@ -602,6 +608,7 @@ func (p *Pool) laneFailed(ln *lane, batch []*request) {
 	var failed, retry []*request
 	p.mu.Lock()
 	ln.busy = false
+	p.wakeLaneWaitersLocked()
 	wasHealthy := ln.healthy
 	ln.healthy = false
 	for _, rq := range batch {
@@ -659,6 +666,26 @@ func (p *Pool) rebuildLane(ln *lane) {
 		}
 		ns, err := p.factory(ln.id)
 		if err == nil {
+			// Replay every absorbed batch: the factory rebuilt from the
+			// original data, and the registry's models were refined over
+			// the union.  A failed replay restarts the factory loop.
+			p.mu.Lock()
+			appends := append([][]*dataset.Partition(nil), p.appends...)
+			p.mu.Unlock()
+			for _, ap := range appends {
+				if aerr := core.AppendSamples(ns, ap); aerr != nil {
+					ns.Close()
+					ns = nil
+					break
+				}
+			}
+			if ns == nil {
+				time.Sleep(delay)
+				if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				continue
+			}
 			p.mu.Lock()
 			if p.draining {
 				p.mu.Unlock()
@@ -669,6 +696,7 @@ func (p *Pool) rebuildLane(ln *lane) {
 			ln.healthy = true
 			ln.rebuilds++
 			p.stats.Rebuilds++
+			p.wakeLaneWaitersLocked()
 			p.mu.Unlock()
 			p.kick()
 			return
@@ -734,6 +762,7 @@ func (p *Pool) Stats() core.RunStats {
 func (p *Pool) Drain() {
 	p.mu.Lock()
 	p.draining = true
+	p.wakeLaneWaitersLocked()
 	p.mu.Unlock()
 	p.kick()
 	<-p.done

@@ -49,6 +49,12 @@ func (f *fakeBackend) PredictManyEntry(e *Entry, rows [][]float64, _ time.Time) 
 	}
 	return out, nil
 }
+func (f *fakeBackend) Update(name string, rows [][]float64, labels []float64, addTrees int) (*Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entry = &Entry{Name: f.entry.Name, Version: f.entry.Version + 1, Model: f.entry.Model}
+	return f.entry, nil
+}
 func (f *fakeBackend) Stats() core.RunStats { return core.RunStats{} }
 func (f *fakeBackend) Health() Health {
 	f.mu.Lock()

@@ -24,6 +24,10 @@ type Backend interface {
 	Width() int
 	// PredictManyEntry serves samples pinned to a resolved entry.
 	PredictManyEntry(entry *Entry, rows [][]float64, deadline time.Time) ([]float64, error)
+	// Update absorbs appended samples into the named model (incremental
+	// training against the live registry entry) and installs the result
+	// as version+1.
+	Update(name string, rows [][]float64, labels []float64, addTrees int) (*Entry, error)
 	// Stats snapshots protocol + serving statistics.
 	Stats() core.RunStats
 	// Health probes liveness.
@@ -238,6 +242,21 @@ func (srv *Server) serveOp(conn net.Conn, op byte, body []byte) bool {
 			preds = []float64{}
 		}
 		return writeFrame(conn, opOK, predictResp{Predictions: preds, Version: entry.Version}) == nil
+
+	case opUpdate:
+		var req updateReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return writeFrame(conn, opErr, err.Error()) == nil
+		}
+		entry, err := srv.svc.Update(req.Model, req.Samples, req.Labels, req.AddTrees)
+		if err != nil {
+			var ue *UnavailableError
+			if errors.As(err, &ue) {
+				return writeFrame(conn, opUnavail, unavailResp{RetryAfterMs: ue.RetryAfter.Milliseconds()}) == nil
+			}
+			return writeFrame(conn, opErr, err.Error()) == nil
+		}
+		return writeFrame(conn, opOK, updateResp{Version: entry.Version, Info: entry.Info()}) == nil
 
 	case opModels:
 		return writeFrame(conn, opOK, srv.svc.List()) == nil

@@ -42,6 +42,11 @@ type Config struct {
 	// RetryAfter is the back-off hint attached to UnavailableError while
 	// the session is down (default 2s).
 	RetryAfter time.Duration
+	// Journal, when set, is called with each entry installed by an
+	// incremental Update (version+1 installs), so a daemon can persist
+	// absorbs the way it persists initial registrations.  Called outside
+	// the serving locks; it must not call back into the engine.
+	Journal func(*Entry)
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +164,10 @@ type Service struct {
 	stats       core.ServeStats
 	draining    bool
 	unavailable bool // session dead; rebuild (if configured) in flight
+	// appends logs every absorbed batch (in order): a rebuilt session
+	// starts from the factory's original data and replays these before
+	// serving, so later absorbs see the same union.
+	appends [][]*dataset.Partition
 
 	wake chan struct{}
 	done chan struct{}
@@ -495,6 +504,26 @@ func (s *Service) rebuild(dead *core.Session, factory func() (*core.Session, err
 		}
 		ns, err := factory()
 		if err == nil {
+			// Replay every absorbed batch: the factory rebuilt from the
+			// original data, and the registry's models were refined over
+			// the union.  A failed replay restarts the factory loop.
+			s.mu.Lock()
+			appends := append([][]*dataset.Partition(nil), s.appends...)
+			s.mu.Unlock()
+			for _, ap := range appends {
+				if aerr := core.AppendSamples(ns, ap); aerr != nil {
+					ns.Close()
+					ns = nil
+					break
+				}
+			}
+			if ns == nil {
+				time.Sleep(delay)
+				if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				continue
+			}
 			s.mu.Lock()
 			if s.draining {
 				// Lost the race with Close: the service owns no live

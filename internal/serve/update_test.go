@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// updateFixture carves a synthetic classification set into a 16-row
+// training base and a 4-row append batch (flat rows + labels, as the wire
+// carries them).
+func updateFixture(t *testing.T) (*dataset.Dataset, []*dataset.Partition, [][]float64, []float64) {
+	t.Helper()
+	ds := dataset.SyntheticClassification(20, 4, 2, 3.0, 9)
+	base := &dataset.Dataset{X: ds.X[:16], Y: ds.Y[:16], Classes: ds.Classes, Names: ds.Names}
+	parts, err := dataset.VerticalPartition(base, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, parts, ds.X[16:], ds.Y[16:]
+}
+
+// TestServiceUpdate drives the single-session absorb path: validation,
+// version bump, journal hook, stats, and served predictions equal to the
+// offline pipeline on the refreshed model.
+func TestServiceUpdate(t *testing.T) {
+	ds, parts, newRows, newLabels := updateFixture(t)
+	sess, err := core.NewSession(parts, fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	var mu sync.Mutex
+	var journaled []*Entry
+	svc, err := New(sess, parts, Config{
+		Window: 5 * time.Millisecond, MaxBatch: 8,
+		Journal: func(e *Entry) { mu.Lock(); journaled = append(journaled, e); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	mdl, err := core.Train(sess, core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("dt", mdl); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := svc.Update("nope", newRows, newLabels, 0); err == nil {
+		t.Fatal("unknown model must refuse the update")
+	}
+	if _, err := svc.Update("dt", newRows, newLabels[:2], 0); err == nil {
+		t.Fatal("label/sample count mismatch must refuse the update")
+	}
+	if _, err := svc.Update("dt", nil, nil, 0); err == nil {
+		t.Fatal("empty append must refuse the update")
+	}
+
+	ne, err := svc.Update("dt", newRows, newLabels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Version != 2 {
+		t.Fatalf("absorb installed version %d, want 2", ne.Version)
+	}
+	upd, ok := ne.Model.(*core.Model)
+	if !ok {
+		t.Fatalf("absorb returned %T, want *core.Model", ne.Model)
+	}
+	orig := mdl.(*core.Model)
+	if len(upd.Nodes) != len(orig.Nodes) {
+		t.Fatalf("DT absorb changed topology: %d nodes, had %d", len(upd.Nodes), len(orig.Nodes))
+	}
+
+	// Served predictions on the refreshed model must match the offline
+	// batched pipeline bit for bit.
+	queryParts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.PredictAll(sess, ne.Model, queryParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := flatRows(queryParts, svc.Width())
+	for i, row := range rows {
+		got, err := svc.Predict("dt", row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != oracle[i] {
+			t.Fatalf("sample %d: served %v, oracle %v", i, got, oracle[i])
+		}
+	}
+
+	// A second absorb stacks on the first: the session's partitions grew,
+	// so the append log and indicator extensions must stay consistent.
+	ne2, err := svc.Update("dt", newRows, newLabels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne2.Version != 3 {
+		t.Fatalf("second absorb installed version %d, want 3", ne2.Version)
+	}
+
+	st := svc.Stats()
+	if st.Serve == nil || st.Serve.Updates != 2 {
+		t.Fatalf("stats counted %+v updates, want 2", st.Serve)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(journaled) != 2 || journaled[0].Version != 2 || journaled[1].Version != 3 {
+		t.Fatalf("journal saw %d installs", len(journaled))
+	}
+
+	svc.Drain()
+	if _, err := svc.Update("dt", newRows, newLabels, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain update returned %v", err)
+	}
+}
+
+// TestPoolUpdate routes an absorb through a sharded pool: the chain runs
+// on one reserved lane, the other lanes' partitions sync afterwards, and a
+// second absorb (which may land on any lane) proves the sync held.
+func TestPoolUpdate(t *testing.T) {
+	ds, parts, newRows, newLabels := updateFixture(t)
+	factory := func(lane int) (*core.Session, error) {
+		c := fixtureConfig()
+		c.Seed += int64(lane)
+		return core.NewSession(parts, c)
+	}
+	pool, err := NewPool(parts, PoolConfig{
+		Config: Config{Window: 2 * time.Millisecond, MaxBatch: 4},
+		Lanes:  2, LaneFactory: factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	mdl, err := core.Train(pool.LaneSession(0), core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Register("dt", mdl); err != nil {
+		t.Fatal(err)
+	}
+
+	ne, err := pool.Update("dt", newRows, newLabels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Version != 2 {
+		t.Fatalf("pool absorb installed version %d, want 2", ne.Version)
+	}
+	ne2, err := pool.Update("dt", newRows, newLabels, 0)
+	if err != nil {
+		t.Fatalf("second pool absorb (lane sync check): %v", err)
+	}
+	if ne2.Version != 3 {
+		t.Fatalf("second pool absorb installed version %d, want 3", ne2.Version)
+	}
+
+	// Both lanes keep serving the refreshed model, bit-identical to the
+	// offline pipeline.
+	queryParts, err := dataset.VerticalPartition(ds, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.PredictAll(pool.LaneSession(0), ne2.Model, queryParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := flatRows(queryParts, pool.Width())
+	got := make([]float64, len(rows))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pool.Predict("dt", rows[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range rows {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != oracle[i] {
+			t.Fatalf("post-absorb sample %d: served %v, oracle %v", i, got[i], oracle[i])
+		}
+	}
+	if st := pool.Stats(); st.Serve == nil || st.Serve.Updates != 2 {
+		t.Fatalf("pool stats counted %+v updates, want 2", st.Serve)
+	}
+
+	pool.Drain()
+	if _, err := pool.Update("dt", newRows, newLabels, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain pool update returned %v", err)
+	}
+}
+
+// TestServeUpdateNoTornReads hammers a daemon with concurrent predictions
+// while an absorb is in flight: every response must be answered by exactly
+// version N or N+1 — the whole response on one version's model, never a
+// mix — and versions observed on one connection never go backwards.
+// Nightly (race suite) only.
+func TestServeUpdateNoTornReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nightly: concurrent update/predict consistency")
+	}
+	_, parts, newRows, newLabels := updateFixture(t)
+	sess, err := core.NewSession(parts, fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	svc, err := New(sess, parts, Config{Window: 2 * time.Millisecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl, err := core.Train(sess, core.TrainSpec{Model: core.KindDT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("dt", mdl); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	rows := flatRows(parts, svc.Width())
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	oracleV1, version, err := cli.PredictVersioned("dt", rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("pre-absorb version %d", version)
+	}
+
+	type obs struct {
+		version int
+		preds   []float64
+	}
+	const probers = 4
+	observed := make([][]obs, probers)
+	perr := make([]error, probers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < probers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pc, err := Dial(srv.Addr())
+			if err != nil {
+				perr[g] = err
+				return
+			}
+			defer pc.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				preds, v, err := pc.PredictVersioned("dt", rows, 0)
+				if err != nil {
+					perr[g] = err
+					return
+				}
+				observed[g] = append(observed[g], obs{version: v, preds: preds})
+			}
+		}(g)
+	}
+
+	v2, err := cli.Update("dt", newRows, newLabels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("absorb installed version %d, want 2", v2)
+	}
+	// Let the probers observe the installed version before stopping.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for g, err := range perr {
+		if err != nil {
+			t.Fatalf("prober %d: %v", g, err)
+		}
+	}
+
+	oracleV2, version, err := cli.PredictVersioned("dt", rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatalf("post-absorb version %d", version)
+	}
+
+	oracles := map[int][]float64{1: oracleV1, 2: oracleV2}
+	total := 0
+	for g := range observed {
+		last := 0
+		for i, o := range observed[g] {
+			total++
+			if o.version < last {
+				t.Fatalf("prober %d response %d: version went backwards %d -> %d", g, i, last, o.version)
+			}
+			last = o.version
+			oracle, ok := oracles[o.version]
+			if !ok {
+				t.Fatalf("prober %d response %d: impossible version %d", g, i, o.version)
+			}
+			for s := range o.preds {
+				if o.preds[s] != oracle[s] {
+					t.Fatalf("prober %d response %d: torn read — version %d sample %d served %v, that version's model says %v",
+						g, i, o.version, s, o.preds[s], oracle[s])
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("probers observed no responses")
+	}
+
+	if err := cli.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

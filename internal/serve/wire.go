@@ -22,6 +22,7 @@ const MaxFrame = 8 << 20
 // Request opcodes.
 const (
 	opPredict byte = 'P' // predictReq  -> opOK predictResp
+	opUpdate  byte = 'T' // updateReq   -> opOK updateResp (incremental absorb, installs version+1)
 	opModels  byte = 'M' // empty       -> opOK []Info
 	opStats   byte = 'S' // empty       -> opOK core.RunStats
 	opHealth  byte = 'H' // empty       -> opOK Health
@@ -52,6 +53,24 @@ type predictReq struct {
 type predictResp struct {
 	Predictions []float64 `json:"predictions"`
 	Version     int       `json:"version"`
+}
+
+// updateReq is the opUpdate body: appended aligned samples (flat feature
+// rows in global column order, one label each) absorbed into the named
+// model.  AddTrees sets the extra boosting rounds for GBDT absorbs
+// (<= 0 selects 1); DT/RF absorbs refine leaves only and ignore it.
+type updateReq struct {
+	Model    string      `json:"model"`
+	Samples  [][]float64 `json:"samples"`
+	Labels   []float64   `json:"labels"`
+	AddTrees int         `json:"add_trees,omitempty"`
+}
+
+// updateResp echoes the installed entry: the new version serves every
+// prediction admitted after the install.
+type updateResp struct {
+	Version int  `json:"version"`
+	Info    Info `json:"info"`
 }
 
 // unavailResp is the opUnavail body: the daemon's session is dead (a

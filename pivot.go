@@ -266,6 +266,71 @@ func (f *Federation) PredictAll(mdl Predictor) ([]float64, error) {
 	return core.PredictAll(f.session, mdl, f.parts)
 }
 
+// Update absorbs a batch of appended aligned samples (global column
+// order, labels included) into a trained model without a full retrain:
+// the clients extend their vertical partitions with the new rows, the
+// released trees are replayed over the union with zero MPC rounds, and
+// only the leaf refinement (DT/RF) or the addTrees extra boosting rounds
+// (GBDT; <= 0 selects 1) run secure computation.  The absorbed rows also
+// join the federation's partitions, so PredictAll and later absorbs see
+// the union.  Basic protocol only: a warm start replays released
+// plaintext trees, which the enhanced protocol never discloses.
+func (f *Federation) Update(mdl Predictor, appended *Dataset, addTrees int) (Predictor, error) {
+	if appended == nil || appended.N() == 0 {
+		return nil, fmt.Errorf("pivot: update carries no samples")
+	}
+	width := 0
+	for _, p := range f.parts {
+		width += len(p.Features)
+	}
+	if appended.D() != width {
+		return nil, fmt.Errorf("pivot: appended samples have %d features, federation has %d", appended.D(), width)
+	}
+	if len(appended.Y) != appended.N() {
+		return nil, fmt.Errorf("pivot: %d appended samples but %d labels", appended.N(), len(appended.Y))
+	}
+	ap := make([]*Partition, len(f.parts))
+	for c, p := range f.parts {
+		np := &Partition{
+			Client:   p.Client,
+			Features: p.Features,
+			Classes:  p.Classes,
+			N:        appended.N(),
+			X:        make([][]float64, appended.N()),
+			// Labels ride every slice; only the super client reads them.
+			Y: append([]float64(nil), appended.Y...),
+		}
+		for t, row := range appended.X {
+			local := make([]float64, len(p.Features))
+			for j, g := range p.Features {
+				local[j] = row[g]
+			}
+			np.X[t] = local
+		}
+		ap[c] = np
+	}
+	out, err := core.Update(f.session, core.UpdateSpec{Model: mdl, Append: ap, AddTrees: addTrees})
+	if err != nil {
+		return nil, err
+	}
+	// Grow the federation's own view copy-on-append too: the original
+	// partition structs may still back other sessions or callers.
+	for c, p := range f.parts {
+		merged := &Partition{
+			Client:   p.Client,
+			Features: p.Features,
+			Classes:  p.Classes,
+			N:        p.N + ap[c].N,
+			X:        append(append(make([][]float64, 0, p.N+ap[c].N), p.X...), ap[c].X...),
+		}
+		if p.Y != nil {
+			merged.Y = append(append(make([]float64, 0, merged.N), p.Y...), appended.Y...)
+		}
+		f.parts[c] = merged
+	}
+	return out, nil
+}
+
 // TrainDecisionTree trains one Pivot decision tree (Algorithm 3; the
 // protocol — basic or enhanced — comes from the federation config).
 //
